@@ -1,0 +1,40 @@
+# Optimus reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build vet test race bench quick full fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/
+
+# One benchmark per paper table/figure plus micro-benchmarks; prints the
+# regenerated rows.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Fast smoke reproduction of every exhibit.
+quick:
+	$(GO) run ./cmd/optimus-sim -quick all
+
+# Paper-scale reproduction of every exhibit (several minutes).
+full:
+	$(GO) run ./cmd/optimus-sim all
+
+fuzz:
+	$(GO) test -fuzz FuzzSolve -fuzztime 15s ./internal/nnls/
+	$(GO) test -fuzz FuzzPAA -fuzztime 15s ./internal/psassign/
+	$(GO) test -fuzz FuzzReadJobs -fuzztime 15s ./internal/trace/
+
+clean:
+	rm -rf internal/*/testdata/fuzz

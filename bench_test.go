@@ -1,0 +1,214 @@
+// Package optimus's root benchmark harness regenerates every table and
+// figure of the paper (see DESIGN.md's experiment index) and micro-benchmarks
+// the core algorithms. Each BenchmarkFigN/BenchmarkTableN prints the
+// regenerated rows once, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction run. Benchmarks use the experiments package's
+// quick mode; use cmd/optimus-sim for paper-scale sweeps.
+package optimus
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/experiments"
+	"optimus/internal/lossfit"
+	"optimus/internal/psassign"
+	"optimus/internal/psys"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+var printOnce sync.Map // experiment id → *sync.Once
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		onceI, _ := printOnce.LoadOrStore(id, &sync.Once{})
+		onceI.(*sync.Once).Do(func() { tbl.Print(os.Stdout) })
+	}
+}
+
+// --- one benchmark per paper exhibit ---
+
+func BenchmarkTable1Workloads(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkFig1TrainingCurves(b *testing.B)    { benchExperiment(b, "fig1") }
+func BenchmarkFig2TrainingTimes(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig4SpeedVsConfig(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5LossCurves(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6PredictionError(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7OnlineFitting(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8SampleEfficiency(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9SpeedFunctions(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkTable2Coefficients(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkFig11Comparison(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12Scalability(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig13Stats(b *testing.B)            { benchExperiment(b, "fig13") }
+func BenchmarkFig14Timelines(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15ErrorSensitivity(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16TrainingModes(b *testing.B)    { benchExperiment(b, "fig16") }
+func BenchmarkFig17ArrivalProcesses(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18AllocAblation(b *testing.B)    { benchExperiment(b, "fig18") }
+func BenchmarkFig19PlacementAblation(b *testing.B) {
+	benchExperiment(b, "fig19")
+}
+func BenchmarkTable3ParamDistribution(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig10PlacementExample(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkAblationPriority(b *testing.B)        { benchExperiment(b, "ablation-priority") }
+func BenchmarkStragglerStudy(b *testing.B)          { benchExperiment(b, "stragglers") }
+func BenchmarkMixedWorkloads(b *testing.B)          { benchExperiment(b, "mixed") }
+func BenchmarkFig20LoadBalanceSpeed(b *testing.B)   { benchExperiment(b, "fig20") }
+func BenchmarkFig21PAASpeedup(b *testing.B)         { benchExperiment(b, "fig21") }
+func BenchmarkOverheadScaling(b *testing.B)         { benchExperiment(b, "overhead") }
+
+// --- core-algorithm micro-benchmarks ---
+
+// BenchmarkAllocate measures one §4.1 marginal-gain allocation pass at the
+// scale Fig. 12 reports (jobs × a large cluster).
+func BenchmarkAllocate(b *testing.B) {
+	for _, nJobs := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("jobs=%d", nJobs), func(b *testing.B) {
+			zoo := workload.Zoo()
+			rng := rand.New(rand.NewSource(1))
+			jobs := make([]*core.JobInfo, nJobs)
+			for i := range jobs {
+				m := zoo[i%len(zoo)]
+				mode := speedfit.Mode(rng.Intn(2))
+				jobs[i] = &core.JobInfo{
+					ID:            i,
+					RemainingWork: 1000 + rng.Float64()*100000,
+					Speed:         func(p, w int) float64 { return m.TrueSpeed(mode, p, w) },
+					WorkerRes:     m.WorkerRes,
+					PSRes:         m.PSRes,
+					MaxWorkers:    16,
+					MaxPS:         16,
+				}
+			}
+			capacity := cluster.Resources{
+				cluster.CPU:    float64(nJobs) * 40,
+				cluster.Memory: float64(nJobs) * 160,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Allocate(jobs, capacity)
+			}
+		})
+	}
+}
+
+// BenchmarkPlace measures one §4.2 placement pass.
+func BenchmarkPlace(b *testing.B) {
+	for _, nNodes := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("nodes=%d", nNodes), func(b *testing.B) {
+			reqs := make([]core.PlacementRequest, 50)
+			for i := range reqs {
+				reqs[i] = core.PlacementRequest{
+					JobID: i,
+					Alloc: core.Allocation{PS: 2 + i%3, Workers: 3 + i%5},
+					WorkerRes: cluster.Resources{
+						cluster.CPU: 5, cluster.Memory: 10,
+					},
+					PSRes: cluster.Resources{
+						cluster.CPU: 3, cluster.Memory: 8,
+					},
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := cluster.Uniform(nNodes, cluster.Resources{
+					cluster.CPU: 32, cluster.Memory: 128,
+				})
+				b.StartTimer()
+				core.Place(reqs, c)
+			}
+		})
+	}
+}
+
+// BenchmarkLossFit measures one §3.1 online refit over a realistic number of
+// accumulated loss points.
+func BenchmarkLossFit(b *testing.B) {
+	m := workload.ZooByName("seq2seq")
+	pts := make([]lossfit.Point, 200)
+	for i := range pts {
+		e := float64(i + 1)
+		pts[i] = lossfit.Point{K: e, Loss: m.TrueLoss(e)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lossfit.FitPoints(pts, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpeedFit measures one §3.2 NNLS speed-model fit.
+func BenchmarkSpeedFit(b *testing.B) {
+	m := workload.ZooByName("resnet-50")
+	var samples []speedfit.Sample
+	for p := 1; p <= 12; p++ {
+		for w := 1; w <= 12; w++ {
+			samples = append(samples, speedfit.Sample{
+				P: p, W: w, Speed: m.TrueSpeed(speedfit.Sync, p, w),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := speedfit.Fit(speedfit.Sync, samples, float64(m.GlobalBatch)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPAA measures the §5.3 parameter-assignment algorithm on
+// ResNet-50's 157 blocks.
+func BenchmarkPAA(b *testing.B) {
+	blocks := workload.ZooByName("resnet-50").ParameterBlocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := psassign.PAA(blocks, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSStep measures one synchronous PS training step end to end
+// (pull, gradient, push) over each transport.
+func BenchmarkPSStep(b *testing.B) {
+	for _, tr := range []psys.TransportKind{psys.TransportLocal, psys.TransportTCP} {
+		b.Run(string(tr), func(b *testing.B) {
+			data, _, err := psys.SyntheticRegression(512, 64, 0.01, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			job, err := psys.StartJob(psys.JobConfig{
+				Model: psys.LinearRegression{Features: 64}, Data: data,
+				Mode: speedfit.Sync, Workers: 2, Servers: 2,
+				BatchSize: 32, LR: 0.05, Transport: tr, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer job.Stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := job.RunSteps(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+// Command optimus-kube demonstrates Optimus deployed against the miniature
+// container orchestrator (§5.5): it registers nodes, submits PS-job pod
+// groups, runs the Optimus scheduler to bind them with the §4.2 placement,
+// starts kubelets whose pods execute real psys training tasks, and prints
+// the resulting layout and training progress.
+//
+// Usage:
+//
+//	optimus-kube -nodes 4 -jobs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/kube"
+	"optimus/internal/psys"
+	"optimus/internal/speedfit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimus-kube: ")
+	var (
+		nodes = flag.Int("nodes", 4, "cluster size")
+		jobs  = flag.Int("jobs", 2, "number of training jobs to submit")
+		steps = flag.Int("steps", 120, "training steps per job")
+	)
+	flag.Parse()
+
+	api := kube.NewAPIServer()
+	for i := 0; i < *nodes; i++ {
+		err := api.RegisterNode(kube.Node{
+			Name: fmt.Sprintf("node-%d", i),
+			Capacity: cluster.Resources{
+				cluster.CPU: 16, cluster.Memory: 64,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each job runs a real psys training session; its pods are bookkeeping
+	// handles the kubelets "start" (in a real deployment each pod would be
+	// one container; here the job engine drives its tasks in-process).
+	type jobRuntime struct {
+		job  *psys.Job
+		once sync.Once
+	}
+	runtimes := make(map[int]*jobRuntime)
+	var mu sync.Mutex
+
+	for j := 0; j < *jobs; j++ {
+		data, _, err := psys.SyntheticRegression(2000, 32, 0.01, int64(j+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pj, err := psys.StartJob(psys.JobConfig{
+			Model: psys.LinearRegression{Features: 32}, Data: data,
+			Mode: speedfit.Sync, Workers: 3, Servers: 2,
+			BatchSize: 32, LR: 0.05, Seed: int64(j + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		runtimes[j] = &jobRuntime{job: pj}
+		mu.Unlock()
+
+		for t := 0; t < 2; t++ {
+			err := api.CreatePod(kube.Pod{
+				Name: fmt.Sprintf("job%d-ps-%d", j, t), JobID: j, Role: kube.RolePS,
+				Resources: cluster.Resources{cluster.CPU: 3, cluster.Memory: 8},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		for t := 0; t < 3; t++ {
+			err := api.CreatePod(kube.Pod{
+				Name: fmt.Sprintf("job%d-w-%d", j, t), JobID: j, Role: kube.RoleWorker,
+				Resources: cluster.Resources{cluster.CPU: 5, cluster.Memory: 10},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Kubelets: when the first pod of a job starts on a node, kick off that
+	// job's training loop.
+	runner := func(p kube.Pod) func() {
+		mu.Lock()
+		rt := runtimes[p.JobID]
+		mu.Unlock()
+		if rt == nil {
+			return nil
+		}
+		rt.once.Do(func() {
+			go func() {
+				if _, err := rt.job.RunSteps(*steps); err != nil {
+					log.Printf("job %d: %v", p.JobID, err)
+					return
+				}
+				loss, err := rt.job.Loss()
+				if err != nil {
+					log.Printf("job %d: %v", p.JobID, err)
+					return
+				}
+				log.Printf("job %d finished %d steps, loss %.6f", p.JobID, *steps, loss)
+			}()
+		})
+		return func() {}
+	}
+	var kubelets []*kube.Kubelet
+	for i := 0; i < *nodes; i++ {
+		kubelets = append(kubelets, kube.StartKubelet(api, fmt.Sprintf("node-%d", i), runner))
+	}
+	defer func() {
+		for _, k := range kubelets {
+			k.Stop()
+		}
+		mu.Lock()
+		for _, rt := range runtimes {
+			rt.job.Stop()
+		}
+		mu.Unlock()
+	}()
+
+	sched := kube.NewOptimusScheduler(api)
+	bound, err := sched.ScheduleOnce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scheduler bound %d pods", bound)
+
+	running := kube.WaitRunning(api, bound, 5*time.Second)
+	log.Printf("%d pods running", running)
+
+	// Print the layout: Theorem-1 placement should colocate each job's PS
+	// and workers on the fewest nodes, evenly.
+	byNode := map[string][]string{}
+	for _, p := range api.ListPods() {
+		byNode[p.NodeName] = append(byNode[p.NodeName], p.Name)
+	}
+	var names []string
+	for n := range byNode {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sort.Strings(byNode[n])
+		log.Printf("  %s: %v", n, byNode[n])
+	}
+
+	// Let training run to completion.
+	time.Sleep(300 * time.Millisecond)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		mu.Lock()
+		for _, rt := range runtimes {
+			if rt.job.Rounds() < *steps {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	log.Printf("done")
+}

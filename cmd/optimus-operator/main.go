@@ -1,0 +1,94 @@
+// Command optimus-operator runs the complete Optimus system against real
+// components: training jobs on the psys parameter-server framework, §3
+// models fitted from their live telemetry, §4.1 marginal-gain allocation
+// each interval, §5.4 checkpoint-based rescaling, and pod groups bound on
+// the mini Kubernetes control plane by the §4.2 scheduler.
+//
+// Usage:
+//
+//	optimus-operator -nodes 3 -jobs 3 -interval 300ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/kube"
+	"optimus/internal/operator"
+	"optimus/internal/speedfit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimus-operator: ")
+	var (
+		nodes    = flag.Int("nodes", 3, "cluster size")
+		jobs     = flag.Int("jobs", 3, "jobs to submit")
+		interval = flag.Duration("interval", 300*time.Millisecond,
+			"scheduling interval (paper: 10 minutes; shrunk for the demo)")
+		maxCycles = flag.Int("max-cycles", 200, "stop after this many intervals")
+	)
+	flag.Parse()
+
+	api := kube.NewAPIServer()
+	for i := 0; i < *nodes; i++ {
+		err := api.RegisterNode(kube.Node{
+			Name: fmt.Sprintf("node-%d", i),
+			Capacity: cluster.Resources{
+				cluster.CPU: 16, cluster.Memory: 64,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	op := operator.New(api, "/tmp")
+	defer op.Shutdown()
+
+	specs := []string{"linreg:24", "mlp:8x12", "logreg:16"}
+	for id := 0; id < *jobs; id++ {
+		mode := speedfit.Sync
+		if id%2 == 1 {
+			mode = speedfit.Async
+		}
+		err := op.Submit(operator.JobRequest{
+			ID:        id,
+			ModelSpec: specs[id%len(specs)],
+			Examples:  1200,
+			Noise:     0.01,
+			Mode:      mode,
+			BatchSize: 32,
+			LR:        0.1,
+			Seed:      int64(id + 1),
+			Threshold: 0.02,
+			PSRes:     cluster.Resources{cluster.CPU: 3, cluster.Memory: 8},
+			WorkerRes: cluster.Resources{cluster.CPU: 5, cluster.Memory: 10},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("submitted job %d (%s, %s)", id, specs[id%len(specs)], mode)
+	}
+
+	for cycle := 1; cycle <= *maxCycles; cycle++ {
+		time.Sleep(*interval)
+		rep, err := op.Cycle()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(rep.Resized) > 0 || len(rep.Completed) > 0 {
+			log.Printf("cycle %d: active=%d resized=%v completed=%v bound=%d",
+				cycle, rep.Active, rep.Resized, rep.Completed, rep.Bound)
+		}
+		if rep.Active == 0 && cycle > 1 {
+			break
+		}
+	}
+	for _, st := range op.Status() {
+		log.Printf("job %d: completed=%v steps=%d final=(%dps,%dw) last-loss=%.5f",
+			st.ID, st.Completed, st.Steps, st.PS, st.Workers, st.LastLoss)
+	}
+}

@@ -1,0 +1,55 @@
+// Command optimus-sim regenerates the paper's tables and figures from the
+// reproduction: pass one or more experiment IDs (fig11, table2, ...) or
+// "all". Use -quick for a fast smoke run and -seed to vary randomness.
+//
+// Usage:
+//
+//	optimus-sim [-quick] [-seed N] all
+//	optimus-sim fig11 table3
+//	optimus-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"optimus/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: optimus-sim [-quick] [-seed N] <experiment-id>... | all")
+		fmt.Fprintln(os.Stderr, "experiments:", strings.Join(experiments.IDs(), " "))
+		os.Exit(2)
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	failed := false
+	for _, id := range ids {
+		tbl, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		tbl.Print(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,198 @@
+// Command optimus-trace generates, inspects and replays workload traces.
+//
+// Usage:
+//
+//	optimus-trace gen  -n 30 -arrivals poisson -o trace.csv
+//	optimus-trace info trace.csv
+//	optimus-trace run  trace.csv -policy optimus -timeline tl.csv -jcts jcts.csv
+//
+// Traces are plain CSV (see internal/trace), so a run is fully replayable
+// and its outputs feed standard plotting tools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"optimus/internal/cluster"
+	"optimus/internal/sim"
+	"optimus/internal/trace"
+	"optimus/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimus-trace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  optimus-trace gen  [-n N] [-horizon S] [-seed N] [-downscale F] [-arrivals uniform|poisson|google] -o FILE
+  optimus-trace info FILE
+  optimus-trace run  FILE [-policy optimus|drf|tetris] [-seed N] [-timeline FILE] [-jcts FILE]`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	n := fs.Int("n", 30, "number of jobs")
+	horizon := fs.Float64("horizon", 8000, "arrival window seconds")
+	seed := fs.Int64("seed", 1, "random seed")
+	downscale := fs.Float64("downscale", 0.03, "dataset downscale factor")
+	arrivals := fs.String("arrivals", "uniform", "arrival process: uniform|poisson|google")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	var proc workload.ArrivalProcess
+	switch *arrivals {
+	case "uniform":
+		proc = workload.UniformArrivals
+	case "poisson":
+		proc = workload.PoissonArrivals
+	case "google":
+		proc = workload.GoogleTraceArrivals
+	default:
+		log.Fatalf("unknown arrival process %q", *arrivals)
+	}
+	jobs := workload.Generate(workload.GenConfig{
+		N: *n, Horizon: *horizon, Seed: *seed,
+		Downscale: *downscale, Arrivals: proc,
+	})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteJobs(w, jobs); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		log.Printf("wrote %d jobs to %s", len(jobs), *out)
+	}
+}
+
+func loadJobs(path string) []workload.JobSpec {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	jobs, err := trace.ReadJobs(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return jobs
+}
+
+func cmdInfo(args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	jobs := loadJobs(args[0])
+	byModel := map[string]int{}
+	byMode := map[string]int{}
+	var first, last float64
+	for i, j := range jobs {
+		byModel[j.Model.Name]++
+		byMode[j.Mode.String()]++
+		if i == 0 || j.Arrival < first {
+			first = j.Arrival
+		}
+		if j.Arrival > last {
+			last = j.Arrival
+		}
+	}
+	fmt.Printf("%d jobs, arrivals %.0fs..%.0fs\n", len(jobs), first, last)
+	fmt.Printf("modes: %v\n", byMode)
+	fmt.Printf("models: %v\n", byModel)
+}
+
+func cmdRun(args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	path := args[0]
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	policyName := fs.String("policy", "optimus", "scheduler: optimus|drf|tetris")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	timelineOut := fs.String("timeline", "", "write per-interval stats CSV here")
+	jctsOut := fs.String("jcts", "", "write per-job completion times CSV here")
+	if err := fs.Parse(args[1:]); err != nil {
+		log.Fatal(err)
+	}
+	var policy sim.Policy
+	switch *policyName {
+	case "optimus":
+		policy = sim.OptimusPolicy()
+	case "drf":
+		policy = sim.DRFPolicy()
+	case "tetris":
+		policy = sim.TetrisPolicy()
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+	jobs := loadJobs(path)
+	res, err := sim.Run(sim.Config{
+		Cluster:           cluster.Testbed(),
+		Jobs:              jobs,
+		Policy:            policy,
+		Interval:          600,
+		Seed:              *seed,
+		PreRunSamples:     6,
+		SpeedNoise:        0.03,
+		LossNoise:         0.01,
+		PriorityFactor:    0.95,
+		ScalingBase:       12,
+		ScalingPerTask:    0.3,
+		ReconfigThreshold: 0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", policy.Name, res.Summary)
+	if len(res.Unfinished) > 0 {
+		fmt.Printf("unfinished jobs: %v\n", res.Unfinished)
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteTimeline(f, res.Timeline); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("timeline → %s", *timelineOut)
+	}
+	if *jctsOut != "" {
+		f, err := os.Create(*jctsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteJCTs(f, res.JCTs); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("jcts → %s", *jctsOut)
+	}
+}

@@ -1,0 +1,67 @@
+// Clustersim compares Optimus against the DRF fairness scheduler and Tetris
+// on a simulated deep-learning cluster — a compact version of the §6.2
+// evaluation. It generates a random Table-1 job mix, replays it under each
+// policy on the paper's 13-server testbed, and reports JCT, makespan,
+// utilization and scaling overhead.
+//
+// Run with: go run ./examples/clustersim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optimus/internal/cluster"
+	"optimus/internal/sim"
+	"optimus/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	jobs := workload.Generate(workload.GenConfig{
+		N:         15,
+		Horizon:   4000,
+		Seed:      7,
+		Downscale: 0.03,
+	})
+	fmt.Printf("workload: %d jobs over %d s\n", len(jobs), 4000)
+	for _, j := range jobs[:5] {
+		fmt.Printf("  %v\n", j)
+	}
+	fmt.Println("  ...")
+
+	policies := []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()}
+	fmt.Printf("\n%-8s  %10s  %12s  %10s  %9s\n",
+		"policy", "avg JCT", "makespan", "intervals", "scaling%")
+	var baseJCT float64
+	for _, p := range policies {
+		res, err := sim.Run(sim.Config{
+			Cluster:           cluster.Testbed(),
+			Jobs:              jobs,
+			Policy:            p,
+			Interval:          600,
+			Seed:              1,
+			PreRunSamples:     5,
+			SpeedNoise:        0.03,
+			LossNoise:         0.01,
+			PriorityFactor:    0.95,
+			ScalingBase:       12,
+			ScalingPerTask:    0.3,
+			ReconfigThreshold: 0.15,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p.Name == "optimus" {
+			baseJCT = res.Summary.AvgJCT
+		}
+		fmt.Printf("%-8s  %8.0f s  %10.0f s  %10d  %8.2f%%\n",
+			p.Name, res.Summary.AvgJCT, res.Summary.Makespan,
+			res.Intervals, res.Summary.ScalingFrac*100)
+		if p.Name != "optimus" {
+			fmt.Printf("          (%.2fx the Optimus average JCT)\n",
+				res.Summary.AvgJCT/baseJCT)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Distributed runs one training job across coordinator, parameter-server
+// and worker *nodes* that speak only TCP — the deployment shape of the
+// paper's testbed, where every task is its own container. Here the nodes
+// share a process for convenience; cmd/optimus-ps -role runs the same code
+// as separate OS processes.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"optimus/internal/psys"
+	"optimus/internal/speedfit"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The coordinator owns the job spec, dataset, §5.3 block assignment and
+	// §5.1 chunk assignment.
+	coord, err := psys.StartCoordinator(psys.DistSpec{
+		ModelSpec: "mlp:8x16", // a real neural net, trained over the wire
+		Mode:      speedfit.Sync,
+		Workers:   3,
+		Servers:   2,
+		BatchSize: 32,
+		LR:        0.05,
+		Momentum:  0.9,
+		Seed:      11,
+		Examples:  1500,
+		Noise:     0.01,
+	}, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	fmt.Printf("coordinator listening on %s\n", coord.Addr())
+
+	// Parameter-server nodes register and receive their blocks + initial
+	// parameters.
+	for i := 0; i < 2; i++ {
+		s, err := psys.RunDistServer(coord.Addr(), "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		fmt.Printf("parameter server %d serving on %s\n", s.Index, s.Addr())
+	}
+
+	// Worker nodes register (receiving server endpoints and data shards) and
+	// train; every step reports loss + compute time back to the coordinator.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := psys.RunDistWorker(coord.Addr())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer w.Close()
+			loss, err := w.Steps(120)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("worker %d finished, final batch loss %.5f\n", w.ID, loss)
+		}()
+	}
+	wg.Wait()
+
+	st := coord.Status()
+	fmt.Printf("coordinator saw %d reports from %d workers; last loss %.5f\n",
+		st.Reports, st.WorkersJoined, st.LastLoss)
+	for id, ns := range st.MeanComputeNS {
+		fmt.Printf("  worker %d mean gradient time: %dµs\n", id, ns/1000)
+	}
+}

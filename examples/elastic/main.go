@@ -1,0 +1,96 @@
+// Elastic demonstrates §5's system mechanisms on a real training job: a
+// parameter-server run with a deliberately slow worker, straggler detection
+// and replacement (§5.2), and a checkpoint-based elastic rescale (§5.4) with
+// HDFS-style chunk reassignment (§5.1) — the operations Optimus performs
+// every scheduling interval.
+//
+// Run with: go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"optimus/internal/psys"
+	"optimus/internal/speedfit"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	data, truth, err := psys.SyntheticRegression(3000, 48, 0.01, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = truth
+
+	job, err := psys.StartJob(psys.JobConfig{
+		Model:     psys.LinearRegression{Features: 48},
+		Data:      data,
+		Mode:      speedfit.Sync,
+		Workers:   3,
+		Servers:   2,
+		BatchSize: 32,
+		LR:        0.05,
+		Seed:      42,
+		// Worker 1 is a straggler: 10 ms of extra work per step.
+		WorkerDelays: map[int]time.Duration{1: 10 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Stop()
+
+	phase := func(name string, j *psys.Job, steps int) []psys.StepStat {
+		start := time.Now()
+		stats, err := j.RunSteps(steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loss, err := j.Loss()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %3d steps in %8v   loss=%.6f\n",
+			name, steps, time.Since(start).Round(time.Millisecond), loss)
+		return stats
+	}
+
+	// Phase 1: the straggler throttles every synchronous round.
+	stats := phase("with straggler", job, 60)
+
+	// §5.2: detect via gradient-production times and replace.
+	stragglers := psys.DetectStragglers(stats)
+	fmt.Printf("detected stragglers: %v\n", stragglers)
+	for _, id := range stragglers {
+		if err := job.ReplaceWorker(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	phase("after replacement", job, 60)
+
+	// §5.4: the scheduler granted us more resources — checkpoint, stop,
+	// restart with 6 workers and 3 servers.
+	ckpt := filepath.Join(os.TempDir(), "optimus-elastic.ckpt")
+	defer os.Remove(ckpt)
+	bigger, err := psys.Scale(job, 6, 3, ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bigger.Stop()
+	fmt.Printf("scaled to %d workers / %d servers; resumed at round %d; chunk imbalance %d examples\n",
+		bigger.Workers(), bigger.Servers(), bigger.Rounds(), bigger.ChunkImbalance())
+	phase("after scale-out", bigger, 60)
+
+	// Scaling down works the same way (night-time shrink).
+	smaller, err := psys.Scale(bigger, 2, 1, ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer smaller.Stop()
+	fmt.Printf("scaled to %d workers / %d server\n", smaller.Workers(), smaller.Servers())
+	phase("after scale-in", smaller, 60)
+}

@@ -1,0 +1,98 @@
+// Quickstart walks the Optimus pipeline end to end on one job:
+//
+//  1. collect training-loss points and fit the §3.1 convergence model to
+//     estimate the remaining work Q;
+//  2. profile a few (p, w) configurations and fit the §3.2 speed model;
+//  3. hand both to the §4.1 marginal-gain allocator;
+//  4. place the granted tasks with the §4.2 Theorem-1 scheme.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The job: ResNet-50, synchronous training. In a real deployment the
+	// loss points and speed samples come from the running job; here the
+	// workload package's calibrated physics plays the cluster.
+	model := workload.ZooByName("resnet-50")
+	mode := speedfit.Sync
+
+	// --- step 1: convergence estimation (§3.1) ---
+	fitter := lossfit.NewFitter()
+	for epoch := 1.0; epoch <= 12; epoch++ {
+		if err := fitter.Add(epoch, model.TrueLoss(epoch)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lossModel, err := fitter.Fit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalEpochs, err := lossModel.StepsToConverge(0.02, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remaining := totalEpochs - 12
+	fmt.Printf("convergence model: l(k) = 1/(%.3f·k + %.3f) + %.3f\n",
+		lossModel.B0, lossModel.B1, lossModel.B2)
+	fmt.Printf("predicted total epochs: %.1f → remaining after 12: %.1f\n",
+		totalEpochs, remaining)
+
+	// --- step 2: speed model from a handful of sample runs (§3.2) ---
+	est := speedfit.NewEstimator(mode, float64(model.GlobalBatch))
+	for _, c := range speedfit.SamplingPlan(5, 24) {
+		if err := est.Observe(c[0], c[1], model.TrueSpeed(mode, c[0], c[1])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	speedModel, err := est.Fit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speed model coefficients: %v\n", speedModel.Theta)
+	fmt.Printf("predicted speed at (p=8,w=12): %.4f steps/s (truth %.4f)\n",
+		speedModel.Speed(8, 12), model.TrueSpeed(mode, 8, 12))
+
+	// --- step 3: marginal-gain allocation (§4.1) ---
+	stepsPerEpoch := float64(model.StepsPerEpoch(mode, 1, 1))
+	job := &core.JobInfo{
+		ID:            0,
+		RemainingWork: remaining * stepsPerEpoch, // Q in steps
+		Speed:         func(p, w int) float64 { return speedModel.Speed(p, w) },
+		WorkerRes:     model.WorkerRes,
+		PSRes:         model.PSRes,
+		MaxWorkers:    model.GlobalBatch,
+	}
+	testbed := cluster.Testbed()
+	alloc := core.Allocate([]*core.JobInfo{job}, testbed.Capacity())
+	a := alloc[0]
+	fmt.Printf("allocation: %d parameter servers, %d workers\n", a.PS, a.Workers)
+
+	// --- step 4: Theorem-1 placement (§4.2) ---
+	placements, unplaced := core.Place([]core.PlacementRequest{{
+		JobID: 0, Alloc: a, WorkerRes: job.WorkerRes, PSRes: job.PSRes,
+	}}, testbed)
+	if len(unplaced) > 0 {
+		log.Fatalf("job could not be placed")
+	}
+	pl := placements[0]
+	fmt.Printf("placement over %d servers:\n", pl.Servers())
+	for i, node := range pl.NodeIDs {
+		fmt.Printf("  %-7s %d ps, %d workers\n", node, pl.PSOnNode[i], pl.WorkersOnNode[i])
+	}
+
+	eta := job.RemainingWork / speedModel.Speed(a.PS, a.Workers)
+	fmt.Printf("estimated time to convergence: %.0f s\n", eta)
+}

@@ -1,0 +1,129 @@
+// Package ascii renders small line charts as Unicode text, so the
+// reproduction CLI can draw the paper's figures directly in a terminal —
+// speed-vs-configuration curves, loss trajectories, sensitivity sweeps —
+// without any plotting dependency.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64 // optional; indices are used when empty
+	Y    []float64
+}
+
+// markers distinguish overlapping series.
+var markers = []rune{'●', '▲', '■', '◆', '○', '△', '□', '◇'}
+
+// Chart renders the series into a width×height character plot with a left
+// axis, bottom axis and a legend line. Invalid input yields an explanatory
+// string rather than a panic, since charts decorate CLI output.
+func Chart(series []Series, width, height int) string {
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+
+	// Bounds across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			x := float64(i)
+			if len(s.X) == len(s.Y) {
+				x = s.X[i]
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return "(no finite data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			x := float64(i)
+			if len(s.X) == len(s.Y) {
+				x = s.X[i]
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		b.WriteString(label)
+		b.WriteString(" ┤")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", pad))
+	b.WriteString(" └")
+	b.WriteString(strings.Repeat("─", width))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", pad+2))
+	xAxis := fmt.Sprintf("%-*s%s", width-len(fmt.Sprintf("%.3g", maxX)),
+		fmt.Sprintf("%.3g", minX), fmt.Sprintf("%.3g", maxX))
+	b.WriteString(xAxis)
+	b.WriteByte('\n')
+
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString(strings.Repeat(" ", pad+2))
+	b.WriteString(strings.Join(legend, "   "))
+	b.WriteByte('\n')
+	return b.String()
+}

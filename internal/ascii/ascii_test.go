@@ -1,0 +1,65 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	out := Chart([]Series{
+		{Name: "up", Y: []float64{1, 2, 3, 4, 5}},
+		{Name: "down", Y: []float64{5, 4, 3, 2, 1}},
+	}, 40, 8)
+	if !strings.Contains(out, "●") || !strings.Contains(out, "▲") {
+		t.Error("markers missing")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+3 { // grid + axis + x labels + legend
+		t.Errorf("chart has %d lines, want 11", len(lines))
+	}
+}
+
+func TestChartWithExplicitX(t *testing.T) {
+	out := Chart([]Series{{
+		Name: "speed", X: []float64{1, 2, 4, 8, 16}, Y: []float64{0.1, 0.2, 0.3, 0.35, 0.37},
+	}}, 30, 6)
+	if !strings.Contains(out, "16") {
+		t.Error("x-axis max label missing")
+	}
+	if !strings.Contains(out, "0.37") {
+		t.Error("y-axis max label missing")
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	if out := Chart(nil, 40, 8); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+	nanOnly := Chart([]Series{{Name: "x", Y: []float64{math.NaN(), math.Inf(1)}}}, 40, 8)
+	if !strings.Contains(nanOnly, "no finite data") {
+		t.Errorf("NaN chart = %q", nanOnly)
+	}
+	// Constant series must not divide by zero.
+	flat := Chart([]Series{{Name: "flat", Y: []float64{2, 2, 2}}}, 40, 8)
+	if !strings.Contains(flat, "●") {
+		t.Error("flat series not plotted")
+	}
+	// Tiny dimensions clamp rather than panic.
+	small := Chart([]Series{{Name: "s", Y: []float64{1, 2}}}, 1, 1)
+	if small == "" {
+		t.Error("tiny chart empty")
+	}
+}
+
+func TestChartMixedValidity(t *testing.T) {
+	out := Chart([]Series{{
+		Name: "holes", Y: []float64{1, math.NaN(), 3, math.Inf(-1), 5},
+	}}, 30, 5)
+	if !strings.Contains(out, "●") {
+		t.Error("valid points dropped")
+	}
+}

@@ -1,0 +1,295 @@
+// Package baselines implements the two comparison schedulers of §6.1:
+//
+//   - a DRF fairness scheduler (as in Hadoop/Yarn/Mesos): work-conserving
+//     progressive filling that repeatedly grants a 1 PS + 1 worker pair to
+//     the job with the lowest dominant share, and places tasks in a
+//     load-balancing way (the Kubernetes default);
+//   - Tetris: prefers jobs with low remaining duration or small resource
+//     consumption, and packs tasks onto servers to minimize fragmentation.
+//     As in the paper, Tetris borrows Optimus's speed/convergence estimates
+//     for its remaining-time information.
+//
+// Both use a fixed PS:worker ratio of 1:1 (§6.1).
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+)
+
+// DRFAllocate grants (1 PS, 1 worker) pairs by progressive filling: at each
+// round the job with the smallest dominant share receives one more pair,
+// until no pair fits. It is work-conserving and job-size-oblivious — the
+// two properties §2.3 criticizes.
+//
+// MaxPairsPerJob bounds one job's allocation (0 = unbounded, the default
+// fairness-scheduler behaviour).
+func DRFAllocate(jobs []*core.JobInfo, capacity cluster.Resources, maxPairsPerJob int) map[int]core.Allocation {
+	out := make(map[int]core.Allocation, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	remaining := capacity
+	type state struct {
+		job   *core.JobInfo
+		share float64
+		used  cluster.Resources
+	}
+	states := make([]*state, 0, len(jobs))
+	ordered := make([]*core.JobInfo, len(jobs))
+	copy(ordered, jobs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	for _, j := range ordered {
+		out[j.ID] = core.Allocation{}
+		states = append(states, &state{job: j})
+	}
+
+	for {
+		// Pick the feasible job with the minimum dominant share.
+		var best *state
+		for _, s := range states {
+			if maxPairsPerJob > 0 && out[s.job.ID].Workers >= maxPairsPerJob {
+				continue
+			}
+			if atWorkerCap(s.job, out[s.job.ID]) {
+				continue
+			}
+			pair := s.job.WorkerRes.Add(s.job.PSRes)
+			if !pair.Fits(remaining) {
+				continue
+			}
+			if best == nil || s.share < best.share ||
+				(s.share == best.share && s.job.ID < best.job.ID) {
+				best = s
+			}
+		}
+		if best == nil {
+			return out
+		}
+		pair := best.job.WorkerRes.Add(best.job.PSRes)
+		remaining = remaining.Sub(pair)
+		best.used = best.used.Add(pair)
+		best.share, _ = best.used.DominantShare(capacity)
+		a := out[best.job.ID]
+		a.PS++
+		a.Workers++
+		out[best.job.ID] = a
+	}
+}
+
+// TetrisAllocate grants (1 PS, 1 worker) pairs in shortest-remaining-time
+// order: jobs are ranked by their estimated completion time at the 1:1
+// ratio, each receives up to preferredPairs pairs, and leftover capacity is
+// then distributed in the same order. The remaining-time estimate comes from
+// the Optimus models (Q_j and f), exactly as §6.1 arranges.
+func TetrisAllocate(jobs []*core.JobInfo, capacity cluster.Resources, preferredPairs int) map[int]core.Allocation {
+	out := make(map[int]core.Allocation, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if preferredPairs <= 0 {
+		preferredPairs = 4
+	}
+	remaining := capacity
+
+	ordered := make([]*core.JobInfo, len(jobs))
+	copy(ordered, jobs)
+	// Rank by remaining time at the preferred configuration; small resource
+	// demand breaks ties (Tetris's "low duration or small consumption").
+	rt := func(j *core.JobInfo) float64 {
+		f := j.Speed(preferredPairs, preferredPairs)
+		if f <= 0 {
+			return math.Inf(1)
+		}
+		return j.RemainingWork / f
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		ri, rj := rt(ordered[i]), rt(ordered[j])
+		if ri != rj {
+			return ri < rj
+		}
+		di, _ := ordered[i].WorkerRes.Add(ordered[i].PSRes).DominantShare(capacity)
+		dj, _ := ordered[j].WorkerRes.Add(ordered[j].PSRes).DominantShare(capacity)
+		if di != dj {
+			return di < dj
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	for _, j := range ordered {
+		out[j.ID] = core.Allocation{}
+	}
+
+	grant := func(j *core.JobInfo, pairs int) {
+		for g := 0; g < pairs; g++ {
+			if atWorkerCap(j, out[j.ID]) {
+				return
+			}
+			pair := j.WorkerRes.Add(j.PSRes)
+			if !pair.Fits(remaining) {
+				return
+			}
+			remaining = remaining.Sub(pair)
+			a := out[j.ID]
+			a.PS++
+			a.Workers++
+			out[j.ID] = a
+		}
+	}
+
+	// Pass 1: preferred allocation, shortest first.
+	for _, j := range ordered {
+		grant(j, preferredPairs)
+	}
+	// Pass 2: distribute leftovers round-robin in the same order, so the
+	// scheduler stays work-conserving like the original Tetris.
+	for progress := true; progress; {
+		progress = false
+		for _, j := range ordered {
+			before := out[j.ID].Workers
+			grant(j, 1)
+			if out[j.ID].Workers > before {
+				progress = true
+			}
+		}
+	}
+	return out
+}
+
+func atWorkerCap(j *core.JobInfo, a core.Allocation) bool {
+	if j.MaxWorkers > 0 && a.Workers >= j.MaxWorkers {
+		return true
+	}
+	if j.MaxPS > 0 && a.PS >= j.MaxPS {
+		return true
+	}
+	return false
+}
+
+// SpreadPlace is the load-balancing placement of the fairness scheduler
+// (Kubernetes default): each task individually lands on the node with the
+// most available CPU that fits it. Jobs are processed in ID order, PS tasks
+// before workers.
+func SpreadPlace(reqs []core.PlacementRequest, c *cluster.Cluster) (map[int]core.Placement, []int) {
+	return placeTaskByTask(reqs, c, pickSpread)
+}
+
+// PackPlace is Tetris-style placement: each task lands on the node that,
+// after hosting it, has the least leftover dominant share — best-fit packing
+// that minimizes fragmentation.
+func PackPlace(reqs []core.PlacementRequest, c *cluster.Cluster) (map[int]core.Placement, []int) {
+	return placeTaskByTask(reqs, c, pickPack)
+}
+
+type picker func(c *cluster.Cluster, req cluster.Resources) *cluster.Node
+
+func pickSpread(c *cluster.Cluster, req cluster.Resources) *cluster.Node {
+	var best *cluster.Node
+	var bestAvail float64 = -1
+	for _, n := range c.Nodes() {
+		if !n.CanFit(req) {
+			continue
+		}
+		if a := n.Available()[cluster.CPU]; a > bestAvail ||
+			(a == bestAvail && best != nil && n.ID < best.ID) {
+			best, bestAvail = n, a
+		}
+	}
+	return best
+}
+
+func pickPack(c *cluster.Cluster, req cluster.Resources) *cluster.Node {
+	capacity := c.Capacity()
+	var best *cluster.Node
+	bestLeft := math.Inf(1)
+	for _, n := range c.Nodes() {
+		if !n.CanFit(req) {
+			continue
+		}
+		left, _ := n.Available().Sub(req).DominantShare(capacity)
+		if left < bestLeft || (left == bestLeft && best != nil && n.ID < best.ID) {
+			best, bestLeft = n, left
+		}
+	}
+	return best
+}
+
+// placeTaskByTask places every task of every request individually with the
+// given node picker, rolling back a job entirely if any of its tasks cannot
+// be placed (the job is then reported unplaced, like core.Place does).
+func placeTaskByTask(reqs []core.PlacementRequest, c *cluster.Cluster, pick picker) (map[int]core.Placement, []int) {
+	placements := make(map[int]core.Placement, len(reqs))
+	var unplaced []int
+
+	ordered := make([]core.PlacementRequest, len(reqs))
+	copy(ordered, reqs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].JobID < ordered[j].JobID })
+
+	for _, req := range ordered {
+		if req.Alloc.PS <= 0 || req.Alloc.Workers <= 0 {
+			unplaced = append(unplaced, req.JobID)
+			continue
+		}
+		var placed []taskOnNode
+		psPlaced, wPlaced := 0, 0
+		for t := 0; t < req.Alloc.PS; t++ {
+			n := pick(c, req.PSRes)
+			if n == nil || n.Allocate(req.PSRes) != nil {
+				break
+			}
+			placed = append(placed, taskOnNode{n, req.PSRes, true})
+			psPlaced++
+		}
+		for t := 0; t < req.Alloc.Workers; t++ {
+			n := pick(c, req.WorkerRes)
+			if n == nil || n.Allocate(req.WorkerRes) != nil {
+				break
+			}
+			placed = append(placed, taskOnNode{n, req.WorkerRes, false})
+			wPlaced++
+		}
+		// Kubernetes-style behaviour: pods that fit run, the rest pend. The
+		// job proceeds as long as it has at least one PS and one worker;
+		// otherwise everything is rolled back and the job pends entirely.
+		if psPlaced == 0 || wPlaced == 0 {
+			for _, pt := range placed {
+				if err := pt.node.Release(pt.res); err != nil {
+					panic("baselines: rollback failed: " + err.Error())
+				}
+			}
+			unplaced = append(unplaced, req.JobID)
+			continue
+		}
+		placements[req.JobID] = buildPlacement(placed)
+	}
+	return placements, unplaced
+}
+
+type taskOnNode struct {
+	node *cluster.Node
+	res  cluster.Resources
+	isPS bool
+}
+
+func buildPlacement(placed []taskOnNode) core.Placement {
+	idx := make(map[string]int)
+	var pl core.Placement
+	for _, pt := range placed {
+		i, ok := idx[pt.node.ID]
+		if !ok {
+			i = len(pl.NodeIDs)
+			idx[pt.node.ID] = i
+			pl.NodeIDs = append(pl.NodeIDs, pt.node.ID)
+			pl.PSOnNode = append(pl.PSOnNode, 0)
+			pl.WorkersOnNode = append(pl.WorkersOnNode, 0)
+		}
+		if pt.isPS {
+			pl.PSOnNode[i]++
+		} else {
+			pl.WorkersOnNode[i]++
+		}
+	}
+	return pl
+}

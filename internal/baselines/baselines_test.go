@@ -1,0 +1,247 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+var (
+	wres = cluster.Resources{cluster.CPU: 5, cluster.Memory: 10}
+	pres = cluster.Resources{cluster.CPU: 5, cluster.Memory: 10}
+)
+
+func capFor(tasks int) cluster.Resources {
+	return cluster.Resources{
+		cluster.CPU:    float64(tasks) * 5,
+		cluster.Memory: float64(tasks) * 10,
+	}
+}
+
+func mkJob(id int, name string, mode speedfit.Mode, work float64) *core.JobInfo {
+	m := workload.ZooByName(name)
+	return &core.JobInfo{
+		ID:            id,
+		RemainingWork: work,
+		Speed:         func(p, w int) float64 { return m.TrueSpeed(mode, p, w) },
+		WorkerRes:     wres,
+		PSRes:         pres,
+	}
+}
+
+func TestDRFEqualizesIdenticalJobs(t *testing.T) {
+	jobs := []*core.JobInfo{
+		mkJob(0, "cnn-rand", speedfit.Async, 1e6),
+		mkJob(1, "cnn-rand", speedfit.Async, 10), // size-oblivious!
+	}
+	alloc := DRFAllocate(jobs, capFor(40), 0)
+	if alloc[0].Workers != alloc[1].Workers {
+		t.Errorf("DRF should ignore job size: got %d vs %d workers",
+			alloc[0].Workers, alloc[1].Workers)
+	}
+	if alloc[0].PS != alloc[0].Workers {
+		t.Errorf("DRF must keep the 1:1 ratio, got %+v", alloc[0])
+	}
+}
+
+func TestDRFWorkConserving(t *testing.T) {
+	jobs := []*core.JobInfo{mkJob(0, "rnn-lstm", speedfit.Async, 1e6)}
+	capacity := capFor(20)
+	alloc := DRFAllocate(jobs, capacity, 0)
+	// Work-conserving: fills the cluster (10 pairs of 2 tasks).
+	if got := alloc[0].Tasks(); got != 20 {
+		t.Errorf("DRF allocated %d tasks, want 20 (work-conserving)", got)
+	}
+}
+
+func TestDRFMaxPairs(t *testing.T) {
+	jobs := []*core.JobInfo{mkJob(0, "rnn-lstm", speedfit.Async, 1e6)}
+	alloc := DRFAllocate(jobs, capFor(100), 3)
+	if alloc[0].Workers != 3 {
+		t.Errorf("workers = %d, want cap 3", alloc[0].Workers)
+	}
+}
+
+func TestDRFRespectsCapacity(t *testing.T) {
+	jobs := []*core.JobInfo{
+		mkJob(0, "cnn-rand", speedfit.Async, 100),
+		mkJob(1, "dssm", speedfit.Sync, 100),
+		mkJob(2, "kaggle", speedfit.Async, 100),
+	}
+	capacity := capFor(7) // odd: 3 pairs + 1 task spare
+	alloc := DRFAllocate(jobs, capacity, 0)
+	var used cluster.Resources
+	for id, a := range alloc {
+		_ = id
+		used = used.Add(wres.Scale(float64(a.Workers))).Add(pres.Scale(float64(a.PS)))
+	}
+	if !used.Fits(capacity) {
+		t.Errorf("DRF overcommitted: %v > %v", used, capacity)
+	}
+}
+
+func TestTetrisShortestFirst(t *testing.T) {
+	long := mkJob(0, "rnn-lstm", speedfit.Async, 1e8)
+	short := mkJob(1, "rnn-lstm", speedfit.Async, 1e3)
+	// Capacity for 4 pairs with preferred 4: the short job must get its full
+	// preferred allocation before the long one gets any.
+	alloc := TetrisAllocate([]*core.JobInfo{long, short}, capFor(8), 4)
+	if alloc[1].Workers != 4 {
+		t.Errorf("short job got %d pairs, want 4", alloc[1].Workers)
+	}
+	if alloc[0].Workers != 0 {
+		t.Errorf("long job got %d pairs, want 0", alloc[0].Workers)
+	}
+}
+
+func TestTetrisWorkConservingLeftovers(t *testing.T) {
+	jobs := []*core.JobInfo{
+		mkJob(0, "cnn-rand", speedfit.Async, 1e4),
+		mkJob(1, "cnn-rand", speedfit.Async, 2e4),
+	}
+	alloc := TetrisAllocate(jobs, capFor(40), 4)
+	total := alloc[0].Tasks() + alloc[1].Tasks()
+	if total != 40 {
+		t.Errorf("Tetris used %d tasks of 40 available; should consume leftovers", total)
+	}
+}
+
+func TestTetrisDefaultPreferred(t *testing.T) {
+	jobs := []*core.JobInfo{mkJob(0, "cnn-rand", speedfit.Async, 1e4)}
+	alloc := TetrisAllocate(jobs, capFor(2), 0) // 0 → default pairs
+	if alloc[0].Workers != 1 {
+		t.Errorf("got %+v, want a single pair under tiny capacity", alloc[0])
+	}
+}
+
+func TestSpreadPlaceBalances(t *testing.T) {
+	c := cluster.Uniform(4, capFor(4))
+	reqs := []core.PlacementRequest{{
+		JobID: 0, Alloc: core.Allocation{PS: 4, Workers: 4},
+		WorkerRes: wres, PSRes: pres,
+	}}
+	pls, unplaced := SpreadPlace(reqs, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced: %v", unplaced)
+	}
+	pl := pls[0]
+	if pl.Servers() != 4 {
+		t.Errorf("spread used %d servers, want 4 (load balancing)", pl.Servers())
+	}
+	for i := range pl.NodeIDs {
+		if pl.PSOnNode[i]+pl.WorkersOnNode[i] != 2 {
+			t.Errorf("node %s has %d tasks, want 2", pl.NodeIDs[i],
+				pl.PSOnNode[i]+pl.WorkersOnNode[i])
+		}
+	}
+}
+
+func TestPackPlaceMinimizesServers(t *testing.T) {
+	c := cluster.Uniform(4, capFor(8))
+	reqs := []core.PlacementRequest{{
+		JobID: 0, Alloc: core.Allocation{PS: 2, Workers: 2},
+		WorkerRes: wres, PSRes: pres,
+	}}
+	pls, unplaced := PackPlace(reqs, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced: %v", unplaced)
+	}
+	if got := pls[0].Servers(); got != 1 {
+		t.Errorf("pack used %d servers, want 1 (fragmentation-minimizing)", got)
+	}
+}
+
+func TestPlacePartialWhenFragmented(t *testing.T) {
+	// 3 slots for a 2ps+2w job: Kubernetes-style partial placement keeps
+	// the fitting pods (at least 1 PS and 1 worker) running.
+	c := cluster.Uniform(1, capFor(3))
+	reqs := []core.PlacementRequest{{
+		JobID: 0, Alloc: core.Allocation{PS: 2, Workers: 2},
+		WorkerRes: wres, PSRes: pres,
+	}}
+	pls, unplaced := SpreadPlace(reqs, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("expected partial placement, got unplaced=%v", unplaced)
+	}
+	ps, w := pls[0].Counts()
+	if ps < 1 || w < 1 || ps+w != 3 {
+		t.Errorf("partial placement = %dps/%dw, want 3 tasks with ≥1 of each", ps, w)
+	}
+}
+
+func TestPlaceRollbackOnFailure(t *testing.T) {
+	// Room for the PS but not for any worker: the job cannot run at all, so
+	// everything must be rolled back.
+	c := cluster.Uniform(1, capFor(1))
+	reqs := []core.PlacementRequest{{
+		JobID: 0, Alloc: core.Allocation{PS: 1, Workers: 1},
+		WorkerRes: cluster.Resources{cluster.CPU: 50}, PSRes: pres,
+	}}
+	pls, unplaced := SpreadPlace(reqs, c)
+	if len(pls) != 0 || len(unplaced) != 1 {
+		t.Fatalf("expected full rollback, got placements=%v unplaced=%v", pls, unplaced)
+	}
+	if !c.Used().IsZero() {
+		t.Errorf("rollback left %v allocated", c.Used())
+	}
+}
+
+func TestPlaceZeroAlloc(t *testing.T) {
+	c := cluster.Uniform(1, capFor(4))
+	reqs := []core.PlacementRequest{{JobID: 7, WorkerRes: wres, PSRes: pres}}
+	_, unplaced := PackPlace(reqs, c)
+	if len(unplaced) != 1 || unplaced[0] != 7 {
+		t.Errorf("unplaced = %v, want [7]", unplaced)
+	}
+}
+
+// Property: both baseline placements never overcommit and place exactly the
+// requested counts or roll back entirely.
+func TestBaselinePlacementInvariants(t *testing.T) {
+	for name, place := range map[string]func([]core.PlacementRequest, *cluster.Cluster) (map[int]core.Placement, []int){
+		"spread": SpreadPlace,
+		"pack":   PackPlace,
+	} {
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			c := cluster.Uniform(1+r.Intn(6), capFor(1+r.Intn(8)))
+			var reqs []core.PlacementRequest
+			for i := 0; i < 1+r.Intn(5); i++ {
+				reqs = append(reqs, core.PlacementRequest{
+					JobID:     i,
+					Alloc:     core.Allocation{PS: 1 + r.Intn(3), Workers: 1 + r.Intn(5)},
+					WorkerRes: wres, PSRes: pres,
+				})
+			}
+			pls, unplaced := place(reqs, c)
+			for _, n := range c.Nodes() {
+				if !n.Used().Fits(n.Capacity) {
+					return false
+				}
+			}
+			if len(pls)+len(unplaced) != len(reqs) {
+				return false
+			}
+			for _, req := range reqs {
+				if pl, ok := pls[req.JobID]; ok {
+					// Partial placement is allowed, but never more than
+					// requested and always at least one of each kind.
+					ps, w := pl.Counts()
+					if ps > req.Alloc.PS || w > req.Alloc.Workers || ps < 1 || w < 1 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(31))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

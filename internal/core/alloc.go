@@ -1,0 +1,241 @@
+// Package core implements the primary contribution of the Optimus paper:
+// the dynamic scheduling algorithm of §4, consisting of marginal-gain-based
+// resource allocation (§4.1) and the Theorem-1 task placement scheme (§4.2).
+// It is deliberately independent of the simulator and of the real PS
+// framework — both feed it JobInfo views and consume its decisions.
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"optimus/internal/cluster"
+)
+
+// JobInfo is the scheduler's view of one active job in a scheduling
+// interval: how much work remains (from the §3.1 convergence estimator) and
+// how fast the job would run under any (p, w) (from the §3.2 speed model).
+type JobInfo struct {
+	ID int
+	// RemainingWork is Q_j: outstanding training steps until convergence.
+	RemainingWork float64
+	// Speed is the fitted f(p, w) in steps/second. It must be safe to call
+	// with any non-negative arguments and return 0 when progress is
+	// impossible.
+	Speed func(p, w int) float64
+	// WorkerRes / PSRes are the per-task resource profiles (N_j and O_j).
+	WorkerRes, PSRes cluster.Resources
+	// Priority scales the job's marginal gain; §4.1 suggests 0.95 for jobs
+	// in their beginning state (large prediction errors). Zero means 1.0.
+	Priority float64
+	// MaxWorkers / MaxPS cap the allocation (0 = no cap). Synchronous jobs
+	// cap workers at the global batch size.
+	MaxWorkers, MaxPS int
+}
+
+// Allocation is the number of parameter servers and workers granted to a job.
+type Allocation struct {
+	PS      int
+	Workers int
+}
+
+// Tasks returns the total number of tasks in the allocation.
+func (a Allocation) Tasks() int { return a.PS + a.Workers }
+
+// remainingTime returns Q/f(p,w), with +Inf when the job cannot progress.
+func remainingTime(j *JobInfo, p, w int) float64 {
+	f := j.Speed(p, w)
+	if f <= 0 || math.IsNaN(f) {
+		return math.Inf(1)
+	}
+	return j.RemainingWork / f
+}
+
+// gainKind distinguishes the two grant actions of §4.1.
+type gainKind int
+
+const (
+	addWorker gainKind = iota
+	addPS
+)
+
+// candidate is a heap entry: the best pending grant for one job.
+type candidate struct {
+	job   *JobInfo
+	kind  gainKind
+	gain  float64
+	alloc Allocation // allocation the gain was computed against (staleness check)
+}
+
+type gainHeap []candidate
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// bestGain computes the larger of the two marginal gains (9) for a job at
+// its current allocation, normalized by the dominant-resource share of the
+// task being added (the DRF-style normalization of §4.1, which makes gains
+// comparable across heterogeneous task profiles).
+func bestGain(j *JobInfo, a Allocation, capacity cluster.Resources) (gainKind, float64) {
+	base := remainingTime(j, a.PS, a.Workers)
+
+	gw := math.Inf(-1)
+	if j.MaxWorkers == 0 || a.Workers < j.MaxWorkers {
+		tw := remainingTime(j, a.PS, a.Workers+1)
+		gw = normalizedGain(base, tw, j.WorkerRes, capacity)
+	}
+	gp := math.Inf(-1)
+	if j.MaxPS == 0 || a.PS < j.MaxPS {
+		tp := remainingTime(j, a.PS+1, a.Workers)
+		gp = normalizedGain(base, tp, j.PSRes, capacity)
+	}
+
+	prio := j.Priority
+	if prio == 0 {
+		prio = 1
+	}
+	if gw >= gp {
+		return addWorker, gw * prio
+	}
+	return addPS, gp * prio
+}
+
+// normalizedGain is (t_before − t_after) / dominantShare(taskRes).
+func normalizedGain(before, after float64, taskRes, capacity cluster.Resources) float64 {
+	if math.IsInf(after, 1) {
+		return math.Inf(-1) // adding the task still yields no progress
+	}
+	var diff float64
+	if math.IsInf(before, 1) {
+		// From stalled to progressing: infinitely valuable; use a huge
+		// finite gain so ordering among such jobs still considers after.
+		diff = 1e18 / (1 + after)
+	} else {
+		diff = before - after
+	}
+	share, _ := taskRes.DominantShare(capacity)
+	if share <= 0 {
+		share = 1e-12
+	}
+	return diff / share
+}
+
+// Allocate runs the §4.1 marginal-gain algorithm: every active job first
+// receives one worker and one parameter server (starvation avoidance), then
+// single tasks are granted greedily to the job whose completion time shrinks
+// the most per unit of dominant resource, until the cluster capacity C_r is
+// exhausted or all marginal gains turn non-positive.
+//
+// Jobs whose initial (1,1) pair does not fit the remaining capacity receive
+// an empty allocation — the caller pauses them until the next interval.
+func Allocate(jobs []*JobInfo, capacity cluster.Resources) map[int]Allocation {
+	out := make(map[int]Allocation, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	remaining := capacity
+
+	// Phase 1: one worker + one PS per job, in deterministic job-ID order.
+	ordered := make([]*JobInfo, len(jobs))
+	copy(ordered, jobs)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	var active []*JobInfo
+	for _, j := range ordered {
+		seed := j.WorkerRes.Add(j.PSRes)
+		if !seed.Fits(remaining) {
+			out[j.ID] = Allocation{}
+			continue
+		}
+		remaining = remaining.Sub(seed)
+		out[j.ID] = Allocation{PS: 1, Workers: 1}
+		active = append(active, j)
+	}
+
+	// Phase 2: greedy marginal-gain grants via a lazy max-heap.
+	h := make(gainHeap, 0, len(active))
+	for _, j := range active {
+		kind, gain := bestGain(j, out[j.ID], capacity)
+		if gain > 0 {
+			h = append(h, candidate{job: j, kind: kind, gain: gain, alloc: out[j.ID]})
+		}
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(candidate)
+		cur := out[c.job.ID]
+		if c.alloc != cur {
+			// Stale entry (the job was granted since): recompute and requeue.
+			kind, gain := bestGain(c.job, cur, capacity)
+			if gain > 0 {
+				heap.Push(&h, candidate{job: c.job, kind: kind, gain: gain, alloc: cur})
+			}
+			continue
+		}
+		var req cluster.Resources
+		if c.kind == addWorker {
+			req = c.job.WorkerRes
+		} else {
+			req = c.job.PSRes
+		}
+		if !req.Fits(remaining) {
+			// This particular task no longer fits. The job may still have a
+			// fitting alternative action; try the other kind once.
+			if alt, gain := otherGain(c.job, cur, capacity, c.kind); gain > 0 {
+				var altReq cluster.Resources
+				if alt == addWorker {
+					altReq = c.job.WorkerRes
+				} else {
+					altReq = c.job.PSRes
+				}
+				if altReq.Fits(remaining) {
+					heap.Push(&h, candidate{job: c.job, kind: alt, gain: gain, alloc: cur})
+				}
+			}
+			continue
+		}
+		remaining = remaining.Sub(req)
+		if c.kind == addWorker {
+			cur.Workers++
+		} else {
+			cur.PS++
+		}
+		out[c.job.ID] = cur
+		if kind, gain := bestGain(c.job, cur, capacity); gain > 0 {
+			heap.Push(&h, candidate{job: c.job, kind: kind, gain: gain, alloc: cur})
+		}
+	}
+	return out
+}
+
+// otherGain computes the normalized gain of the action other than `tried`.
+func otherGain(j *JobInfo, a Allocation, capacity cluster.Resources, tried gainKind) (gainKind, float64) {
+	base := remainingTime(j, a.PS, a.Workers)
+	prio := j.Priority
+	if prio == 0 {
+		prio = 1
+	}
+	if tried == addWorker {
+		if j.MaxPS != 0 && a.PS >= j.MaxPS {
+			return addPS, math.Inf(-1)
+		}
+		tp := remainingTime(j, a.PS+1, a.Workers)
+		return addPS, normalizedGain(base, tp, j.PSRes, capacity) * prio
+	}
+	if j.MaxWorkers != 0 && a.Workers >= j.MaxWorkers {
+		return addWorker, math.Inf(-1)
+	}
+	tw := remainingTime(j, a.PS, a.Workers+1)
+	return addWorker, normalizedGain(base, tw, j.WorkerRes, capacity) * prio
+}

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/cluster"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+var (
+	wres = cluster.Resources{cluster.CPU: 5, cluster.Memory: 10}
+	pres = cluster.Resources{cluster.CPU: 5, cluster.Memory: 10}
+)
+
+// jobFromModel builds a JobInfo backed by a workload model's true speed.
+func jobFromModel(id int, name string, mode speedfit.Mode, work float64) *JobInfo {
+	m := workload.ZooByName(name)
+	return &JobInfo{
+		ID:            id,
+		RemainingWork: work,
+		Speed:         func(p, w int) float64 { return m.TrueSpeed(mode, p, w) },
+		WorkerRes:     wres,
+		PSRes:         pres,
+	}
+}
+
+func capFor(tasks int) cluster.Resources {
+	return cluster.Resources{
+		cluster.CPU:    float64(tasks) * 5,
+		cluster.Memory: float64(tasks) * 10,
+	}
+}
+
+func TestAllocateEmpty(t *testing.T) {
+	if got := Allocate(nil, capFor(10)); len(got) != 0 {
+		t.Errorf("Allocate(nil) = %v", got)
+	}
+}
+
+func TestAllocateStarvationAvoidance(t *testing.T) {
+	jobs := []*JobInfo{
+		jobFromModel(0, "resnet-50", speedfit.Sync, 1e6),
+		jobFromModel(1, "cnn-rand", speedfit.Async, 100),
+		jobFromModel(2, "seq2seq", speedfit.Sync, 5e5),
+	}
+	alloc := Allocate(jobs, capFor(40))
+	for _, j := range jobs {
+		a := alloc[j.ID]
+		if a.PS < 1 || a.Workers < 1 {
+			t.Errorf("job %d got %+v, want ≥(1,1)", j.ID, a)
+		}
+	}
+}
+
+func TestAllocateRespectsCapacity(t *testing.T) {
+	jobs := []*JobInfo{
+		jobFromModel(0, "resnet-50", speedfit.Sync, 1e6),
+		jobFromModel(1, "rnn-lstm", speedfit.Async, 1e6),
+	}
+	capacity := capFor(20)
+	alloc := Allocate(jobs, capacity)
+	var used cluster.Resources
+	for _, j := range jobs {
+		a := alloc[j.ID]
+		used = used.Add(j.WorkerRes.Scale(float64(a.Workers))).
+			Add(j.PSRes.Scale(float64(a.PS)))
+	}
+	if !used.Fits(capacity) {
+		t.Errorf("allocation %v exceeds capacity %v", used, capacity)
+	}
+}
+
+func TestAllocateSkipsJobsThatDontFit(t *testing.T) {
+	jobs := []*JobInfo{
+		jobFromModel(0, "resnet-50", speedfit.Sync, 1e6),
+		jobFromModel(1, "cnn-rand", speedfit.Async, 1e6),
+	}
+	// Capacity for exactly one (1,1) pair: job 0 (lower ID) gets it.
+	alloc := Allocate(jobs, capFor(2))
+	if a := alloc[0]; a.PS != 1 || a.Workers != 1 {
+		t.Errorf("job 0 got %+v, want (1,1)", a)
+	}
+	if a := alloc[1]; a.PS != 0 || a.Workers != 0 {
+		t.Errorf("job 1 got %+v, want (0,0)", a)
+	}
+}
+
+func TestAllocateStopsAtDiminishingReturns(t *testing.T) {
+	// One small job in a huge cluster: allocation should stop well short of
+	// capacity once marginal gains go non-positive (sync jobs slow down with
+	// too many workers).
+	j := jobFromModel(0, "resnet-50", speedfit.Sync, 1e5)
+	alloc := Allocate([]*JobInfo{j}, capFor(10000))
+	a := alloc[0]
+	if a.Tasks() >= 10000 {
+		t.Errorf("allocated %d tasks; greedy should stop at diminishing returns", a.Tasks())
+	}
+	if a.Tasks() < 2 {
+		t.Errorf("allocated %+v; expected growth beyond the seed pair", a)
+	}
+	t.Logf("single ResNet-50 sync job settled at p=%d w=%d", a.PS, a.Workers)
+}
+
+func TestAllocateMoreWorkMoreResources(t *testing.T) {
+	// Two identical jobs except remaining work; the longer job's marginal
+	// gains are uniformly larger, so it must receive at least as many tasks.
+	big := jobFromModel(0, "rnn-lstm", speedfit.Async, 1e7)
+	small := jobFromModel(1, "rnn-lstm", speedfit.Async, 1e3)
+	alloc := Allocate([]*JobInfo{big, small}, capFor(30))
+	if alloc[0].Tasks() < alloc[1].Tasks() {
+		t.Errorf("big job got %d tasks, small got %d", alloc[0].Tasks(), alloc[1].Tasks())
+	}
+}
+
+func TestAllocateHonorsCaps(t *testing.T) {
+	j := jobFromModel(0, "resnext-110", speedfit.Async, 1e8)
+	j.MaxWorkers, j.MaxPS = 3, 2
+	alloc := Allocate([]*JobInfo{j}, capFor(1000))
+	a := alloc[0]
+	if a.Workers > 3 || a.PS > 2 {
+		t.Errorf("allocation %+v exceeds caps (3 workers, 2 ps)", a)
+	}
+}
+
+func TestAllocatePriorityDampens(t *testing.T) {
+	// Same job twice, one with dampened priority: under tight capacity the
+	// dampened job should never receive more tasks.
+	mk := func(id int, prio float64) *JobInfo {
+		j := jobFromModel(id, "inception-bn", speedfit.Async, 1e6)
+		j.Priority = prio
+		return j
+	}
+	a := Allocate([]*JobInfo{mk(0, 1.0), mk(1, 0.5)}, capFor(12))
+	if a[1].Tasks() > a[0].Tasks() {
+		t.Errorf("dampened job got %d tasks, full-priority job %d",
+			a[1].Tasks(), a[0].Tasks())
+	}
+}
+
+func TestAllocateStalledJobGetsUnstuck(t *testing.T) {
+	// A speed function that needs at least 2 workers to progress: the huge
+	// stall-escape gain must drive the allocator to grant the second worker.
+	j := &JobInfo{
+		ID:            0,
+		RemainingWork: 1000,
+		Speed: func(p, w int) float64 {
+			if p < 1 || w < 2 {
+				return 0
+			}
+			return float64(w)
+		},
+		WorkerRes: wres,
+		PSRes:     pres,
+	}
+	alloc := Allocate([]*JobInfo{j}, capFor(10))
+	if alloc[0].Workers < 2 {
+		t.Errorf("allocation %+v; want ≥2 workers to unstall", alloc[0])
+	}
+}
+
+// Property: allocations never exceed capacity and every job with a granted
+// seed pair keeps at least (1,1).
+func TestAllocateInvariants(t *testing.T) {
+	names := []string{"resnet-50", "cnn-rand", "seq2seq", "dssm", "ds2"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		jobs := make([]*JobInfo, n)
+		for i := range jobs {
+			mode := speedfit.Mode(r.Intn(2))
+			jobs[i] = jobFromModel(i, names[r.Intn(len(names))], mode,
+				float64(1+r.Intn(1_000_000)))
+		}
+		capacity := capFor(4 + r.Intn(60))
+		alloc := Allocate(jobs, capacity)
+		var used cluster.Resources
+		for _, j := range jobs {
+			a := alloc[j.ID]
+			if a.PS < 0 || a.Workers < 0 {
+				return false
+			}
+			if (a.PS > 0) != (a.Workers > 0) {
+				return false // seed pair is all-or-nothing
+			}
+			used = used.Add(j.WorkerRes.Scale(float64(a.Workers))).
+				Add(j.PSRes.Scale(float64(a.PS)))
+		}
+		return used.Fits(capacity)
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- placement tests ---
+
+func placeReq(id, ps, w int) PlacementRequest {
+	return PlacementRequest{
+		JobID:     id,
+		Alloc:     Allocation{PS: ps, Workers: w},
+		WorkerRes: wres,
+		PSRes:     pres,
+	}
+}
+
+func TestPlaceSingleJobFewestServers(t *testing.T) {
+	// 2 PS + 4 workers, each node fits 6 tasks → everything on one node.
+	c := cluster.Uniform(3, capFor(6))
+	pls, unplaced := Place([]PlacementRequest{placeReq(0, 2, 4)}, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced: %v", unplaced)
+	}
+	pl := pls[0]
+	if pl.Servers() != 1 {
+		t.Errorf("used %d servers, want 1 (Theorem 1: fewest servers)", pl.Servers())
+	}
+	ps, w := pl.Counts()
+	if ps != 2 || w != 4 {
+		t.Errorf("placed %d ps %d workers, want 2/4", ps, w)
+	}
+}
+
+func TestPlaceEvenSplit(t *testing.T) {
+	// Each node fits 3 tasks; a 2ps+4w job needs 2 nodes with 1ps+2w each —
+	// exactly Fig. 10's optimal placement (c) modulo server count.
+	c := cluster.Uniform(4, capFor(3))
+	pls, unplaced := Place([]PlacementRequest{placeReq(0, 2, 4)}, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced: %v", unplaced)
+	}
+	pl := pls[0]
+	if pl.Servers() != 2 {
+		t.Fatalf("used %d servers, want 2", pl.Servers())
+	}
+	for i := range pl.NodeIDs {
+		if pl.PSOnNode[i] != 1 || pl.WorkersOnNode[i] != 2 {
+			t.Errorf("node %d got %dps/%dw, want 1/2",
+				i, pl.PSOnNode[i], pl.WorkersOnNode[i])
+		}
+	}
+}
+
+func TestPlaceSmallestJobFirst(t *testing.T) {
+	// Capacity for 6 tasks total. A big job (8 tasks) and a small job (2
+	// tasks): smallest-first means the small job gets placed, big is paused.
+	c := cluster.Uniform(2, capFor(3))
+	pls, unplaced := Place([]PlacementRequest{
+		placeReq(0, 4, 4),
+		placeReq(1, 1, 1),
+	}, c)
+	if _, ok := pls[1]; !ok {
+		t.Error("small job not placed")
+	}
+	if len(unplaced) != 1 || unplaced[0] != 0 {
+		t.Errorf("unplaced = %v, want [0]", unplaced)
+	}
+}
+
+func TestPlaceCommitsResources(t *testing.T) {
+	c := cluster.Uniform(2, capFor(4))
+	_, unplaced := Place([]PlacementRequest{placeReq(0, 2, 2)}, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced: %v", unplaced)
+	}
+	used := c.Used()
+	want := wres.Scale(2).Add(pres.Scale(2))
+	if used != want {
+		t.Errorf("cluster used %v, want %v", used, want)
+	}
+}
+
+func TestPlaceZeroAllocationUnplaced(t *testing.T) {
+	c := cluster.Uniform(2, capFor(4))
+	_, unplaced := Place([]PlacementRequest{placeReq(0, 0, 0)}, c)
+	if len(unplaced) != 1 {
+		t.Errorf("unplaced = %v, want the zero-alloc job", unplaced)
+	}
+}
+
+func TestPlaceRespectsExistingLoad(t *testing.T) {
+	c := cluster.Uniform(2, capFor(4))
+	// Pre-load node-0 almost fully.
+	if err := c.Node("node-0").Allocate(capFor(3)); err != nil {
+		t.Fatal(err)
+	}
+	pls, unplaced := Place([]PlacementRequest{placeReq(0, 1, 2)}, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced: %v", unplaced)
+	}
+	pl := pls[0]
+	// The 3-task job fits entirely on node-1 (the most-available server).
+	if pl.Servers() != 1 || pl.NodeIDs[0] != "node-1" {
+		t.Errorf("placement = %+v, want all tasks on node-1", pl)
+	}
+}
+
+// Property: placements never overcommit any node, and placed counts always
+// match the request.
+func TestPlaceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := cluster.Uniform(1+r.Intn(8), capFor(1+r.Intn(8)))
+		var reqs []PlacementRequest
+		for i := 0; i < 1+r.Intn(6); i++ {
+			reqs = append(reqs, placeReq(i, 1+r.Intn(4), 1+r.Intn(6)))
+		}
+		pls, unplaced := Place(reqs, c)
+		for _, n := range c.Nodes() {
+			if !n.Used().Fits(n.Capacity) {
+				return false
+			}
+		}
+		if len(pls)+len(unplaced) != len(reqs) {
+			return false
+		}
+		for _, req := range reqs {
+			pl, ok := pls[req.JobID]
+			if !ok {
+				continue
+			}
+			ps, w := pl.Counts()
+			if ps != req.Alloc.PS || w != req.Alloc.Workers {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// End-to-end: allocate on the paper's testbed capacity, then place — the
+// full §4 pipeline must terminate with a feasible configuration.
+func TestAllocateThenPlace(t *testing.T) {
+	c := cluster.Testbed()
+	jobs := []*JobInfo{
+		jobFromModel(0, "resnet-50", speedfit.Sync, 5e5),
+		jobFromModel(1, "cnn-rand", speedfit.Async, 1e4),
+		jobFromModel(2, "seq2seq", speedfit.Sync, 2e5),
+		jobFromModel(3, "dssm", speedfit.Async, 8e4),
+	}
+	alloc := Allocate(jobs, c.Capacity())
+	var reqs []PlacementRequest
+	for _, j := range jobs {
+		a := alloc[j.ID]
+		if a.Tasks() == 0 {
+			continue
+		}
+		reqs = append(reqs, PlacementRequest{
+			JobID: j.ID, Alloc: a, WorkerRes: j.WorkerRes, PSRes: j.PSRes,
+		})
+	}
+	pls, unplaced := Place(reqs, c)
+	if len(pls) == 0 {
+		t.Fatalf("nothing placed; unplaced=%v", unplaced)
+	}
+	for _, n := range c.Nodes() {
+		if !n.Used().Fits(n.Capacity) {
+			t.Errorf("node %s overcommitted: %v > %v", n.ID, n.Used(), n.Capacity)
+		}
+	}
+}
+
+// TestAllocateNearOptimal validates the greedy against brute force: on small
+// two-job instances, the marginal-gain allocation's total remaining time
+// Σ Q_j/f_j must come close to the exhaustive optimum (greedy on concave
+// diminishing-return surfaces is near-optimal; the paper relies on this).
+func TestAllocateNearOptimal(t *testing.T) {
+	names := []string{"resnet-50", "rnn-lstm", "inception-bn"}
+	worst := 1.0
+	for trial := 0; trial < 12; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		jobs := []*JobInfo{
+			jobFromModel(0, names[r.Intn(len(names))], speedfit.Mode(r.Intn(2)),
+				float64(1000+r.Intn(100000))),
+			jobFromModel(1, names[r.Intn(len(names))], speedfit.Mode(r.Intn(2)),
+				float64(1000+r.Intn(100000))),
+		}
+		const slots = 10 // tasks of 5 CPU each
+		capacity := capFor(slots)
+
+		total := func(a0, a1 Allocation) float64 {
+			sum := 0.0
+			for i, a := range []Allocation{a0, a1} {
+				f := jobs[i].Speed(a.PS, a.Workers)
+				if f <= 0 {
+					return math.Inf(1)
+				}
+				sum += jobs[i].RemainingWork / f
+			}
+			return sum
+		}
+
+		// Brute force over all feasible splits.
+		best := math.Inf(1)
+		for p0 := 1; p0 <= slots; p0++ {
+			for w0 := 1; w0 <= slots; w0++ {
+				for p1 := 1; p1 <= slots; p1++ {
+					for w1 := 1; w1 <= slots; w1++ {
+						if p0+w0+p1+w1 > slots {
+							continue
+						}
+						if v := total(Allocation{p0, w0}, Allocation{p1, w1}); v < best {
+							best = v
+						}
+					}
+				}
+			}
+		}
+
+		alloc := Allocate(jobs, capacity)
+		got := total(alloc[0], alloc[1])
+		if math.IsInf(got, 1) {
+			t.Fatalf("trial %d: greedy produced non-progressing allocation %+v", trial, alloc)
+		}
+		if ratio := got / best; ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Logf("worst greedy/optimal ratio over 12 random instances: %.3f", worst)
+	if worst > 1.15 {
+		t.Errorf("greedy within %.1f%% of optimal, want ≤ 15%%", (worst-1)*100)
+	}
+}

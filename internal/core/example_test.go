@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+)
+
+// ExampleAllocate shows the §4.1 marginal-gain allocation for two jobs with
+// different amounts of remaining work: the allocator seeds both with one
+// PS + one worker, then pours the rest of the capacity into whichever job's
+// completion time shrinks the most per unit of dominant resource.
+func ExampleAllocate() {
+	speed := func(p, w int) float64 { // a simple diminishing-returns surface
+		if p < 1 || w < 1 {
+			return 0
+		}
+		return float64(w) / (1 + 0.5*float64(w)/float64(p) + 0.1*float64(w))
+	}
+	jobs := []*core.JobInfo{
+		{ID: 0, RemainingWork: 10000, Speed: speed,
+			WorkerRes: cluster.Resources{cluster.CPU: 4},
+			PSRes:     cluster.Resources{cluster.CPU: 2}},
+		{ID: 1, RemainingWork: 100, Speed: speed,
+			WorkerRes: cluster.Resources{cluster.CPU: 4},
+			PSRes:     cluster.Resources{cluster.CPU: 2}},
+	}
+	alloc := core.Allocate(jobs, cluster.Resources{cluster.CPU: 60})
+	fmt.Printf("long job:  %d ps, %d workers\n", alloc[0].PS, alloc[0].Workers)
+	fmt.Printf("short job: %d ps, %d workers\n", alloc[1].PS, alloc[1].Workers)
+	// Output:
+	// long job:  9 ps, 9 workers
+	// short job: 1 ps, 1 workers
+}
+
+// ExamplePlace shows the §4.2 Theorem-1 placement: the job lands on the
+// fewest servers that fit it, with PS and workers spread evenly.
+func ExamplePlace() {
+	c := cluster.Uniform(4, cluster.Resources{cluster.CPU: 16, cluster.Memory: 64})
+	placements, unplaced := core.Place([]core.PlacementRequest{{
+		JobID:     7,
+		Alloc:     core.Allocation{PS: 2, Workers: 4},
+		WorkerRes: cluster.Resources{cluster.CPU: 5, cluster.Memory: 10},
+		PSRes:     cluster.Resources{cluster.CPU: 3, cluster.Memory: 8},
+	}}, c)
+	pl := placements[7]
+	fmt.Printf("unplaced: %d, servers used: %d\n", len(unplaced), pl.Servers())
+	for i, node := range pl.NodeIDs {
+		fmt.Printf("%s: %d ps, %d workers\n", node, pl.PSOnNode[i], pl.WorkersOnNode[i])
+	}
+	// Output:
+	// unplaced: 0, servers used: 2
+	// node-0: 1 ps, 2 workers
+	// node-1: 1 ps, 2 workers
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optimus/internal/ascii"
+	"optimus/internal/psassign"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+func init() {
+	register("table3", table3ParamDistribution)
+	register("fig20", fig20LoadBalanceSpeed)
+	register("fig21", fig21PAASpeedup)
+}
+
+// table3ParamDistribution regenerates Table 3: load-imbalance metrics of
+// the MXNet default distribution vs PAA on ResNet-50's parameter blocks.
+func table3ParamDistribution(opt Options) (Table, error) {
+	m := workload.ZooByName("resnet-50")
+	blocks := m.ParameterBlocks()
+	const p = 10
+	mx, err := psassign.MXNet(blocks, p, psassign.DefaultMXNetThreshold, opt.Seed+3)
+	if err != nil {
+		return Table{}, err
+	}
+	paa, err := psassign.PAA(blocks, p, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:    "table3",
+		Title: "Parameter distribution across 10 PS, ResNet-50 (157 blocks, 25M params)",
+		Columns: []string{
+			"algorithm", "size-diff(M)", "request-diff", "total-requests",
+		},
+		Notes: "paper: MXNet 3.6M/43/247 vs PAA 0.1M/1/157",
+	}
+	for _, row := range []struct {
+		name string
+		a    psassign.Assignment
+	}{{"MXNet", mx}, {"PAA", paa}} {
+		t.Rows = append(t.Rows, []string{
+			row.name,
+			f2(float64(row.a.MaxSizeDiff()) / 1e6),
+			fmt.Sprint(row.a.MaxRequestDiff()),
+			fmt.Sprint(row.a.TotalRequests()),
+		})
+	}
+	return t, nil
+}
+
+// fig20LoadBalanceSpeed regenerates Fig. 20: ResNet-50 sync training speed
+// with 10 workers while varying the PS count, under both assignments.
+func fig20LoadBalanceSpeed(opt Options) (Table, error) {
+	m := workload.ZooByName("resnet-50")
+	blocks := m.ParameterBlocks()
+	const w = 10
+	t := Table{
+		ID:      "fig20",
+		Title:   "Training speed vs #PS: PAA vs MXNet (ResNet-50, 10 workers)",
+		Columns: []string{"ps", "mxnet-steps/s", "paa-steps/s", "paa-speedup"},
+		Notes:   "PAA's advantage grows with the PS count (paper Fig. 20)",
+	}
+	for p := 4; p <= 20; p += 4 {
+		mx, err := psassign.MXNet(blocks, p, psassign.DefaultMXNetThreshold, opt.Seed+4)
+		if err != nil {
+			return Table{}, err
+		}
+		paa, err := psassign.PAA(blocks, p, 0)
+		if err != nil {
+			return Table{}, err
+		}
+		sm := psassign.Speed(m, speedfit.Sync, w, mx)
+		sp := psassign.Speed(m, speedfit.Sync, w, paa)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p), f(sm), f(sp), f2(sp / sm),
+		})
+		if len(t.Series) == 0 {
+			t.Series = []ascii.Series{{Name: "MXNet"}, {Name: "PAA"}}
+		}
+		t.Series[0].X = append(t.Series[0].X, float64(p))
+		t.Series[0].Y = append(t.Series[0].Y, sm)
+		t.Series[1].X = append(t.Series[1].X, float64(p))
+		t.Series[1].Y = append(t.Series[1].Y, sp)
+	}
+	return t, nil
+}
+
+// fig21PAASpeedup regenerates Fig. 21: PAA's speedup over the MXNet default
+// for every Table-1 model at 10 PS / 10 workers, sync training.
+func fig21PAASpeedup(opt Options) (Table, error) {
+	const p, w = 10, 10
+	t := Table{
+		ID:      "fig21",
+		Title:   "PAA speedup over MXNet default per model (10 ps, 10 workers)",
+		Columns: []string{"model", "mxnet-steps/s", "paa-steps/s", "speedup%"},
+		Notes:   "paper: up to 29% speedup",
+	}
+	for _, m := range workload.Zoo() {
+		blocks := m.ParameterBlocks()
+		mx, err := psassign.MXNet(blocks, p, psassign.DefaultMXNetThreshold, opt.Seed+5)
+		if err != nil {
+			return Table{}, err
+		}
+		paa, err := psassign.PAA(blocks, p, 0)
+		if err != nil {
+			return Table{}, err
+		}
+		sm := psassign.Speed(m, speedfit.Sync, w, mx)
+		sp := psassign.Speed(m, speedfit.Sync, w, paa)
+		t.Rows = append(t.Rows, []string{
+			m.Name, f(sm), f(sp), f2((sp/sm - 1) * 100),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,463 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/metrics"
+	"optimus/internal/sim"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+func init() {
+	register("fig11", fig11Comparison)
+	register("fig12", fig12Scalability)
+	register("fig13", fig13Stats)
+	register("fig14", fig14Timelines)
+	register("fig15", fig15ErrorSensitivity)
+	register("fig16", fig16TrainingModes)
+	register("fig17", fig17ArrivalProcesses)
+	register("fig18", fig18AllocAblation)
+	register("fig19", fig19PlacementAblation)
+	register("overhead", overheadScaling)
+}
+
+// mixFor builds the §6.1 workload: random Table-1 jobs with random training
+// modes and thresholds in [1%,5%], arriving over the window, datasets
+// downscaled so a run lasts hours rather than weeks.
+func mixFor(opt Options, n int, arrivals workload.ArrivalProcess) []workload.JobSpec {
+	if opt.Quick {
+		n = n / 3
+		if n < 6 {
+			n = 6
+		}
+	}
+	return workload.Generate(workload.GenConfig{
+		N: n, Horizon: 8000, Seed: opt.Seed + 100, Downscale: 0.03,
+		Arrivals: arrivals,
+	})
+}
+
+// simConfig is the shared full-system configuration: estimation on (pre-run
+// profiling, online refits), checkpoint scaling overhead, priority factor.
+func simConfig(policy sim.Policy, jobs []workload.JobSpec, seed int64) sim.Config {
+	return sim.Config{
+		Cluster:           cluster.Testbed(),
+		Jobs:              jobs,
+		Policy:            policy,
+		Interval:          600,
+		Seed:              seed,
+		PreRunSamples:     5,
+		SpeedNoise:        0.03,
+		LossNoise:         0.01,
+		PriorityFactor:    0.95,
+		ScalingBase:       12,
+		ScalingPerTask:    0.3,
+		ReconfigThreshold: 0.15,
+	}
+}
+
+func runPolicy(policy sim.Policy, jobs []workload.JobSpec, seed int64) (*sim.Result, error) {
+	return sim.Run(simConfig(policy, jobs, seed))
+}
+
+// testbedAverage runs a policy over `reps` different testbed workloads
+// (matched to the paper's 9-job load relative to cluster capacity — our
+// downscaled jobs are individually smaller, so 15 of them produce the same
+// contention) and returns the mean JCT/makespan plus per-rep samples.
+func testbedAverage(opt Options, policy sim.Policy, reps int,
+	mutate func(*sim.Config)) (jct, span float64, jcts, spans []float64, err error) {
+	if opt.Quick {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		jobs := workload.Generate(workload.GenConfig{
+			N: 15, Horizon: 4000, Seed: opt.Seed + int64(r*997), Downscale: 0.03,
+		})
+		cfg := simConfig(policy, jobs, opt.Seed+int64(r))
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, rerr := sim.Run(cfg)
+		if rerr != nil {
+			return 0, 0, nil, nil, rerr
+		}
+		jcts = append(jcts, res.Summary.AvgJCT)
+		spans = append(spans, res.Summary.Makespan)
+	}
+	return metrics.Mean(jcts), metrics.Mean(spans), jcts, spans, nil
+}
+
+// fig11Comparison regenerates Fig. 11: normalized JCT and makespan of
+// Optimus vs the DRF fairness scheduler and Tetris, on the paper's 9-job
+// testbed workload (averaged over 3 repetitions as in §6.1).
+func fig11Comparison(opt Options) (Table, error) {
+	t := Table{
+		ID:      "fig11",
+		Title:   "Normalized JCT and makespan vs baselines (testbed workload)",
+		Columns: []string{"scheduler", "norm-JCT", "norm-makespan", "avg-JCT(s)", "makespan(s)"},
+		Notes:   "paper: DRF 2.39x JCT / 1.63x makespan vs Optimus; Tetris in between",
+	}
+	var baseJCT, baseSpan float64
+	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
+		jct, span, _, _, err := testbedAverage(opt, policy, 3, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		if policy.Name == "optimus" {
+			baseJCT, baseSpan = jct, span
+		}
+		t.Rows = append(t.Rows, []string{
+			policy.Name, f2(jct / baseJCT), f2(span / baseSpan),
+			fmt.Sprintf("%.0f", jct), fmt.Sprintf("%.0f", span),
+		})
+	}
+	return t, nil
+}
+
+// fig12Scalability regenerates Fig. 12: wall-clock scheduling time of one
+// full Optimus cycle (allocation + placement) for large synthetic clusters.
+func fig12Scalability(opt Options) (Table, error) {
+	t := Table{
+		ID:      "fig12",
+		Title:   "Scheduling time vs cluster size",
+		Columns: []string{"jobs", "nodes", "tasks-allocated", "time"},
+		Notes:   "paper: 4,000 jobs / ~100,000 tasks on 16,000 nodes within 5 s (1 core)",
+	}
+	jobCounts := []int{1000, 4000}
+	nodeCounts := []int{1000, 4000, 16000}
+	if opt.Quick {
+		jobCounts = []int{200}
+		nodeCounts = []int{500, 1000}
+	}
+	zoo := workload.Zoo()
+	for _, nJobs := range jobCounts {
+		for _, nNodes := range nodeCounts {
+			c := cluster.Uniform(nNodes, cluster.Resources{
+				cluster.CPU: 32, cluster.Memory: 128,
+			})
+			rng := rand.New(rand.NewSource(opt.Seed + int64(nJobs+nNodes)))
+			jobs := make([]*core.JobInfo, nJobs)
+			for i := range jobs {
+				m := zoo[i%len(zoo)]
+				mode := speedfit.Mode(rng.Intn(2))
+				jobs[i] = &core.JobInfo{
+					ID:            i,
+					RemainingWork: 1000 + rng.Float64()*100000,
+					Speed: func(p, w int) float64 {
+						return m.TrueSpeed(mode, p, w)
+					},
+					WorkerRes:  m.WorkerRes,
+					PSRes:      m.PSRes,
+					MaxWorkers: 16,
+					MaxPS:      16,
+				}
+			}
+			start := time.Now()
+			alloc := core.Allocate(jobs, c.Capacity())
+			var reqs []core.PlacementRequest
+			tasks := 0
+			for _, j := range jobs {
+				a := alloc[j.ID]
+				tasks += a.Tasks()
+				if a.PS > 0 && a.Workers > 0 {
+					reqs = append(reqs, core.PlacementRequest{
+						JobID: j.ID, Alloc: a,
+						WorkerRes: j.WorkerRes, PSRes: j.PSRes,
+					})
+				}
+			}
+			core.Place(reqs, c)
+			elapsed := time.Since(start)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(nJobs), fmt.Sprint(nNodes), fmt.Sprint(tasks),
+				elapsed.Round(time.Millisecond).String(),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig13Stats regenerates Fig. 13: mean and standard deviation of JCT and
+// makespan over repeated runs (the paper uses 3 repetitions).
+func fig13Stats(opt Options) (Table, error) {
+	reps := 3
+	if opt.Quick {
+		reps = 2
+	}
+	t := Table{
+		ID:      "fig13",
+		Title:   "JCT and makespan, mean ± stddev over repetitions",
+		Columns: []string{"scheduler", "avg-JCT(s)", "sd-JCT", "makespan(s)", "sd-makespan"},
+	}
+	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
+		_, _, jcts, spans, err := testbedAverage(opt, policy, reps, nil)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			policy.Name,
+			fmt.Sprintf("%.0f", metrics.Mean(jcts)), fmt.Sprintf("%.0f", metrics.Stddev(jcts)),
+			fmt.Sprintf("%.0f", metrics.Mean(spans)), fmt.Sprintf("%.0f", metrics.Stddev(spans)),
+		})
+	}
+	return t, nil
+}
+
+// fig14Timelines regenerates Fig. 14: running-task counts and normalized
+// CPU utilizations over the course of one run, per scheduler.
+func fig14Timelines(opt Options) (Table, error) {
+	jobs := workload.Generate(workload.GenConfig{
+		N: 15, Horizon: 4000, Seed: opt.Seed + 100, Downscale: 0.03,
+	})
+	t := Table{
+		ID:      "fig14",
+		Title:   "Running tasks and normalized CPU utilization over time",
+		Columns: []string{"scheduler", "time(s)", "tasks", "worker-util", "ps-util"},
+	}
+	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
+		res, err := runPolicy(policy, jobs, opt.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		stride := len(res.Timeline)/8 + 1
+		for i := 0; i < len(res.Timeline); i += stride {
+			s := res.Timeline[i]
+			t.Rows = append(t.Rows, []string{
+				policy.Name, fmt.Sprintf("%.0f", s.Time), fmt.Sprint(s.RunningTasks),
+				f2(s.WorkerUtil), f2(s.PSUtil),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig15ErrorSensitivity regenerates Fig. 15: JCT/makespan degradation under
+// injected convergence- and speed-prediction errors.
+func fig15ErrorSensitivity(opt Options) (Table, error) {
+	jobs := mixFor(opt, 12, nil)
+	levels := []float64{0, 0.15, 0.30, 0.45}
+	if opt.Quick {
+		levels = []float64{0, 0.45}
+	}
+	reps := 3
+	if opt.Quick {
+		reps = 1
+	}
+	t := Table{
+		ID:      "fig15",
+		Title:   "Sensitivity to prediction errors (Optimus)",
+		Columns: []string{"error-kind", "error%", "norm-JCT", "norm-makespan"},
+		Notes:   "speed error hurts more than convergence error (paper §6.3)",
+	}
+	run := func(conv, speed float64, seed int64) (metrics.Summary, error) {
+		cfg := simConfig(sim.OptimusPolicy(), jobs, seed)
+		cfg.UseTrueModels = true
+		cfg.InjectConvError = conv
+		cfg.InjectSpeedError = speed
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		return res.Summary, nil
+	}
+	avg := func(conv, speed float64) (float64, float64, error) {
+		var jct, span float64
+		for r := 0; r < reps; r++ {
+			s, err := run(conv, speed, opt.Seed+int64(r*13))
+			if err != nil {
+				return 0, 0, err
+			}
+			jct += s.AvgJCT
+			span += s.Makespan
+		}
+		return jct / float64(reps), span / float64(reps), nil
+	}
+	baseJCT, baseSpan, err := avg(0, 0)
+	if err != nil {
+		return Table{}, err
+	}
+	for _, kind := range []string{"convergence", "speed"} {
+		for _, e := range levels {
+			conv, speed := 0.0, 0.0
+			if kind == "convergence" {
+				conv = e
+			} else {
+				speed = e
+			}
+			jct, span, err := avg(conv, speed)
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				kind, fmt.Sprintf("%.0f", e*100),
+				f2(jct / baseJCT), f2(span / baseSpan),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig16TrainingModes regenerates Fig. 16: all-async vs all-sync workloads.
+func fig16TrainingModes(opt Options) (Table, error) {
+	t := Table{
+		ID:      "fig16",
+		Title:   "Sensitivity to training modes",
+		Columns: []string{"mode", "scheduler", "norm-JCT", "norm-makespan"},
+	}
+	for _, mode := range []speedfit.Mode{speedfit.Async, speedfit.Sync} {
+		m := mode
+		n := 36
+		if opt.Quick {
+			n = 12
+		}
+		jobs := workload.Generate(workload.GenConfig{
+			N: n, Horizon: 8000, Seed: opt.Seed + 200, Downscale: 0.03, ForceMode: &m,
+		})
+		var base metrics.Summary
+		for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
+			res, err := runPolicy(policy, jobs, opt.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			if policy.Name == "optimus" {
+				base = res.Summary
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.String(), policy.Name,
+				f2(res.Summary.AvgJCT / base.AvgJCT),
+				f2(res.Summary.Makespan / base.Makespan),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig17ArrivalProcesses regenerates Fig. 17: Poisson and Google-trace-like
+// arrival processes.
+func fig17ArrivalProcesses(opt Options) (Table, error) {
+	t := Table{
+		ID:      "fig17",
+		Title:   "Sensitivity to job arrival processes",
+		Columns: []string{"arrivals", "scheduler", "norm-JCT", "norm-makespan"},
+		Notes:   "gain grows under bursty (trace-like) arrivals, as in the paper",
+	}
+	procs := []struct {
+		name string
+		fn   workload.ArrivalProcess
+	}{
+		{"poisson", workload.PoissonArrivals},
+		{"google-trace", workload.GoogleTraceArrivals},
+	}
+	for _, proc := range procs {
+		jobs := mixFor(opt, 36, proc.fn)
+		var base metrics.Summary
+		for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
+			res, err := runPolicy(policy, jobs, opt.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			if policy.Name == "optimus" {
+				base = res.Summary
+			}
+			t.Rows = append(t.Rows, []string{
+				proc.name, policy.Name,
+				f2(res.Summary.AvgJCT / base.AvgJCT),
+				f2(res.Summary.Makespan / base.Makespan),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig18AllocAblation regenerates Fig. 18: baseline allocators paired with
+// Optimus placement, isolating the marginal-gain allocation algorithm.
+func fig18AllocAblation(opt Options) (Table, error) {
+	t := Table{
+		ID:      "fig18",
+		Title:   "Resource-allocation ablation (all use Optimus placement)",
+		Columns: []string{"allocator", "norm-JCT", "norm-makespan"},
+		Notes:   "paper: allocation contributes ~62% JCT / 31% makespan reduction",
+	}
+	policies := []sim.Policy{
+		sim.OptimusPolicy(),
+		sim.Hybrid("drf-alloc", sim.DRFAllocatorOnly, core.Place),
+		sim.Hybrid("tetris-alloc", sim.TetrisAllocatorOnly, core.Place),
+	}
+	var baseJCT, baseSpan float64
+	for _, policy := range policies {
+		jct, span, _, _, err := testbedAverage(opt, policy, 3, func(c *sim.Config) {
+			c.UseTrueModels = true  // isolate the algorithm from estimation noise
+			c.ReconfigThreshold = 0 // and from the §7 churn damper
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		if policy.Name == "optimus" {
+			baseJCT, baseSpan = jct, span
+		}
+		t.Rows = append(t.Rows, []string{
+			policy.Name, f2(jct / baseJCT), f2(span / baseSpan),
+		})
+	}
+	return t, nil
+}
+
+// fig19PlacementAblation regenerates Fig. 19: baseline placements paired
+// with Optimus allocation, isolating the Theorem-1 placement scheme.
+func fig19PlacementAblation(opt Options) (Table, error) {
+	t := Table{
+		ID:      "fig19",
+		Title:   "Task-placement ablation (all use Optimus allocation)",
+		Columns: []string{"placement", "norm-JCT", "norm-makespan"},
+		Notes:   "paper: ~10% vs Tetris packing, ~15% vs load-balancing spread",
+	}
+	policies := []sim.Policy{
+		sim.OptimusPolicy(),
+		sim.Hybrid("spread-place", core.Allocate, sim.DRFPolicy().Place),
+		sim.Hybrid("pack-place", core.Allocate, sim.TetrisPolicy().Place),
+	}
+	var baseJCT, baseSpan float64
+	for _, policy := range policies {
+		jct, span, _, _, err := testbedAverage(opt, policy, 3, func(c *sim.Config) {
+			c.UseTrueModels = true
+			c.ReconfigThreshold = 0
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		if policy.Name == "optimus" {
+			baseJCT, baseSpan = jct, span
+		}
+		t.Rows = append(t.Rows, []string{
+			policy.Name, f2(jct / baseJCT), f2(span / baseSpan),
+		})
+	}
+	return t, nil
+}
+
+// overheadScaling reproduces §6.2's resource-adjustment overhead figure: the
+// share of the makespan spent in checkpoint-based reconfiguration.
+func overheadScaling(opt Options) (Table, error) {
+	jobs := workload.Generate(workload.GenConfig{
+		N: 15, Horizon: 4000, Seed: opt.Seed + 100, Downscale: 0.03,
+	})
+	res, err := runPolicy(sim.OptimusPolicy(), jobs, opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		ID:      "overhead",
+		Title:   "Resource-adjustment (checkpoint scaling) overhead",
+		Columns: []string{"scaling-overhead%", "makespan(s)"},
+		Rows: [][]string{{
+			f2(res.Summary.ScalingFrac * 100),
+			fmt.Sprintf("%.0f", res.Summary.Makespan),
+		}},
+		Notes: "paper reports 2.54% of makespan",
+	}, nil
+}

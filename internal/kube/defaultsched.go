@@ -1,0 +1,59 @@
+package kube
+
+import (
+	"sort"
+
+	"optimus/internal/cluster"
+)
+
+// DefaultScheduler emulates the stock Kubernetes scheduler the baselines use
+// (§6.1): each pending pod is bound independently to the feasible node with
+// the most free CPU (least-loaded spread), with no notion of job gangs or
+// PS/worker colocation.
+type DefaultScheduler struct {
+	api *APIServer
+}
+
+// NewDefaultScheduler builds a spread scheduler against the control plane.
+func NewDefaultScheduler(api *APIServer) *DefaultScheduler {
+	return &DefaultScheduler{api: api}
+}
+
+// ScheduleOnce binds every pending pod it can and returns the count bound.
+// Pods that fit nowhere stay pending.
+func (s *DefaultScheduler) ScheduleOnce() (int, error) {
+	pods := s.api.ListPods()
+	free := s.api.FreeCapacity()
+
+	names := make([]string, 0, len(free))
+	for n := range free {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bound := 0
+	for _, p := range pods {
+		if p.Phase != PodPending || p.NodeName != "" {
+			continue
+		}
+		best := ""
+		bestCPU := -1.0
+		for _, n := range names {
+			if !p.Resources.Fits(free[n]) {
+				continue
+			}
+			if cpu := free[n][cluster.CPU]; cpu > bestCPU {
+				best, bestCPU = n, cpu
+			}
+		}
+		if best == "" {
+			continue // stays pending
+		}
+		if err := s.api.Bind(p.Name, best); err != nil {
+			return bound, err
+		}
+		free[best] = free[best].Sub(p.Resources)
+		bound++
+	}
+	return bound, nil
+}

@@ -1,0 +1,168 @@
+package kube
+
+import (
+	"fmt"
+	"sync"
+
+	"optimus/internal/cluster"
+)
+
+// TrainingJob is the orchestrator-side description of one PS training job:
+// a gang of PS and worker pods with shared resource profiles.
+type TrainingJob struct {
+	ID        int
+	PS        int
+	Workers   int
+	PSRes     cluster.Resources
+	WorkerRes cluster.Resources
+}
+
+func (j TrainingJob) validate() error {
+	if j.PS <= 0 || j.Workers <= 0 {
+		return fmt.Errorf("kube: job %d needs ≥1 PS and ≥1 worker", j.ID)
+	}
+	return nil
+}
+
+// JobController owns the pod groups of training jobs: it turns job specs
+// into pods, resizes gangs when the scheduler changes a job's allocation
+// (the orchestrator half of §5.4's elastic scaling — the parameters
+// themselves travel via checkpoint in the training runtime), and cleans up
+// on completion.
+type JobController struct {
+	api *APIServer
+
+	mu   sync.Mutex
+	jobs map[int]TrainingJob
+}
+
+// NewJobController builds a controller against the control plane.
+func NewJobController(api *APIServer) *JobController {
+	return &JobController{api: api, jobs: make(map[int]TrainingJob)}
+}
+
+func podName(jobID int, role Role, idx int) string {
+	return fmt.Sprintf("job%d-%s-%d", jobID, role, idx)
+}
+
+// Submit creates the job's pod group (all pods pending until a scheduler
+// binds them).
+func (jc *JobController) Submit(job TrainingJob) error {
+	if err := job.validate(); err != nil {
+		return err
+	}
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	if _, dup := jc.jobs[job.ID]; dup {
+		return fmt.Errorf("kube: job %d already submitted", job.ID)
+	}
+	created := make([]string, 0, job.PS+job.Workers)
+	rollback := func() {
+		for _, name := range created {
+			_ = jc.api.DeletePod(name) // best-effort cleanup
+		}
+	}
+	for i := 0; i < job.PS; i++ {
+		name := podName(job.ID, RolePS, i)
+		if err := jc.api.CreatePod(Pod{
+			Name: name, JobID: job.ID, Role: RolePS, Resources: job.PSRes,
+		}); err != nil {
+			rollback()
+			return err
+		}
+		created = append(created, name)
+	}
+	for i := 0; i < job.Workers; i++ {
+		name := podName(job.ID, RoleWorker, i)
+		if err := jc.api.CreatePod(Pod{
+			Name: name, JobID: job.ID, Role: RoleWorker, Resources: job.WorkerRes,
+		}); err != nil {
+			rollback()
+			return err
+		}
+		created = append(created, name)
+	}
+	jc.jobs[job.ID] = job
+	return nil
+}
+
+// Resize replaces the job's pod group with one of the new shape. Following
+// §5.4's checkpoint-based method, the whole gang restarts: old pods are
+// deleted (their runtime checkpoints first, in the training layer) and a
+// fresh pending group is created for the scheduler's next cycle.
+func (jc *JobController) Resize(jobID, newPS, newWorkers int) error {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	job, ok := jc.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("kube: no job %d", jobID)
+	}
+	next := job
+	next.PS, next.Workers = newPS, newWorkers
+	if err := next.validate(); err != nil {
+		return err
+	}
+	if next.PS == job.PS && next.Workers == job.Workers {
+		return nil // no change
+	}
+	if err := jc.deletePodsLocked(job); err != nil {
+		return err
+	}
+	delete(jc.jobs, jobID)
+	// Re-create with the new shape (Submit re-validates and re-registers).
+	jc.mu.Unlock()
+	err := jc.Submit(next)
+	jc.mu.Lock()
+	return err
+}
+
+// Delete removes the job and all of its pods.
+func (jc *JobController) Delete(jobID int) error {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	job, ok := jc.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("kube: no job %d", jobID)
+	}
+	if err := jc.deletePodsLocked(job); err != nil {
+		return err
+	}
+	delete(jc.jobs, jobID)
+	return nil
+}
+
+func (jc *JobController) deletePodsLocked(job TrainingJob) error {
+	for i := 0; i < job.PS; i++ {
+		if err := jc.api.DeletePod(podName(job.ID, RolePS, i)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < job.Workers; i++ {
+		if err := jc.api.DeletePod(podName(job.ID, RoleWorker, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Jobs lists the submitted jobs.
+func (jc *JobController) Jobs() []TrainingJob {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	out := make([]TrainingJob, 0, len(jc.jobs))
+	for _, j := range jc.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Pods returns the job's current pods.
+func (jc *JobController) Pods(jobID int) []Pod {
+	var out []Pod
+	for _, p := range jc.api.ListPods() {
+		if p.JobID == jobID {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package kube
+
+import (
+	"testing"
+)
+
+func submitTestJob(t *testing.T, jc *JobController, id, ps, w int) {
+	t.Helper()
+	err := jc.Submit(TrainingJob{
+		ID: id, PS: ps, Workers: w,
+		PSRes:     res(3, 8),
+		WorkerRes: res(5, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobControllerSubmit(t *testing.T) {
+	api := newTestCluster(t, 2)
+	jc := NewJobController(api)
+	submitTestJob(t, jc, 1, 2, 3)
+	pods := jc.Pods(1)
+	if len(pods) != 5 {
+		t.Fatalf("created %d pods, want 5", len(pods))
+	}
+	ps, w := 0, 0
+	for _, p := range pods {
+		if p.Phase != PodPending {
+			t.Errorf("pod %s phase %s, want Pending", p.Name, p.Phase)
+		}
+		if p.Role == RolePS {
+			ps++
+		} else {
+			w++
+		}
+	}
+	if ps != 2 || w != 3 {
+		t.Errorf("roles = %dps/%dw, want 2/3", ps, w)
+	}
+	if err := jc.Submit(TrainingJob{ID: 1, PS: 1, Workers: 1}); err == nil {
+		t.Error("duplicate submission accepted")
+	}
+	if err := jc.Submit(TrainingJob{ID: 2, PS: 0, Workers: 1}); err == nil {
+		t.Error("zero-PS job accepted")
+	}
+	if len(jc.Jobs()) != 1 {
+		t.Errorf("Jobs() = %d, want 1", len(jc.Jobs()))
+	}
+}
+
+func TestJobControllerResize(t *testing.T) {
+	api := newTestCluster(t, 3)
+	jc := NewJobController(api)
+	submitTestJob(t, jc, 1, 1, 2)
+	// Bind the initial group so we can verify the resize recreates pods.
+	if _, err := NewOptimusScheduler(api).ScheduleOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jc.Resize(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	pods := jc.Pods(1)
+	if len(pods) != 6 {
+		t.Fatalf("after resize: %d pods, want 6", len(pods))
+	}
+	for _, p := range pods {
+		if p.NodeName != "" || p.Phase != PodPending {
+			t.Errorf("resized pod %s should be pending/unbound, got %s on %q",
+				p.Name, p.Phase, p.NodeName)
+		}
+	}
+	// No-op resize keeps pods as-is.
+	if err := jc.Resize(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(jc.Pods(1)); got != 6 {
+		t.Errorf("no-op resize changed pod count to %d", got)
+	}
+	if err := jc.Resize(99, 1, 1); err == nil {
+		t.Error("resize of unknown job accepted")
+	}
+	if err := jc.Resize(1, 0, 1); err == nil {
+		t.Error("resize to zero PS accepted")
+	}
+}
+
+func TestJobControllerDelete(t *testing.T) {
+	api := newTestCluster(t, 2)
+	jc := NewJobController(api)
+	submitTestJob(t, jc, 1, 1, 1)
+	if err := jc.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(jc.Pods(1)); got != 0 {
+		t.Errorf("pods after delete = %d", got)
+	}
+	if err := jc.Delete(1); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+// End-to-end reschedule cycle: submit → schedule → resize → schedule again —
+// the §5.4 elastic loop seen from the orchestrator.
+func TestJobControllerElasticCycle(t *testing.T) {
+	api := newTestCluster(t, 3)
+	jc := NewJobController(api)
+	sched := NewOptimusScheduler(api)
+
+	submitTestJob(t, jc, 7, 1, 2)
+	if n, err := sched.ScheduleOnce(); err != nil || n != 3 {
+		t.Fatalf("initial schedule bound %d (%v), want 3", n, err)
+	}
+	if err := jc.Resize(7, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := sched.ScheduleOnce(); err != nil || n != 5 {
+		t.Fatalf("post-resize schedule bound %d (%v), want 5", n, err)
+	}
+	for _, p := range jc.Pods(7) {
+		if p.NodeName == "" {
+			t.Errorf("pod %s unbound after reschedule", p.Name)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package kube
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+)
+
+// OptimusScheduler is Optimus deployed as a custom scheduler pod (§5.5): it
+// polls the API server for pending pods, groups them by job, and binds each
+// job's pod group using the §4.2 placement scheme (fewest servers, even PS
+// and worker counts per server). Pods that cannot be placed stay pending
+// for the next cycle, as the paper prescribes.
+type OptimusScheduler struct {
+	api *APIServer
+}
+
+// NewOptimusScheduler builds a scheduler against the given control plane.
+func NewOptimusScheduler(api *APIServer) *OptimusScheduler {
+	return &OptimusScheduler{api: api}
+}
+
+// ScheduleOnce runs one scheduling cycle and returns the number of pods
+// bound.
+func (s *OptimusScheduler) ScheduleOnce() (int, error) {
+	pods := s.api.ListPods()
+	type group struct {
+		jobID   int
+		ps      []Pod
+		workers []Pod
+	}
+	groups := make(map[int]*group)
+	for _, p := range pods {
+		if p.Phase != PodPending || p.NodeName != "" {
+			continue
+		}
+		g := groups[p.JobID]
+		if g == nil {
+			g = &group{jobID: p.JobID}
+			groups[p.JobID] = g
+		}
+		if p.Role == RolePS {
+			g.ps = append(g.ps, p)
+		} else {
+			g.workers = append(g.workers, p)
+		}
+	}
+	if len(groups) == 0 {
+		return 0, nil
+	}
+
+	// Mirror the cluster's free state into a placement cluster.
+	free := s.api.FreeCapacity()
+	c := cluster.New()
+	var nodeNames []string
+	for name := range free {
+		nodeNames = append(nodeNames, name)
+	}
+	sort.Strings(nodeNames)
+	for _, name := range nodeNames {
+		if err := c.AddNode(cluster.NewNode(name, free[name])); err != nil {
+			return 0, err
+		}
+	}
+
+	var reqs []core.PlacementRequest
+	byJob := make(map[int]*group)
+	for id, g := range groups {
+		if len(g.ps) == 0 || len(g.workers) == 0 {
+			continue // incomplete group; wait for all pods
+		}
+		byJob[id] = g
+		reqs = append(reqs, core.PlacementRequest{
+			JobID:     id,
+			Alloc:     core.Allocation{PS: len(g.ps), Workers: len(g.workers)},
+			WorkerRes: g.workers[0].Resources,
+			PSRes:     g.ps[0].Resources,
+		})
+	}
+	placements, _ := core.Place(reqs, c)
+
+	bound := 0
+	for id, pl := range placements {
+		g := byJob[id]
+		pi, wi := 0, 0
+		for i, node := range pl.NodeIDs {
+			for k := 0; k < pl.PSOnNode[i]; k++ {
+				if err := s.api.Bind(g.ps[pi].Name, node); err != nil {
+					return bound, fmt.Errorf("kube: bind %s: %w", g.ps[pi].Name, err)
+				}
+				pi++
+				bound++
+			}
+			for k := 0; k < pl.WorkersOnNode[i]; k++ {
+				if err := s.api.Bind(g.workers[wi].Name, node); err != nil {
+					return bound, fmt.Errorf("kube: bind %s: %w", g.workers[wi].Name, err)
+				}
+				wi++
+				bound++
+			}
+		}
+	}
+	return bound, nil
+}
+
+// PodRunner is invoked by a node agent when a pod starts on its node; the
+// returned function (may be nil) is invoked when the pod should stop.
+type PodRunner func(pod Pod) (stop func())
+
+// Kubelet is a node agent: it watches for pods bound to its node and drives
+// them Pending→Running, invoking the runner (which launches the actual
+// process — in our examples, a psys task).
+type Kubelet struct {
+	api    *APIServer
+	node   string
+	runner PodRunner
+
+	mu      sync.Mutex
+	stops   map[string]func()
+	cancel  func()
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// StartKubelet launches the agent loop for one node.
+func StartKubelet(api *APIServer, node string, runner PodRunner) *Kubelet {
+	k := &Kubelet{api: api, node: node, runner: runner, stops: make(map[string]func())}
+	events, cancel := api.Watch()
+	k.cancel = cancel
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		// Handle pods bound before the watch started.
+		for _, p := range api.ListPods() {
+			k.handle(Event{Type: EventModified, Pod: p})
+		}
+		for ev := range events {
+			k.handle(ev)
+		}
+	}()
+	return k
+}
+
+func (k *Kubelet) handle(ev Event) {
+	p := ev.Pod
+	if p.NodeName != k.node {
+		return
+	}
+	switch ev.Type {
+	case EventModified, EventAdded:
+		if p.Phase != PodPending {
+			return
+		}
+		k.mu.Lock()
+		if k.stopped {
+			k.mu.Unlock()
+			return
+		}
+		if _, running := k.stops[p.Name]; running {
+			k.mu.Unlock()
+			return
+		}
+		var stop func()
+		if k.runner != nil {
+			stop = k.runner(p)
+		}
+		if stop == nil {
+			stop = func() {}
+		}
+		k.stops[p.Name] = stop
+		k.mu.Unlock()
+		// Ignore racing deletes: SetPhase fails harmlessly if the pod went
+		// away between the bind event and now.
+		_ = k.api.SetPhase(p.Name, PodRunning)
+	case EventDeleted:
+		k.mu.Lock()
+		stop := k.stops[p.Name]
+		delete(k.stops, p.Name)
+		k.mu.Unlock()
+		if stop != nil {
+			stop()
+		}
+	}
+}
+
+// Stop terminates the agent and stops all pods it runs.
+func (k *Kubelet) Stop() {
+	k.mu.Lock()
+	if k.stopped {
+		k.mu.Unlock()
+		return
+	}
+	k.stopped = true
+	stops := make([]func(), 0, len(k.stops))
+	for _, s := range k.stops {
+		stops = append(stops, s)
+	}
+	k.stops = map[string]func(){}
+	k.mu.Unlock()
+	k.cancel()
+	k.wg.Wait()
+	for _, s := range stops {
+		s()
+	}
+}
+
+// WaitRunning polls until at least n pods are Running or the timeout
+// elapses, returning the running count. Convenience for tests and demos.
+func WaitRunning(api *APIServer, n int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		running := 0
+		for _, p := range api.ListPods() {
+			if p.Phase == PodRunning {
+				running++
+			}
+		}
+		if running >= n || time.Now().After(deadline) {
+			return running
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

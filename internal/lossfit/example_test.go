@@ -1,0 +1,32 @@
+package lossfit_test
+
+import (
+	"fmt"
+
+	"optimus/internal/lossfit"
+)
+
+// ExampleFitter shows the §3.1 online convergence estimation: feed loss
+// observations as training proceeds, fit the SGD model, and predict how many
+// more steps the job needs until its per-epoch improvement stalls below the
+// owner's threshold.
+func ExampleFitter() {
+	fitter := lossfit.NewFitter()
+	for k := 1.0; k <= 30; k++ {
+		loss := 1/(0.2*k+1.0) + 0.05 // the job's real (noise-free) curve
+		if err := fitter.Add(k, loss); err != nil {
+			panic(err)
+		}
+	}
+	model, err := fitter.Fit()
+	if err != nil {
+		panic(err)
+	}
+	steps, err := model.StepsToConverge(0.001, 1, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitted β0=%.2f; converges near step %.0f\n", model.B0, steps)
+	// Output:
+	// fitted β0=0.18; converges near step 72
+}

@@ -1,0 +1,193 @@
+package lossfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// §7 notes that some models' loss curves "cannot be described ... using our
+// fitting function in Eqn (1), but they may be fitted using other functions
+// based on the convergence speed of the optimization algorithm". This file
+// adds a second family — exponential decay, the linear-convergence shape of
+// strongly convex objectives and many well-tuned production models — and a
+// selector that fits all families and keeps the best.
+
+// Family identifies a convergence-curve family.
+type Family int
+
+const (
+	// FamilyInverse is the paper's Eqn-1 SGD model l = 1/(β0·k+β1) + β2.
+	FamilyInverse Family = iota
+	// FamilyExponential is l = β1·exp(−β0·k) + β2 (linear convergence).
+	FamilyExponential
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyInverse:
+		return "inverse"
+	case FamilyExponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// FamilyModel is a fitted curve from any family, with the same prediction
+// interface as the Eqn-1 Model.
+type FamilyModel struct {
+	Family     Family
+	B0, B1, B2 float64
+	MaxLoss    float64
+	Residual   float64
+}
+
+// Loss evaluates the normalized curve at step k.
+func (m FamilyModel) Loss(k float64) float64 {
+	switch m.Family {
+	case FamilyExponential:
+		return m.B1*math.Exp(-m.B0*k) + m.B2
+	default:
+		den := m.B0*k + m.B1
+		if den <= 0 {
+			return 1 + m.B2
+		}
+		return 1/den + m.B2
+	}
+}
+
+// RawLoss evaluates the curve in raw-loss units.
+func (m FamilyModel) RawLoss(k float64) float64 { return m.Loss(k) * m.MaxLoss }
+
+// Valid reports whether predictions are meaningful.
+func (m FamilyModel) Valid() bool { return m.B0 > 0 && !math.IsNaN(m.B0) }
+
+// StepsToConverge mirrors Model.StepsToConverge for any family.
+func (m FamilyModel) StepsToConverge(threshold float64, window, consecutive int) (float64, error) {
+	if !m.Valid() {
+		return 0, errors.New("lossfit: model not fitted")
+	}
+	if threshold <= 0 || window <= 0 || consecutive <= 0 {
+		return 0, errors.New("lossfit: invalid convergence arguments")
+	}
+	wf := float64(window)
+	decrease := func(k float64) float64 { return m.Loss(k) - m.Loss(k+wf) }
+	if decrease(1) < threshold {
+		return wf * float64(consecutive), nil
+	}
+	lo, hi := 1.0, 2.0
+	for decrease(hi) >= threshold {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, errors.New("lossfit: model does not converge under threshold")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 0.5; i++ {
+		mid := (lo + hi) / 2
+		if decrease(mid) >= threshold {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi + wf*float64(consecutive), nil
+}
+
+// FitExponential fits l = β1·exp(−β0·k) + β2 to the points. For a fixed β2
+// the model is linear in log space: ln(l−β2) = ln β1 − β0·k, so — like the
+// Eqn-1 fit — we grid-search the asymptote and solve the inner linear
+// problem, scoring candidates by residual in loss space.
+func FitExponential(points []Point, window int) (FamilyModel, error) {
+	if len(points) < 4 {
+		return FamilyModel{}, fmt.Errorf("lossfit: need at least 4 points, have %d", len(points))
+	}
+	cleaned, maxLoss := Preprocess(points, window)
+	minLoss := math.Inf(1)
+	for _, p := range cleaned {
+		if p.Loss < minLoss {
+			minLoss = p.Loss
+		}
+	}
+	best := FamilyModel{Family: FamilyExponential, Residual: math.Inf(1), MaxLoss: maxLoss}
+	const gridSteps = 40
+	for g := 0; g <= gridSteps; g++ {
+		b2 := minLoss * float64(g) / float64(gridSteps+1)
+		m, ok := fitExpWithAsymptote(cleaned, b2)
+		if !ok {
+			continue
+		}
+		if m.Residual < best.Residual {
+			m.MaxLoss = maxLoss
+			best = m
+		}
+	}
+	if math.IsInf(best.Residual, 1) {
+		return FamilyModel{}, errors.New("lossfit: exponential fit failed")
+	}
+	return best, nil
+}
+
+// fitExpWithAsymptote solves the log-linear subproblem by ordinary least
+// squares on (k, ln(l−β2)).
+func fitExpWithAsymptote(cleaned []Point, b2 float64) (FamilyModel, bool) {
+	var sk, sy, skk, sky float64
+	n := 0
+	for _, p := range cleaned {
+		d := p.Loss - b2
+		if d <= 1e-9 {
+			continue
+		}
+		y := math.Log(d)
+		sk += p.K
+		sy += y
+		skk += p.K * p.K
+		sky += p.K * y
+		n++
+	}
+	if n < 3 {
+		return FamilyModel{}, false
+	}
+	nf := float64(n)
+	den := nf*skk - sk*sk
+	if den == 0 {
+		return FamilyModel{}, false
+	}
+	slope := (nf*sky - sk*sy) / den
+	intercept := (sy - slope*sk) / nf
+	b0 := -slope
+	b1 := math.Exp(intercept)
+	if b0 <= 0 || b1 <= 0 {
+		return FamilyModel{}, false
+	}
+	m := FamilyModel{Family: FamilyExponential, B0: b0, B1: b1, B2: b2}
+	var ss float64
+	for _, p := range cleaned {
+		d := m.Loss(p.K) - p.Loss
+		ss += d * d
+	}
+	m.Residual = math.Sqrt(ss / float64(len(cleaned)))
+	return m, true
+}
+
+// FitBest fits every family and returns the one with the smallest residual —
+// §7's "let the job owner provide the functions" made automatic.
+func FitBest(points []Point, window int) (FamilyModel, error) {
+	var best FamilyModel
+	best.Residual = math.Inf(1)
+	if inv, err := FitPoints(points, window); err == nil {
+		best = FamilyModel{
+			Family: FamilyInverse,
+			B0:     inv.B0, B1: inv.B1, B2: inv.B2,
+			MaxLoss: inv.MaxLoss, Residual: inv.Residual,
+		}
+	}
+	if exp, err := FitExponential(points, window); err == nil && exp.Residual < best.Residual {
+		best = exp
+	}
+	if math.IsInf(best.Residual, 1) {
+		return FamilyModel{}, errors.New("lossfit: no family fits the data")
+	}
+	return best, nil
+}

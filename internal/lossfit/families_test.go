@@ -1,0 +1,114 @@
+package lossfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func expCurve(b0, b1, b2 float64, n int, noise float64, seed int64) []Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		k := float64(i + 1)
+		l := b1*math.Exp(-b0*k) + b2 + noise*r.NormFloat64()
+		if l < 1e-9 {
+			l = 1e-9
+		}
+		pts[i] = Point{K: k, Loss: l}
+	}
+	return pts
+}
+
+func TestFitExponentialRecoversCurve(t *testing.T) {
+	pts := expCurve(0.08, 1.0, 0.1, 80, 0, 1)
+	m, err := FitExponential(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Family != FamilyExponential {
+		t.Errorf("family = %v", m.Family)
+	}
+	for _, k := range []float64{10, 40, 70} {
+		want := 1.0*math.Exp(-0.08*k) + 0.1
+		got := m.RawLoss(k)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("RawLoss(%g) = %g, want ≈ %g", k, got, want)
+		}
+	}
+}
+
+func TestFitExponentialTooFewPoints(t *testing.T) {
+	if _, err := FitExponential(expCurve(0.1, 1, 0, 3, 0, 1), 5); err == nil {
+		t.Error("accepted 3 points")
+	}
+}
+
+func TestFitBestSelectsCorrectFamily(t *testing.T) {
+	// Exponential data → exponential family wins.
+	expPts := expCurve(0.1, 1.0, 0.05, 80, 0.001, 2)
+	m, err := FitBest(expPts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Family != FamilyExponential {
+		t.Errorf("exponential data fitted as %v", m.Family)
+	}
+	// Inverse (Eqn-1) data → inverse family wins.
+	invPts := synth(0.15, 1.0, 0.05, 80, 0.001, 3)
+	m2, err := FitBest(invPts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Family != FamilyInverse {
+		t.Errorf("inverse data fitted as %v", m2.Family)
+	}
+}
+
+func TestFamilyModelStepsToConverge(t *testing.T) {
+	m := FamilyModel{Family: FamilyExponential, B0: 0.05, B1: 1, B2: 0.05, MaxLoss: 1}
+	steps, err := m.StepsToConverge(0.001, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps <= 0 {
+		t.Fatalf("steps = %g", steps)
+	}
+	if d := m.Loss(steps) - m.Loss(steps+1); d >= 0.001 {
+		t.Errorf("decrease at k* = %g, want < threshold", d)
+	}
+	var invalid FamilyModel
+	if _, err := invalid.StepsToConverge(0.01, 1, 3); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := m.StepsToConverge(0, 1, 3); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if FamilyInverse.String() != "inverse" || FamilyExponential.String() != "exponential" {
+		t.Error("unexpected family names")
+	}
+	if Family(7).String() == "" {
+		t.Error("unknown family should stringify")
+	}
+}
+
+// The paper's motivating case: an A3C-like curve that Eqn 1 describes badly
+// but the exponential family handles — FitBest must pick the better one and
+// its convergence estimate must beat the forced-inverse estimate.
+func TestFitBestImprovesConvergenceEstimate(t *testing.T) {
+	pts := expCurve(0.12, 1.0, 0.02, 60, 0.002, 4)
+	best, err := FitBest(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := FitPoints(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Residual >= inv.Residual {
+		t.Errorf("best residual %g not below inverse %g", best.Residual, inv.Residual)
+	}
+}

@@ -1,0 +1,300 @@
+// Package lossfit implements the online convergence estimation of Optimus
+// (§3.1 of the paper). Training-loss samples are preprocessed (outlier
+// removal against a neighbour window, normalization by the maximum observed
+// loss) and fitted to the SGD convergence model
+//
+//	l(k) = 1/(β0·k + β1) + β2,   β0, β1, β2 ≥ 0
+//
+// where k is the training step (or epoch). The fitted model predicts the
+// total number of steps needed until the per-epoch loss decrease stays below
+// the job owner's convergence threshold, and hence the remaining work Q_j
+// the scheduler plugs into its completion-time objective.
+package lossfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"optimus/internal/nnls"
+)
+
+// Point is one training-loss observation at step K.
+type Point struct {
+	K    float64 // training step (or epoch) index, > 0
+	Loss float64 // raw training loss at that step
+}
+
+// Model is the fitted convergence curve l(k) = 1/(β0·k+β1) + β2 on the
+// normalized loss scale (losses divided by MaxLoss).
+type Model struct {
+	B0, B1, B2 float64
+	// MaxLoss is the normalization constant: raw losses were divided by it
+	// before fitting. Loss() reports normalized values; RawLoss() rescales.
+	MaxLoss float64
+	// Residual is the root-mean-square error of the fit in normalized space.
+	Residual float64
+}
+
+// Loss evaluates the normalized fitted curve at step k.
+func (m Model) Loss(k float64) float64 {
+	den := m.B0*k + m.B1
+	if den <= 0 {
+		return 1 + m.B2
+	}
+	return 1/den + m.B2
+}
+
+// RawLoss evaluates the fitted curve in raw-loss units.
+func (m Model) RawLoss(k float64) float64 { return m.Loss(k) * m.MaxLoss }
+
+// Valid reports whether the model can make forward progress predictions.
+func (m Model) Valid() bool {
+	return m.B0 > 0 && !math.IsNaN(m.B0) && !math.IsNaN(m.B1) && !math.IsNaN(m.B2)
+}
+
+// StepsToConverge returns the first step k* at which the model's loss
+// decrease over each of `consecutive` consecutive windows of `window` steps
+// stays below threshold (on the normalized loss scale). window is typically
+// the number of steps per epoch, matching the paper's epoch-granularity
+// convergence rule. It returns an error if the model cannot converge.
+func (m Model) StepsToConverge(threshold float64, window, consecutive int) (float64, error) {
+	if !m.Valid() {
+		return 0, errors.New("lossfit: model not fitted")
+	}
+	if threshold <= 0 {
+		return 0, fmt.Errorf("lossfit: threshold must be positive, got %g", threshold)
+	}
+	if window <= 0 || consecutive <= 0 {
+		return 0, errors.New("lossfit: window and consecutive must be positive")
+	}
+	// The per-window decrease d(k) = l(k) − l(k+window) is monotonically
+	// decreasing in k for this model family, so the convergence point is the
+	// first k where d(k) < threshold; the "consecutive" windows after it
+	// automatically satisfy the condition. Solve d(k) = threshold in closed
+	// form is messy; a doubling+bisection search is exact enough and cheap.
+	wf := float64(window)
+	decrease := func(k float64) float64 { return m.Loss(k) - m.Loss(k+wf) }
+
+	if decrease(1) < threshold {
+		return wf * float64(consecutive), nil // converged almost immediately
+	}
+	lo, hi := 1.0, 2.0
+	for decrease(hi) >= threshold {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, errors.New("lossfit: model does not converge under threshold")
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 0.5; i++ {
+		mid := (lo + hi) / 2
+		if decrease(mid) >= threshold {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Converged when the condition has held for `consecutive` windows.
+	return hi + wf*float64(consecutive), nil
+}
+
+// Fitter accumulates loss observations and produces Models on demand. It is
+// the online half of §3.1: call Add after every step (or once per epoch with
+// averaged losses, per the paper's sampling note) and Fit whenever the
+// scheduler needs a fresh convergence estimate.
+type Fitter struct {
+	points []Point
+	// OutlierWindow is the neighbour half-window used in preprocessing
+	// (paper example: min of the next 5 and max of the previous 5 samples).
+	OutlierWindow int
+	// MaxPoints caps the number of retained samples; when exceeded, pairs of
+	// adjacent samples are averaged (the paper's "average several data
+	// points" reduction). Zero means unlimited.
+	MaxPoints int
+}
+
+// NewFitter returns a Fitter with the paper's default preprocessing window.
+func NewFitter() *Fitter {
+	return &Fitter{OutlierWindow: 5, MaxPoints: 4096}
+}
+
+// Add records one loss observation. Non-finite or non-positive steps are
+// rejected so callers can feed raw telemetry without pre-validating.
+func (f *Fitter) Add(k, loss float64) error {
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		return fmt.Errorf("lossfit: invalid step %g", k)
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return fmt.Errorf("lossfit: invalid loss %g", loss)
+	}
+	f.points = append(f.points, Point{K: k, Loss: loss})
+	if f.MaxPoints > 0 && len(f.points) > f.MaxPoints {
+		f.compact()
+	}
+	return nil
+}
+
+// Len reports the number of retained samples.
+func (f *Fitter) Len() int { return len(f.points) }
+
+// compact halves the sample count by averaging adjacent pairs.
+func (f *Fitter) compact() {
+	out := f.points[:0]
+	for i := 0; i+1 < len(f.points); i += 2 {
+		a, b := f.points[i], f.points[i+1]
+		out = append(out, Point{K: (a.K + b.K) / 2, Loss: (a.Loss + b.Loss) / 2})
+	}
+	if len(f.points)%2 == 1 {
+		out = append(out, f.points[len(f.points)-1])
+	}
+	f.points = out
+}
+
+// Preprocess applies the paper's outlier removal and normalization and
+// returns the cleaned (k, normalized loss) series plus the normalization
+// constant. It is exported for tests and for the experiment harness.
+func Preprocess(points []Point, window int) ([]Point, float64) {
+	if len(points) == 0 {
+		return nil, 0
+	}
+	cleaned := make([]Point, len(points))
+	copy(cleaned, points)
+
+	// Outlier removal: a point must fall within [min of the next `window`
+	// losses, max of the previous `window` losses]; otherwise it is replaced
+	// by the mean of its immediate neighbours.
+	if window > 0 {
+		orig := make([]Point, len(points))
+		copy(orig, points)
+		for i := range orig {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for j := i + 1; j <= i+window && j < len(orig); j++ {
+				if orig[j].Loss < lo {
+					lo = orig[j].Loss
+				}
+			}
+			for j := i - 1; j >= 0 && j >= i-window; j-- {
+				if orig[j].Loss > hi {
+					hi = orig[j].Loss
+				}
+			}
+			if math.IsInf(lo, 1) || math.IsInf(hi, -1) {
+				continue // boundary points keep their value
+			}
+			if orig[i].Loss >= lo && orig[i].Loss <= hi {
+				continue
+			}
+			var sum float64
+			var n int
+			if i > 0 {
+				sum += orig[i-1].Loss
+				n++
+			}
+			if i+1 < len(orig) {
+				sum += orig[i+1].Loss
+				n++
+			}
+			if n > 0 {
+				cleaned[i].Loss = sum / float64(n)
+			}
+		}
+	}
+
+	var maxLoss float64
+	for _, p := range cleaned {
+		if p.Loss > maxLoss {
+			maxLoss = p.Loss
+		}
+	}
+	if maxLoss <= 0 {
+		maxLoss = 1
+	}
+	for i := range cleaned {
+		cleaned[i].Loss /= maxLoss
+	}
+	return cleaned, maxLoss
+}
+
+// Fit fits the convergence model to the samples collected so far. At least
+// four samples are required.
+func (f *Fitter) Fit() (Model, error) {
+	return FitPoints(f.points, f.OutlierWindow)
+}
+
+// FitPoints fits the model to an explicit sample set.
+//
+// The model is nonlinear in β, but for a fixed asymptote β2 the substitution
+// u = 1/(l − β2) turns it into the linear model u = β0·k + β1 solvable with
+// NNLS. We search β2 over a grid below the smallest observed loss, solve the
+// linear subproblem for each candidate, and keep the fit with the smallest
+// residual measured in the original loss space. This mirrors the paper's
+// NNLS-based fitting while staying dependency-free and deterministic.
+func FitPoints(points []Point, window int) (Model, error) {
+	if len(points) < 4 {
+		return Model{}, fmt.Errorf("lossfit: need at least 4 points, have %d", len(points))
+	}
+	cleaned, maxLoss := Preprocess(points, window)
+
+	minLoss := math.Inf(1)
+	for _, p := range cleaned {
+		if p.Loss < minLoss {
+			minLoss = p.Loss
+		}
+	}
+
+	best := Model{Residual: math.Inf(1), MaxLoss: maxLoss}
+	const gridSteps = 40
+	for g := 0; g <= gridSteps; g++ {
+		b2 := minLoss * float64(g) / float64(gridSteps+1)
+		m, ok := fitWithAsymptote(cleaned, b2)
+		if !ok {
+			continue
+		}
+		if m.Residual < best.Residual {
+			best = m
+			best.MaxLoss = maxLoss
+		}
+	}
+	if math.IsInf(best.Residual, 1) {
+		return Model{}, errors.New("lossfit: fitting failed for all asymptote candidates")
+	}
+	return best, nil
+}
+
+// fitWithAsymptote solves the linear subproblem for a fixed β2 and evaluates
+// the residual in loss space.
+func fitWithAsymptote(cleaned []Point, b2 float64) (Model, bool) {
+	rows := make([][]float64, 0, len(cleaned))
+	rhs := make([]float64, 0, len(cleaned))
+	for _, p := range cleaned {
+		d := p.Loss - b2
+		if d <= 1e-9 {
+			continue // point at/below asymptote: cannot transform
+		}
+		rows = append(rows, []float64{p.K, 1})
+		rhs = append(rhs, 1/d)
+	}
+	if len(rows) < 3 {
+		return Model{}, false
+	}
+	a, err := nnls.FromRows(rows)
+	if err != nil {
+		return Model{}, false
+	}
+	x, _, err := nnls.Solve(a, rhs)
+	if err != nil {
+		return Model{}, false
+	}
+	m := Model{B0: x[0], B1: x[1], B2: b2}
+	if m.B0 <= 0 {
+		return Model{}, false // flat model: no convergence information
+	}
+	// Residual in the original (normalized) loss space.
+	var ss float64
+	for _, p := range cleaned {
+		d := m.Loss(p.K) - p.Loss
+		ss += d * d
+	}
+	m.Residual = math.Sqrt(ss / float64(len(cleaned)))
+	return m, true
+}

@@ -1,0 +1,107 @@
+package lossfit
+
+import (
+	"fmt"
+	"math"
+)
+
+// SegmentedFitter implements the §7 "Convergence estimation" extension: for
+// models whose learning rate drops at a predefined point (e.g. ResNet's
+// ×0.1 step decay), the loss curve has a discontinuity that the single
+// 1/(β0·k+β1)+β2 family cannot describe. The paper's remedy is to "treat the
+// model training after learning rate adjustment as a new training job and
+// restart online fitting" — this fitter detects such breaks automatically
+// and fits only the current segment.
+type SegmentedFitter struct {
+	// DropFactor is the relative sudden loss decrease (vs the recent trend)
+	// that is treated as a learning-rate event. Default 3: a step-to-step
+	// drop more than 3× the recent average decrease starts a new segment.
+	DropFactor float64
+	// MinSegment is the minimum number of points before a break can be
+	// declared, avoiding false restarts on early noise. Default 8.
+	MinSegment int
+
+	inner    *Fitter
+	segments int
+	lastK    float64
+	lastLoss float64
+	// recent step-to-step decreases, for the trend estimate
+	recentDec []float64
+}
+
+// NewSegmentedFitter returns a fitter with default break detection.
+func NewSegmentedFitter() *SegmentedFitter {
+	return &SegmentedFitter{
+		DropFactor: 3,
+		MinSegment: 8,
+		inner:      NewFitter(),
+	}
+}
+
+// Segments reports how many fitting segments have been started (1 = no
+// learning-rate event seen yet).
+func (s *SegmentedFitter) Segments() int { return s.segments + 1 }
+
+// Len reports the number of points in the current segment.
+func (s *SegmentedFitter) Len() int { return s.inner.Len() }
+
+// Add records one loss observation, starting a new segment if the point
+// looks like a post-learning-rate-drop discontinuity.
+func (s *SegmentedFitter) Add(k, loss float64) error {
+	if k <= 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+		return fmt.Errorf("lossfit: invalid step %g", k)
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return fmt.Errorf("lossfit: invalid loss %g", loss)
+	}
+	if s.inner.Len() >= s.minSegment() && s.lastLoss > 0 {
+		dec := s.lastLoss - loss
+		if trend := s.trend(); trend > 0 && dec > s.dropFactor()*trend {
+			// Learning-rate event: restart fitting from here.
+			s.inner = NewFitter()
+			s.recentDec = nil
+			s.segments++
+		}
+	}
+	if s.lastLoss != 0 || s.inner.Len() > 0 {
+		s.recentDec = append(s.recentDec, s.lastLoss-loss)
+		if len(s.recentDec) > 10 {
+			s.recentDec = s.recentDec[1:]
+		}
+	}
+	s.lastK, s.lastLoss = k, loss
+	return s.inner.Add(k, loss)
+}
+
+func (s *SegmentedFitter) minSegment() int {
+	if s.MinSegment > 0 {
+		return s.MinSegment
+	}
+	return 8
+}
+
+func (s *SegmentedFitter) dropFactor() float64 {
+	if s.DropFactor > 0 {
+		return s.DropFactor
+	}
+	return 3
+}
+
+// trend is the mean of the recent positive step-to-step decreases.
+func (s *SegmentedFitter) trend() float64 {
+	var sum float64
+	n := 0
+	for _, d := range s.recentDec {
+		if d > 0 {
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Fit fits the model to the current segment only.
+func (s *SegmentedFitter) Fit() (Model, error) { return s.inner.Fit() }

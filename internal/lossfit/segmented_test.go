@@ -1,0 +1,89 @@
+package lossfit
+
+import (
+	"math"
+	"testing"
+)
+
+// lrDropCurve simulates a ResNet-style schedule: one curve until epoch 50,
+// then the learning rate drops and the loss falls onto a new, lower curve.
+func lrDropCurve(k float64) float64 {
+	if k < 50 {
+		return 1/(0.05*k+1) + 0.30
+	}
+	return 1/(0.2*(k-49)+2) + 0.05
+}
+
+func TestSegmentedFitterDetectsLRDrop(t *testing.T) {
+	s := NewSegmentedFitter()
+	for k := 1.0; k <= 120; k++ {
+		if err := s.Add(k, lrDropCurve(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Segments() != 2 {
+		t.Fatalf("Segments = %d, want 2", s.Segments())
+	}
+	// The current segment's fit must describe the POST-drop curve.
+	m, err := s.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{80, 100, 120} {
+		want := lrDropCurve(k)
+		got := m.RawLoss(k)
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("RawLoss(%g) = %g, want ≈ %g", k, got, want)
+		}
+	}
+	// A plain fitter over the whole history fits much worse near the end.
+	plain := NewFitter()
+	for k := 1.0; k <= 120; k++ {
+		if err := plain.Add(k, lrDropCurve(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm, err := plain.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segErr := math.Abs(m.RawLoss(120) - lrDropCurve(120))
+	plainErr := math.Abs(pm.RawLoss(120) - lrDropCurve(120))
+	if segErr >= plainErr {
+		t.Errorf("segmented error %g not below plain error %g", segErr, plainErr)
+	}
+}
+
+func TestSegmentedFitterNoFalseRestart(t *testing.T) {
+	// A smooth curve (no LR event) must stay in one segment even with noise.
+	s := NewSegmentedFitter()
+	for k := 1.0; k <= 100; k++ {
+		loss := 1/(0.1*k+1) + 0.05
+		if err := s.Add(k, loss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Segments() != 1 {
+		t.Errorf("Segments = %d, want 1 for a smooth curve", s.Segments())
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestSegmentedFitterValidation(t *testing.T) {
+	s := NewSegmentedFitter()
+	if err := s.Add(0, 1); err == nil {
+		t.Error("accepted step 0")
+	}
+	if err := s.Add(1, math.Inf(1)); err == nil {
+		t.Error("accepted infinite loss")
+	}
+}
+
+func TestSegmentedFitterDefaults(t *testing.T) {
+	s := &SegmentedFitter{inner: NewFitter()}
+	if s.minSegment() != 8 || s.dropFactor() != 3 {
+		t.Errorf("defaults = %d/%g, want 8/3", s.minSegment(), s.dropFactor())
+	}
+}

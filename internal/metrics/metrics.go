@@ -1,0 +1,182 @@
+// Package metrics collects and summarizes the evaluation quantities of §6:
+// per-job completion times (JCT), makespan, and per-interval timelines of
+// running task counts and normalized CPU utilization (Fig. 13/14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IntervalStats is one snapshot of cluster state, taken per scheduling
+// interval (Fig. 14's x-axis).
+type IntervalStats struct {
+	Time         float64 // seconds since experiment start
+	RunningTasks int     // total PS + workers deployed
+	RunningJobs  int
+	WaitingJobs  int
+	// WorkerUtil / PSUtil are the mean normalized CPU utilizations of
+	// worker / parameter-server tasks: the fraction of a training step the
+	// task spends computing rather than waiting (Fig. 14b/c).
+	WorkerUtil float64
+	PSUtil     float64
+	// ClusterShare is the fraction of total cluster CPU currently allocated.
+	ClusterShare float64
+}
+
+// Recorder accumulates per-run measurements.
+type Recorder struct {
+	arrivals    map[int]float64
+	completions map[int]float64
+	timeline    []IntervalStats
+	// scaling bookkeeping (§6.2 "resource adjustment overhead")
+	scalingTime float64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		arrivals:    make(map[int]float64),
+		completions: make(map[int]float64),
+	}
+}
+
+// Arrive records job submission.
+func (r *Recorder) Arrive(jobID int, t float64) { r.arrivals[jobID] = t }
+
+// Complete records job completion.
+func (r *Recorder) Complete(jobID int, t float64) { r.completions[jobID] = t }
+
+// Snapshot appends one timeline entry.
+func (r *Recorder) Snapshot(s IntervalStats) { r.timeline = append(r.timeline, s) }
+
+// AddScalingTime accounts job-seconds spent on checkpoint/restart scaling.
+func (r *Recorder) AddScalingTime(d float64) { r.scalingTime += d }
+
+// Timeline returns the recorded snapshots.
+func (r *Recorder) Timeline() []IntervalStats { return r.timeline }
+
+// Summary is the digest of one experiment run.
+type Summary struct {
+	Completed   int
+	AvgJCT      float64
+	MedianJCT   float64
+	P95JCT      float64
+	StddevJCT   float64
+	Makespan    float64
+	ScalingFrac float64 // scaling overhead as a fraction of makespan (§6.2)
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("jobs=%d avgJCT=%.0fs medJCT=%.0fs p95=%.0fs sd=%.0fs makespan=%.0fs scaling=%.2f%%",
+		s.Completed, s.AvgJCT, s.MedianJCT, s.P95JCT, s.StddevJCT, s.Makespan, s.ScalingFrac*100)
+}
+
+// JCT returns the completion time of one job, or NaN if incomplete.
+func (r *Recorder) JCT(jobID int) float64 {
+	c, ok := r.completions[jobID]
+	if !ok {
+		return math.NaN()
+	}
+	return c - r.arrivals[jobID]
+}
+
+// JCTs returns all completed jobs' JCTs sorted ascending.
+func (r *Recorder) JCTs() []float64 {
+	out := make([]float64, 0, len(r.completions))
+	for id, c := range r.completions {
+		out = append(out, c-r.arrivals[id])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Summarize computes the run digest. Jobs never completed are excluded from
+// JCT statistics but the caller can detect them via Completed < submitted.
+func (r *Recorder) Summarize() Summary {
+	jcts := r.JCTs()
+	s := Summary{Completed: len(jcts)}
+	if len(jcts) == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range jcts {
+		sum += v
+	}
+	s.AvgJCT = sum / float64(len(jcts))
+	s.MedianJCT = percentile(jcts, 0.5)
+	s.P95JCT = percentile(jcts, 0.95)
+	var ss float64
+	for _, v := range jcts {
+		d := v - s.AvgJCT
+		ss += d * d
+	}
+	s.StddevJCT = math.Sqrt(ss / float64(len(jcts)))
+
+	first := math.Inf(1)
+	for _, a := range r.arrivals {
+		if a < first {
+			first = a
+		}
+	}
+	last := math.Inf(-1)
+	for _, c := range r.completions {
+		if c > last {
+			last = c
+		}
+	}
+	if !math.IsInf(first, 1) && !math.IsInf(last, -1) {
+		s.Makespan = last - first
+	}
+	if s.Makespan > 0 {
+		s.ScalingFrac = r.scalingTime / s.Makespan
+	}
+	return s
+}
+
+// percentile returns the p-quantile of sorted values using linear
+// interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, v := range xs {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}

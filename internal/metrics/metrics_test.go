@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.Arrive(0, 100)
+	r.Arrive(1, 200)
+	r.Complete(0, 400)
+	r.Complete(1, 1000)
+
+	if got := r.JCT(0); got != 300 {
+		t.Errorf("JCT(0) = %g, want 300", got)
+	}
+	if got := r.JCT(99); !math.IsNaN(got) {
+		t.Errorf("JCT(99) = %g, want NaN", got)
+	}
+	jcts := r.JCTs()
+	if len(jcts) != 2 || jcts[0] != 300 || jcts[1] != 800 {
+		t.Errorf("JCTs = %v", jcts)
+	}
+
+	s := r.Summarize()
+	if s.Completed != 2 {
+		t.Errorf("Completed = %d", s.Completed)
+	}
+	if s.AvgJCT != 550 {
+		t.Errorf("AvgJCT = %g, want 550", s.AvgJCT)
+	}
+	if s.Makespan != 900 { // first arrival 100 → last completion 1000
+		t.Errorf("Makespan = %g, want 900", s.Makespan)
+	}
+	if s.MedianJCT != 550 {
+		t.Errorf("MedianJCT = %g, want 550", s.MedianJCT)
+	}
+	if s.StddevJCT != 250 {
+		t.Errorf("StddevJCT = %g, want 250", s.StddevJCT)
+	}
+}
+
+func TestScalingFraction(t *testing.T) {
+	r := NewRecorder()
+	r.Arrive(0, 0)
+	r.Complete(0, 1000)
+	r.AddScalingTime(25.4)
+	s := r.Summarize()
+	if math.Abs(s.ScalingFrac-0.0254) > 1e-12 {
+		t.Errorf("ScalingFrac = %g, want 0.0254", s.ScalingFrac)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewRecorder().Summarize()
+	if s.Completed != 0 || s.AvgJCT != 0 || s.Makespan != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := NewRecorder()
+	r.Snapshot(IntervalStats{Time: 0, RunningTasks: 5})
+	r.Snapshot(IntervalStats{Time: 600, RunningTasks: 8})
+	tl := r.Timeline()
+	if len(tl) != 2 || tl[1].RunningTasks != 8 {
+		t.Errorf("Timeline = %v", tl)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := percentile(xs, 0.5); got != 25 {
+		t.Errorf("p50 = %g, want 25", got)
+	}
+	if got := percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %g, want 10", got)
+	}
+	if got := percentile(xs, 1); got != 40 {
+		t.Errorf("p100 = %g, want 40", got)
+	}
+	if got := percentile([]float64{7}, 0.95); got != 7 {
+		t.Errorf("single = %g, want 7", got)
+	}
+	if got := percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty = %g, want NaN", got)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Stddev([]float64{2, 4, 6}); math.Abs(got-1.632993) > 1e-5 {
+		t.Errorf("Stddev = %g", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Stddev(nil)) {
+		t.Error("empty inputs should give NaN")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	r := NewRecorder()
+	r.Arrive(0, 0)
+	r.Complete(0, 60)
+	if got := r.Summarize().String(); got == "" {
+		t.Error("empty Summary string")
+	}
+}

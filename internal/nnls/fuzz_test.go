@@ -1,0 +1,45 @@
+package nnls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSolve hardens the NNLS solver: arbitrary well-formed inputs must never
+// panic, never return negative or non-finite coordinates, and never report a
+// residual worse than the zero vector's.
+func FuzzSolve(f *testing.F) {
+	f.Add(int64(1), 4, 2)
+	f.Add(int64(2), 10, 5)
+	f.Add(int64(3), 1, 1)
+	f.Add(int64(4), 30, 6)
+
+	f.Fuzz(func(t *testing.T, seed int64, rows, cols int) {
+		if rows < 1 || rows > 64 || cols < 1 || cols > 16 {
+			return
+		}
+		r := rand.New(rand.NewSource(seed))
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			// Mix magnitudes to stress conditioning.
+			a.Data[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(5)-2))
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, res, err := Solve(a, b)
+		if err != nil {
+			return
+		}
+		for i, v := range x {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("x[%d] = %v", i, v)
+			}
+		}
+		if math.IsNaN(res) || res > Norm2(b)+1e-6*(1+Norm2(b)) {
+			t.Fatalf("residual %v worse than zero vector %v", res, Norm2(b))
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package nnls
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrRankDeficient is returned when the coefficient matrix does not have full
+// column rank and a unique least-squares solution does not exist.
+var ErrRankDeficient = errors.New("nnls: matrix is rank deficient")
+
+// LeastSquares solves min‖A·x − b‖₂ for a full-column-rank A (Rows ≥ Cols)
+// using Householder QR factorization. A and b are not modified.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		return nil, errors.New("nnls: underdetermined system (rows < cols)")
+	}
+	if len(b) != a.Rows {
+		return nil, errors.New("nnls: rhs length mismatch")
+	}
+	qr := a.Clone()
+	rhs := make([]float64, len(b))
+	copy(rhs, b)
+
+	m, n := qr.Rows, qr.Cols
+
+	// Relative tolerance for declaring a pivot column numerically zero.
+	var scale float64
+	for _, v := range qr.Data[:m*n] {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	rankTol := 2.2e-16 * scale * float64(m) * 16
+
+	for k := 0; k < n; k++ {
+		// Compute the Householder reflector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm <= rankTol {
+			return nil, ErrRankDeficient
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+
+		// Apply the reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		// Apply the reflector to the right-hand side.
+		var s float64
+		for i := k; i < m; i++ {
+			s += qr.At(i, k) * rhs[i]
+		}
+		s = -s / qr.At(k, k)
+		for i := k; i < m; i++ {
+			rhs[i] += s * qr.At(i, k)
+		}
+		// Store -norm as R[k][k] implicitly via the diagonal sign trick:
+		// we keep the reflector in the lower triangle; the R diagonal is -norm.
+		// Record it by negating later during back substitution.
+		qrDiagSet(qr, k, -norm)
+	}
+
+	// Back substitution on R (upper triangle of qr with diagonal in rdiag).
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := rhs[k]
+		for j := k + 1; j < n; j++ {
+			s -= qr.At(k, j) * x[j]
+		}
+		d := qrDiag(qr, k)
+		if d == 0 || math.Abs(d) < 1e-300 {
+			return nil, ErrRankDeficient
+		}
+		x[k] = s / d
+	}
+	return x, nil
+}
+
+// The QR loop needs to stash the R diagonal somewhere without disturbing the
+// reflector vectors stored in the lower triangle (which include the diagonal
+// position). We append a shadow diagonal to the matrix's Data slice.
+func qrDiagSet(m *Matrix, k int, v float64) {
+	need := m.Rows*m.Cols + m.Cols
+	if cap(m.Data) < need {
+		data := make([]float64, need)
+		copy(data, m.Data)
+		m.Data = data
+	} else {
+		m.Data = m.Data[:need]
+	}
+	m.Data[m.Rows*m.Cols+k] = v
+}
+
+func qrDiag(m *Matrix, k int) float64 {
+	return m.Data[m.Rows*m.Cols+k]
+}

@@ -1,0 +1,142 @@
+// Package nnls provides dense least-squares solvers used by the Optimus
+// performance models: an unconstrained solver based on Householder QR and a
+// non-negative least-squares (NNLS) solver implementing the classical
+// Lawson–Hanson active-set algorithm.
+//
+// The package replaces the SciPy NNLS routine the paper uses for fitting both
+// the loss-curve model (§3.1) and the resource→speed models (§3.2). Only the
+// standard library is used.
+package nnls
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero-filled rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("nnls: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("nnls: no rows")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("nnls: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("nnls: MulVec dimension mismatch: %d cols, %d vec", m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TransMulVec computes mᵀ·y.
+func (m *Matrix) TransMulVec(y []float64) []float64 {
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("nnls: TransMulVec dimension mismatch: %d rows, %d vec", m.Rows, len(y)))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		yi := y[i]
+		for j, v := range row {
+			out[j] += v * yi
+		}
+	}
+	return out
+}
+
+// Residual returns b − m·x.
+func (m *Matrix) Residual(x, b []float64) []float64 {
+	ax := m.MulVec(x)
+	out := make([]float64, len(b))
+	for i := range b {
+		out[i] = b[i] - ax[i]
+	}
+	return out
+}
+
+// ResidualNorm returns ‖b − m·x‖₂.
+func (m *Matrix) ResidualNorm(x, b []float64) float64 {
+	return Norm2(m.Residual(x, b))
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow.
+func Norm2(v []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dot returns the dot product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("nnls: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

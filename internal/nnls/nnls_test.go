@@ -1,0 +1,332 @@
+package nnls
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent system: x = (2, -3).
+	a, err := FromRows([][]float64{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+		{2, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3}
+	b := a.MulVec(want)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Classic line fit: y = 1 + 2t with noise-free data.
+	ts := []float64{0, 1, 2, 3, 4}
+	rows := make([][]float64, len(ts))
+	b := make([]float64, len(ts))
+	for i, tv := range ts {
+		rows[i] = []float64{1, tv}
+		b[i] = 1 + 2*tv
+	}
+	a, _ := FromRows(rows)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 2, 1e-10) {
+		t.Errorf("got intercept %g slope %g, want 1 2", x[0], x[1])
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+		{3, 6},
+	})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected rank-deficiency error")
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := LeastSquares(a, []float64{1}); err == nil {
+		t.Fatal("expected error for rows < cols")
+	}
+}
+
+func TestNNLSMatchesUnconstrainedWhenInterior(t *testing.T) {
+	// Solution strictly positive → NNLS must equal plain least squares.
+	a, _ := FromRows([][]float64{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+	})
+	want := []float64{1.5, 2.5}
+	b := a.MulVec(want)
+	x, res, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-8) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+	if res > 1e-8 {
+		t.Errorf("residual = %g, want ~0", res)
+	}
+}
+
+func TestNNLSClampsNegativeComponent(t *testing.T) {
+	// The unconstrained solution has a negative coordinate; NNLS must clamp
+	// it to zero and solve the reduced problem.
+	a, _ := FromRows([][]float64{
+		{1, 1},
+		{1, -1},
+	})
+	b := []float64{1, 3} // unconstrained solution: (2, -1)
+	x, _, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[1] != 0 {
+		t.Errorf("x[1] = %g, want 0", x[1])
+	}
+	// Reduced problem min (x0-1)^2 + (x0-3)^2 → x0 = 2.
+	if !almostEqual(x[0], 2, 1e-8) {
+		t.Errorf("x[0] = %g, want 2", x[0])
+	}
+}
+
+func TestNNLSZeroRHS(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x, res, err := Solve(a, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Errorf("x[%d] = %g, want 0", i, v)
+		}
+	}
+	if res != 0 {
+		t.Errorf("residual = %g, want 0", res)
+	}
+}
+
+func TestNNLSKnownProblem(t *testing.T) {
+	// Documented example (matches scipy.optimize.nnls):
+	// A = [[1,0],[1,0],[0,1]], b = [2,1,1] → x = (1.5, 1).
+	a, _ := FromRows([][]float64{{1, 0}, {1, 0}, {0, 1}})
+	x, _, err := Solve(a, []float64{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1.5, 1e-9) || !almostEqual(x[1], 1, 1e-9) {
+		t.Errorf("x = %v, want [1.5 1]", x)
+	}
+}
+
+// Property: NNLS solutions are always non-negative and never beat the
+// unconstrained optimum, but always do at least as well as the zero vector.
+func TestNNLSProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 4 + r.Intn(12)
+		cols := 1 + r.Intn(4)
+		if cols > rows {
+			cols = rows
+		}
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, res, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for _, v := range x {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		zeroRes := Norm2(b)
+		if res > zeroRes+1e-9 {
+			return false // worse than doing nothing
+		}
+		// The returned residual must agree with a recomputation.
+		return almostEqual(res, a.ResidualNorm(x, b), 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for problems whose true solution is non-negative and consistent,
+// NNLS recovers it (residual ≈ 0).
+func TestNNLSRecoversNonNegativeSolutions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 6 + r.Intn(10)
+		cols := 1 + r.Intn(4)
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		want := make([]float64, cols)
+		for i := range want {
+			want[i] = math.Abs(r.NormFloat64())
+		}
+		b := a.MulVec(want)
+		x, res, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		if res > 1e-6*(1+Norm2(b)) {
+			return false
+		}
+		_ = x
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KKT conditions hold at the solution: for x_j > 0 the gradient
+// component is ~0; for x_j = 0 it is ≥ -tol.
+func TestNNLSKKT(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 8 + r.Intn(8)
+		cols := 2 + r.Intn(3)
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64() * 3
+		}
+		x, _, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		// gradient of ½‖Ax−b‖² is Aᵀ(Ax−b); w = −gradient.
+		w := a.TransMulVec(a.Residual(x, b))
+		for j := range x {
+			if x[j] > 1e-9 {
+				if math.Abs(w[j]) > 1e-6 {
+					return false
+				}
+			} else if w[j] > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(1, 0); got != 3 {
+		t.Errorf("At(1,0) = %g, want 3", got)
+	}
+	m.Set(1, 0, 7)
+	if got := m.At(1, 0); got != 7 {
+		t.Errorf("after Set, At(1,0) = %g, want 7", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone aliases original storage")
+	}
+	v := m.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 11 {
+		t.Errorf("MulVec = %v, want [3 11]", v)
+	}
+	tv := m.TransMulVec([]float64{1, 1})
+	if tv[0] != 8 || tv[1] != 6 {
+		t.Errorf("TransMulVec = %v, want [8 6]", tv)
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %g, want 0", got)
+	}
+	// Overflow guard: huge components.
+	big := 1e200
+	if got := Norm2([]float64{big, big}); math.IsInf(got, 1) {
+		t.Error("Norm2 overflowed")
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func BenchmarkNNLSSmall(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := NewMatrix(30, 5)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	rhs := make([]float64, 30)
+	for i := range rhs {
+		rhs[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package psassign_test
+
+import (
+	"fmt"
+
+	"optimus/internal/psassign"
+)
+
+// ExamplePAA shows the §5.3 Parameter Assignment Algorithm balancing a
+// skewed block distribution — one giant embedding layer plus dust — across
+// three parameter servers, versus MXNet's default threshold heuristic.
+func ExamplePAA() {
+	blocks := []int64{900, 40, 35, 30, 10, 5, 5, 5} // parameters per layer
+	paa, err := psassign.PAA(blocks, 3, 0)
+	if err != nil {
+		panic(err)
+	}
+	mxnet, err := psassign.MXNet(blocks, 3, 1000, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PAA   size-diff=%d request-diff=%d\n", paa.MaxSizeDiff(), paa.MaxRequestDiff())
+	fmt.Printf("MXNet size-diff=%d request-diff=%d\n", mxnet.MaxSizeDiff(), mxnet.MaxRequestDiff())
+	// Output:
+	// PAA   size-diff=39 request-diff=1
+	// MXNet size-diff=955 request-diff=2
+}

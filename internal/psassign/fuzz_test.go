@@ -1,0 +1,50 @@
+package psassign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzPAA hardens the assignment algorithms: any positive block distribution
+// must be conserved exactly, with non-negative per-server loads.
+func FuzzPAA(f *testing.F) {
+	f.Add(int64(1), 10, 4)
+	f.Add(int64(2), 157, 10)
+	f.Add(int64(3), 1, 1)
+	f.Add(int64(4), 60, 16)
+
+	f.Fuzz(func(t *testing.T, seed int64, nBlocks, servers int) {
+		if nBlocks < 1 || nBlocks > 512 || servers < 1 || servers > 64 {
+			return
+		}
+		r := rand.New(rand.NewSource(seed))
+		blocks := make([]int64, nBlocks)
+		var total int64
+		for i := range blocks {
+			blocks[i] = 1 + int64(r.Intn(5_000_000))
+			total += blocks[i]
+		}
+		for name, assign := range map[string]func() (Assignment, error){
+			"paa":   func() (Assignment, error) { return PAA(blocks, servers, 0) },
+			"mxnet": func() (Assignment, error) { return MXNet(blocks, servers, 0, seed) },
+		} {
+			a, err := assign()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			var got int64
+			for _, b := range a.Bytes {
+				if b < 0 {
+					t.Fatalf("%s: negative server load", name)
+				}
+				got += b
+			}
+			if got != total {
+				t.Fatalf("%s: conserved %d of %d parameters", name, got, total)
+			}
+			if a.TotalRequests() < nBlocks {
+				t.Fatalf("%s: %d requests for %d blocks", name, a.TotalRequests(), nBlocks)
+			}
+		}
+	})
+}

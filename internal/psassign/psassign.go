@@ -1,0 +1,332 @@
+// Package psassign implements the parameter-block→parameter-server
+// assignment strategies of §5.3: MXNet's default threshold heuristic (small
+// blocks to a random server, big blocks sliced across all servers) and the
+// paper's Parameter Assignment Algorithm (PAA), plus the imbalance metrics
+// of Table 3 and a load-aware step-time model that quantifies how imbalance
+// slows training (Figs 20–21).
+package psassign
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+// Assignment is the outcome of distributing a model's parameter blocks over
+// p parameter servers.
+type Assignment struct {
+	// Bytes[i] is the number of parameters (not raw bytes) hosted by PS i.
+	Bytes []int64
+	// Requests[i] is the number of parameter-update requests PS i serves
+	// per worker per training step (one request per hosted block/partition).
+	Requests []int
+}
+
+// NumPS returns the number of parameter servers.
+func (a Assignment) NumPS() int { return len(a.Bytes) }
+
+// TotalRequests is the total number of update requests per worker per step —
+// Table 3's third column. Slicing a block across servers multiplies its
+// requests.
+func (a Assignment) TotalRequests() int {
+	t := 0
+	for _, r := range a.Requests {
+		t += r
+	}
+	return t
+}
+
+// MaxSizeDiff is the maximal difference of hosted parameter counts between
+// two servers — Table 3's first column.
+func (a Assignment) MaxSizeDiff() int64 {
+	if len(a.Bytes) == 0 {
+		return 0
+	}
+	lo, hi := a.Bytes[0], a.Bytes[0]
+	for _, b := range a.Bytes {
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	return hi - lo
+}
+
+// MaxRequestDiff is the maximal difference of request counts between two
+// servers — Table 3's second column.
+func (a Assignment) MaxRequestDiff() int {
+	if len(a.Requests) == 0 {
+		return 0
+	}
+	lo, hi := a.Requests[0], a.Requests[0]
+	for _, r := range a.Requests {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return hi - lo
+}
+
+// MaxBytes is the parameter count on the most loaded server.
+func (a Assignment) MaxBytes() int64 {
+	var hi int64
+	for _, b := range a.Bytes {
+		if b > hi {
+			hi = b
+		}
+	}
+	return hi
+}
+
+// DefaultMXNetThreshold is MXNet's default big-block threshold (§5.3: 10⁶
+// parameters).
+const DefaultMXNetThreshold = 1_000_000
+
+// MXNet reproduces the default MXNet distribution: a block smaller than the
+// threshold goes to one uniformly random server; a block at or above the
+// threshold is sliced evenly across all servers (each slice is one request
+// on its server). The random choice is seeded for reproducibility.
+func MXNet(blocks []int64, p int, threshold int64, seed int64) (Assignment, error) {
+	if p < 1 {
+		return Assignment{}, fmt.Errorf("psassign: need at least 1 server, got %d", p)
+	}
+	if threshold <= 0 {
+		threshold = DefaultMXNetThreshold
+	}
+	a := Assignment{Bytes: make([]int64, p), Requests: make([]int, p)}
+	r := rand.New(rand.NewSource(seed))
+	for _, b := range blocks {
+		if b <= 0 {
+			return Assignment{}, fmt.Errorf("psassign: invalid block size %d", b)
+		}
+		if b < threshold {
+			i := r.Intn(p)
+			a.Bytes[i] += b
+			a.Requests[i]++
+			continue
+		}
+		// Slice evenly across all servers.
+		base := b / int64(p)
+		rem := b % int64(p)
+		for i := 0; i < p; i++ {
+			part := base
+			if int64(i) < rem {
+				part++
+			}
+			if part > 0 {
+				a.Bytes[i] += part
+				a.Requests[i]++
+			}
+		}
+	}
+	return a, nil
+}
+
+// PAA implements the paper's Parameter Assignment Algorithm. Blocks are
+// processed in decreasing size order against avg = total/p:
+//
+//   - tiny blocks (< smallFrac·avg) go to the server with the fewest
+//     requests;
+//   - medium blocks (≤ avg) go best-fit: the server with the smallest
+//     remaining capacity (avg − assigned) that still accommodates them, or
+//     the least-loaded server when none has room;
+//   - large blocks (> avg) are sliced into ≤ avg partitions, each assigned
+//     to the server with the least assigned parameters.
+//
+// smallFrac ≤ 0 selects the paper's default of 1%.
+func PAA(blocks []int64, p int, smallFrac float64) (Assignment, error) {
+	if p < 1 {
+		return Assignment{}, fmt.Errorf("psassign: need at least 1 server, got %d", p)
+	}
+	if smallFrac <= 0 {
+		smallFrac = 0.01
+	}
+	var total int64
+	for _, b := range blocks {
+		if b <= 0 {
+			return Assignment{}, fmt.Errorf("psassign: invalid block size %d", b)
+		}
+		total += b
+	}
+	avg := float64(total) / float64(p)
+
+	sorted := make([]int64, len(blocks))
+	copy(sorted, blocks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+
+	a := Assignment{Bytes: make([]int64, p), Requests: make([]int, p)}
+	parts := make([][]int64, p) // per-server assigned block/partition sizes
+	assign := func(i int, part int64) {
+		a.Bytes[i] += part
+		a.Requests[i]++
+		parts[i] = append(parts[i], part)
+	}
+	for _, b := range sorted {
+		bf := float64(b)
+		switch {
+		case bf > avg:
+			// Slice into avg-sized partitions; each goes to the server with
+			// the least assigned parameters.
+			remaining := b
+			for remaining > 0 {
+				part := int64(avg)
+				if part < 1 {
+					part = 1
+				}
+				if part > remaining {
+					part = remaining
+				}
+				assign(leastBytes(a), part)
+				remaining -= part
+			}
+		case bf >= smallFrac*avg:
+			// Best fit by remaining capacity.
+			best, bestLeft := -1, math.Inf(1)
+			for i := 0; i < p; i++ {
+				left := avg - float64(a.Bytes[i])
+				if left >= bf && left < bestLeft {
+					best, bestLeft = i, left
+				}
+			}
+			if best < 0 {
+				// No server has nominal room: fall back to the server with
+				// the fewest requests so neither bytes nor request counts
+				// concentrate.
+				best = leastRequests(a)
+			}
+			assign(best, b)
+		default:
+			// Tiny block: balance the request counts.
+			assign(leastRequests(a), b)
+		}
+	}
+	rebalanceRequests(&a, parts, avg)
+	return a, nil
+}
+
+// rebalanceRequests implements PAA objective (c): minimize the maximal
+// difference of request counts between servers. Small blocks (≤ 5% of the
+// per-server average) migrate from the most- to the least-requested server
+// until the spread reaches 1 or only large blocks remain — large blocks stay
+// put so objective (a), size balance, is not sacrificed.
+func rebalanceRequests(a *Assignment, parts [][]int64, avg float64) {
+	limit := int64(avg * 0.05)
+	if limit < 1 {
+		limit = 1
+	}
+	for guard := 0; guard < 10*len(a.Bytes)*len(a.Bytes)+1000; guard++ {
+		hi, lo := 0, 0
+		for i := range a.Requests {
+			if a.Requests[i] > a.Requests[hi] {
+				hi = i
+			}
+			if a.Requests[i] < a.Requests[lo] {
+				lo = i
+			}
+		}
+		if a.Requests[hi]-a.Requests[lo] <= 1 {
+			return
+		}
+		// Smallest movable block on the busiest server.
+		smallest := -1
+		for j, sz := range parts[hi] {
+			if sz <= limit && (smallest < 0 || sz < parts[hi][smallest]) {
+				smallest = j
+			}
+		}
+		if smallest < 0 {
+			return // nothing movable without hurting size balance
+		}
+		sz := parts[hi][smallest]
+		parts[hi] = append(parts[hi][:smallest], parts[hi][smallest+1:]...)
+		parts[lo] = append(parts[lo], sz)
+		a.Bytes[hi] -= sz
+		a.Bytes[lo] += sz
+		a.Requests[hi]--
+		a.Requests[lo]++
+	}
+}
+
+func leastBytes(a Assignment) int {
+	best := 0
+	for i := range a.Bytes {
+		if a.Bytes[i] < a.Bytes[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func leastRequests(a Assignment) int {
+	best := 0
+	for i := range a.Requests {
+		if a.Requests[i] < a.Requests[best] ||
+			(a.Requests[i] == a.Requests[best] && a.Bytes[i] < a.Bytes[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// perRequestOverhead is the per-update-request handling cost on a parameter
+// server, per worker (connection/control-message processing, §3.2's
+// communication-overhead term broken down per request).
+const perRequestOverhead = 0.0004 // seconds
+
+// StepTime evaluates the Eqn-2 step time under an explicit parameter
+// assignment: the transfer and update terms are driven by the busiest
+// server's parameter share (instead of the balanced S/p), and request
+// handling adds per-request overhead on the busiest server. This is the
+// mechanism behind Figs 20–21: imbalance inflates the slowest PS's work and
+// with it the whole synchronous step.
+func StepTime(m *workload.Model, mode speedfit.Mode, w int, a Assignment) float64 {
+	p := a.NumPS()
+	if p < 1 || w < 1 {
+		return math.Inf(1)
+	}
+	wf := float64(w)
+	var mEff float64
+	if mode == speedfit.Sync {
+		mEff = float64(m.GlobalBatch) / wf
+	} else {
+		mEff = float64(m.BatchPerWkr)
+	}
+	compute := mEff*m.FwdPerEx + m.Backward
+
+	maxBytes := float64(a.MaxBytes()) * 4 // parameters → bytes (float32)
+	transfer := 2 * maxBytes * wf / m.PSBandwidth
+	update := (maxBytes / (m.ModelBytes / float64(p))) * // load relative to balanced
+		(m.ModelBytes / m.UpdateRate) * wf / float64(p)
+
+	maxReq := 0
+	for _, r := range a.Requests {
+		if r > maxReq {
+			maxReq = r
+		}
+	}
+	reqOverhead := perRequestOverhead * float64(maxReq) * wf
+
+	overhead := m.OverheadWkr*wf + m.OverheadPS*float64(p)
+	return compute + transfer + update + reqOverhead + overhead
+}
+
+// Speed converts StepTime to steps/second for the mode.
+func Speed(m *workload.Model, mode speedfit.Mode, w int, a Assignment) float64 {
+	t := StepTime(m, mode, w, a)
+	if t <= 0 || math.IsInf(t, 1) {
+		return 0
+	}
+	if mode == speedfit.Async {
+		return float64(w) / t
+	}
+	return 1 / t
+}

@@ -1,0 +1,244 @@
+package psassign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+func resnetBlocks(t *testing.T) []int64 {
+	t.Helper()
+	m := workload.ZooByName("resnet-50")
+	if m == nil {
+		t.Fatal("resnet-50 missing from zoo")
+	}
+	return m.ParameterBlocks()
+}
+
+func sum(bs []int64) int64 {
+	var s int64
+	for _, b := range bs {
+		s += b
+	}
+	return s
+}
+
+func TestMXNetConservesParameters(t *testing.T) {
+	blocks := resnetBlocks(t)
+	a, err := MXNet(blocks, 10, DefaultMXNetThreshold, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(a.Bytes); got != sum(blocks) {
+		t.Errorf("assigned %d params, want %d", got, sum(blocks))
+	}
+	if a.NumPS() != 10 {
+		t.Errorf("NumPS = %d", a.NumPS())
+	}
+}
+
+func TestPAAConservesParameters(t *testing.T) {
+	blocks := resnetBlocks(t)
+	a, err := PAA(blocks, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum(a.Bytes); got != sum(blocks) {
+		t.Errorf("assigned %d params, want %d", got, sum(blocks))
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := MXNet([]int64{1}, 0, 0, 1); err == nil {
+		t.Error("MXNet accepted p=0")
+	}
+	if _, err := PAA([]int64{1}, 0, 0); err == nil {
+		t.Error("PAA accepted p=0")
+	}
+	if _, err := MXNet([]int64{0}, 2, 0, 1); err == nil {
+		t.Error("MXNet accepted zero block")
+	}
+	if _, err := PAA([]int64{-5}, 2, 0); err == nil {
+		t.Error("PAA accepted negative block")
+	}
+}
+
+// Table 3's qualitative content: PAA yields (a) much smaller size imbalance,
+// (b) much smaller request imbalance, (c) fewer total requests than MXNet.
+func TestTable3Shape(t *testing.T) {
+	blocks := resnetBlocks(t)
+	const p = 10
+	mx, err := MXNet(blocks, p, DefaultMXNetThreshold, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paa, err := PAA(blocks, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("MXNet: sizeDiff=%.2fM reqDiff=%d total=%d",
+		float64(mx.MaxSizeDiff())/1e6, mx.MaxRequestDiff(), mx.TotalRequests())
+	t.Logf("PAA:   sizeDiff=%.2fM reqDiff=%d total=%d",
+		float64(paa.MaxSizeDiff())/1e6, paa.MaxRequestDiff(), paa.TotalRequests())
+
+	if paa.MaxSizeDiff() >= mx.MaxSizeDiff() {
+		t.Errorf("PAA size diff %d not below MXNet %d",
+			paa.MaxSizeDiff(), mx.MaxSizeDiff())
+	}
+	if paa.MaxRequestDiff() >= mx.MaxRequestDiff() {
+		t.Errorf("PAA request diff %d not below MXNet %d",
+			paa.MaxRequestDiff(), mx.MaxRequestDiff())
+	}
+	if paa.TotalRequests() >= mx.TotalRequests() {
+		t.Errorf("PAA total requests %d not below MXNet %d",
+			paa.TotalRequests(), mx.TotalRequests())
+	}
+	// The paper: PAA keeps request diff at 1 and never splits more blocks
+	// than necessary. Our PAA may split the giant blocks only.
+	if paa.MaxRequestDiff() > 3 {
+		t.Errorf("PAA request diff %d, want ≤ 3", paa.MaxRequestDiff())
+	}
+}
+
+// Fig 20: PAA's speed advantage over MXNet grows with the number of servers.
+func TestFig20AdvantageGrowsWithPS(t *testing.T) {
+	m := workload.ZooByName("resnet-50")
+	blocks := m.ParameterBlocks()
+	const w = 10
+	ratioAt := func(p int) float64 {
+		mx, err := MXNet(blocks, p, DefaultMXNetThreshold, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paa, err := PAA(blocks, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Speed(m, speedfit.Sync, w, paa) / Speed(m, speedfit.Sync, w, mx)
+	}
+	r4, r20 := ratioAt(4), ratioAt(20)
+	t.Logf("PAA/MXNet speed ratio: p=4 → %.3f, p=20 → %.3f", r4, r20)
+	if r4 < 1.0 {
+		t.Errorf("PAA slower than MXNet at p=4: ratio %.3f", r4)
+	}
+	if r20 <= r4 {
+		t.Errorf("advantage should grow with p: %.3f at 4 vs %.3f at 20", r4, r20)
+	}
+}
+
+// Fig 21: PAA speeds up every model in the zoo (up to ~29% in the paper).
+func TestFig21AllModelsImprove(t *testing.T) {
+	const p, w = 10, 10
+	for _, m := range workload.Zoo() {
+		blocks := m.ParameterBlocks()
+		mx, err := MXNet(blocks, p, DefaultMXNetThreshold, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paa, err := PAA(blocks, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, sm := Speed(m, speedfit.Sync, w, paa), Speed(m, speedfit.Sync, w, mx)
+		if sp < sm*0.999 {
+			t.Errorf("%s: PAA %.4f slower than MXNet %.4f", m.Name, sp, sm)
+		}
+	}
+}
+
+func TestStepTimeEdgeCases(t *testing.T) {
+	m := workload.ZooByName("cnn-rand")
+	var empty Assignment
+	if got := StepTime(m, speedfit.Sync, 5, empty); got != got+0 && got <= 0 {
+		t.Error("StepTime with no servers should be +Inf")
+	}
+	if got := Speed(m, speedfit.Sync, 0, empty); got != 0 {
+		t.Errorf("Speed with w=0 = %g, want 0", got)
+	}
+}
+
+func TestAssignmentMetricsEmpty(t *testing.T) {
+	var a Assignment
+	if a.MaxSizeDiff() != 0 || a.MaxRequestDiff() != 0 || a.TotalRequests() != 0 {
+		t.Error("empty assignment metrics should be zero")
+	}
+}
+
+// Property: PAA never splits a block smaller than avg, so total requests ≤
+// blocks + p·(number of giant blocks); and all parameters are conserved.
+func TestPAAProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 1 + r.Intn(16)
+		n := 1 + r.Intn(60)
+		blocks := make([]int64, n)
+		var total int64
+		giants := 0
+		for i := range blocks {
+			blocks[i] = 1 + int64(r.Intn(2_000_000))
+			total += blocks[i]
+		}
+		avg := float64(total) / float64(p)
+		for _, b := range blocks {
+			if float64(b) > avg {
+				giants++
+			}
+		}
+		a, err := PAA(blocks, p, 0)
+		if err != nil {
+			return false
+		}
+		if sum(a.Bytes) != total {
+			return false
+		}
+		// Each giant block contributes at most ceil(b/avg) ≤ p+1 requests.
+		if a.TotalRequests() > n+giants*(p+1) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PAA's size imbalance is bounded by the largest non-giant block
+// (or the slice size), so it is never catastrophically uneven.
+func TestPAABalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := 2 + r.Intn(10)
+		blocks := make([]int64, 20+r.Intn(80))
+		for i := range blocks {
+			blocks[i] = 1 + int64(r.Intn(500_000))
+		}
+		a, err := PAA(blocks, p, 0)
+		if err != nil {
+			return false
+		}
+		var maxBlock int64
+		for _, b := range blocks {
+			if b > maxBlock {
+				maxBlock = b
+			}
+		}
+		var total int64
+		for _, b := range blocks {
+			total += b
+		}
+		avg := total / int64(p)
+		bound := maxBlock
+		if avg > bound {
+			bound = avg
+		}
+		return a.MaxSizeDiff() <= 2*bound
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package psys
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Checkpoint is the serialized training state of §5.4's checkpoint-based
+// elastic scaling: model identity, parameters and progress.
+type Checkpoint struct {
+	ModelName string
+	Dim       int
+	Params    []float64
+	Rounds    int
+}
+
+// SaveCheckpoint captures the job's current parameters to a file (the HDFS
+// write of §5.4).
+func (j *Job) SaveCheckpoint(path string) error {
+	params, err := j.Params()
+	if err != nil {
+		return fmt.Errorf("psys: checkpoint gather: %w", err)
+	}
+	ck := Checkpoint{
+		ModelName: j.cfg.Model.Name(),
+		Dim:       len(params),
+		Params:    params,
+		Rounds:    j.Rounds(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("psys: checkpoint create: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+		return fmt.Errorf("psys: checkpoint encode: %w", err)
+	}
+	return f.Sync()
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("psys: checkpoint open: %w", err)
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return Checkpoint{}, fmt.Errorf("psys: checkpoint decode: %w", err)
+	}
+	if ck.Dim != len(ck.Params) {
+		return Checkpoint{}, fmt.Errorf("psys: corrupt checkpoint: dim %d, %d params",
+			ck.Dim, len(ck.Params))
+	}
+	return ck, nil
+}
+
+// Scale performs §5.4's elastic resize: checkpoint the job, stop it, and
+// restart it with the new worker/server counts from the checkpoint. The
+// returned job continues training from the saved parameters; data chunks are
+// reassigned to the new workers (§5.1).
+func Scale(j *Job, newWorkers, newServers int, checkpointPath string) (*Job, error) {
+	if newWorkers <= 0 || newServers <= 0 {
+		return nil, fmt.Errorf("psys: invalid scale target %dw/%dp", newWorkers, newServers)
+	}
+	if err := j.SaveCheckpoint(checkpointPath); err != nil {
+		return nil, err
+	}
+	ck, err := LoadCheckpoint(checkpointPath)
+	if err != nil {
+		return nil, err
+	}
+	if ck.ModelName != j.cfg.Model.Name() || ck.Dim != j.cfg.Model.Dim() {
+		return nil, fmt.Errorf("psys: checkpoint mismatch: %s/%d vs %s/%d",
+			ck.ModelName, ck.Dim, j.cfg.Model.Name(), j.cfg.Model.Dim())
+	}
+	j.Stop()
+
+	cfg := j.cfg
+	cfg.Workers = newWorkers
+	cfg.Servers = newServers
+	cfg.InitParams = ck.Params
+	cfg.BlockSizes = nil   // relayout for the new server count
+	cfg.WorkerDelays = nil // replaced workers are healthy
+	nj, err := StartJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nj.mu.Lock()
+	nj.rounds = ck.Rounds
+	nj.mu.Unlock()
+	return nj, nil
+}

@@ -1,0 +1,148 @@
+package psys
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"optimus/internal/speedfit"
+)
+
+// Failure injection: the framework must surface clean errors — never hang or
+// panic — when its environment breaks underneath it.
+
+func TestWorkerSurvivesServerShutdownWithError(t *testing.T) {
+	data, _, err := SyntheticRegression(200, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := StartJob(JobConfig{
+		Model: LinearRegression{Features: 8}, Data: data,
+		Mode: speedfit.Sync, Workers: 2, Servers: 2,
+		BatchSize: 16, LR: 0.05, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	if _, err := j.RunSteps(5); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one server out from under the workers.
+	j.servers[0].Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := j.RunSteps(5)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RunSteps succeeded against a dead server")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunSteps hung on a dead server")
+	}
+}
+
+func TestTCPServerShutdownSurfacesError(t *testing.T) {
+	data, _, err := SyntheticRegression(200, 8, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := StartJob(JobConfig{
+		Model: LinearRegression{Features: 8}, Data: data,
+		Mode: speedfit.Async, Workers: 2, Servers: 2,
+		BatchSize: 16, LR: 0.05, Seed: 2, Transport: TransportTCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	if _, err := j.RunSteps(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.tcp[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := j.RunSteps(20)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("RunSteps succeeded after TCP listener closed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunSteps hung after TCP listener closed")
+	}
+}
+
+func TestCorruptCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestTruncatedCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ckpt")
+	j := regJob(t, JobConfig{Mode: speedfit.Sync, Seed: 30})
+	if _, err := j.RunSteps(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SaveCheckpoint(good); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(bad, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}
+
+func TestSaveCheckpointBadPath(t *testing.T) {
+	j := regJob(t, JobConfig{Mode: speedfit.Sync, Seed: 31})
+	if err := j.SaveCheckpoint(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("checkpoint to unwritable path succeeded")
+	}
+}
+
+func TestScaleFromStoppedJobFails(t *testing.T) {
+	data, _, err := SyntheticRegression(100, 4, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := StartJob(JobConfig{
+		Model: LinearRegression{Features: 4}, Data: data,
+		Mode: speedfit.Sync, Workers: 1, Servers: 1,
+		BatchSize: 8, LR: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Stop()
+	if _, err := Scale(j, 2, 2, filepath.Join(t.TempDir(), "x.ckpt")); err == nil {
+		t.Error("Scale of a stopped job succeeded")
+	}
+}
+
+func TestDialServerRefused(t *testing.T) {
+	if _, err := DialServer("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}

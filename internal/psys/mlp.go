@@ -1,0 +1,105 @@
+package psys
+
+import (
+	"fmt"
+	"math"
+)
+
+// MLP is a one-hidden-layer neural network with tanh activation and squared
+// loss — a genuinely non-convex objective whose SGD loss curve follows the
+// O(1/k) trend the §3.1 model fits, unlike the convex surrogates. Parameters
+// are packed as [W1 (Hidden×In) | b1 (Hidden) | W2 (Hidden) | b2 (1)], which
+// gives the parameter vector the multi-block structure the §5.3 assignment
+// algorithms care about.
+type MLP struct {
+	In     int // input features
+	Hidden int // hidden units
+}
+
+// Dim implements Model.
+func (m MLP) Dim() int { return m.Hidden*m.In + m.Hidden + m.Hidden + 1 }
+
+// Name implements Model.
+func (m MLP) Name() string { return fmt.Sprintf("mlp-%dx%d", m.In, m.Hidden) }
+
+// BlockSizes returns the natural per-layer parameter blocks (W1, b1, W2,
+// b2), mirroring how DL frameworks register one block per layer tensor.
+func (m MLP) BlockSizes() []int {
+	return []int{m.Hidden * m.In, m.Hidden, m.Hidden, 1}
+}
+
+// unpack returns views into the packed parameter vector.
+func (m MLP) unpack(params []float64) (w1, b1, w2 []float64, b2 *float64) {
+	o := 0
+	w1 = params[o : o+m.Hidden*m.In]
+	o += m.Hidden * m.In
+	b1 = params[o : o+m.Hidden]
+	o += m.Hidden
+	w2 = params[o : o+m.Hidden]
+	o += m.Hidden
+	b2 = &params[o]
+	return
+}
+
+// forward computes the prediction and hidden activations for one example.
+func (m MLP) forward(params, x, hidden []float64) float64 {
+	w1, b1, w2, b2 := m.unpack(params)
+	for h := 0; h < m.Hidden; h++ {
+		s := b1[h]
+		row := w1[h*m.In : (h+1)*m.In]
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		hidden[h] = math.Tanh(s)
+	}
+	out := *b2
+	for h, a := range hidden {
+		out += w2[h] * a
+	}
+	return out
+}
+
+// Loss implements Model.
+func (m MLP) Loss(params []float64, b Batch) float64 {
+	if b.Len() == 0 {
+		return 0
+	}
+	hidden := make([]float64, m.Hidden)
+	var sum float64
+	for i, x := range b.X {
+		d := m.forward(params, x, hidden) - b.Y[i]
+		sum += d * d
+	}
+	return sum / (2 * float64(b.Len()))
+}
+
+// Gradient implements Model via backpropagation.
+func (m MLP) Gradient(params, grad []float64, b Batch) {
+	for i := range grad {
+		grad[i] = 0
+	}
+	if b.Len() == 0 {
+		return
+	}
+	w1, _, w2, _ := m.unpack(params)
+	gw1, gb1, gw2, gb2 := m.unpack(grad)
+	hidden := make([]float64, m.Hidden)
+	inv := 1 / float64(b.Len())
+	for i, x := range b.X {
+		pred := m.forward(params, x, hidden)
+		d := (pred - b.Y[i]) * inv
+		*gb2 += d
+		for h := 0; h < m.Hidden; h++ {
+			a := hidden[h]
+			gw2[h] += d * a
+			// dL/dpre_h = d · w2[h] · (1 − tanh²)
+			dh := d * w2[h] * (1 - a*a)
+			gb1[h] += dh
+			row := gw1[h*m.In : (h+1)*m.In]
+			_ = w1
+			for j, xj := range x {
+				row[j] += dh * xj
+			}
+		}
+	}
+}

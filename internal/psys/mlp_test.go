@@ -1,0 +1,146 @@
+package psys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"optimus/internal/speedfit"
+)
+
+func TestMLPDimAndBlocks(t *testing.T) {
+	m := MLP{In: 8, Hidden: 16}
+	if got, want := m.Dim(), 16*8+16+16+1; got != want {
+		t.Errorf("Dim = %d, want %d", got, want)
+	}
+	var sum int
+	for _, b := range m.BlockSizes() {
+		sum += b
+	}
+	if sum != m.Dim() {
+		t.Errorf("blocks sum to %d, want %d", sum, m.Dim())
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// Gradient check against central finite differences.
+func TestMLPGradientMatchesFiniteDifference(t *testing.T) {
+	m := MLP{In: 4, Hidden: 3}
+	r := rand.New(rand.NewSource(9))
+	params := make([]float64, m.Dim())
+	for i := range params {
+		params[i] = r.NormFloat64() * 0.5
+	}
+	batch := Batch{}
+	for i := 0; i < 6; i++ {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = r.NormFloat64()
+		}
+		batch.X = append(batch.X, x)
+		batch.Y = append(batch.Y, r.NormFloat64())
+	}
+	grad := make([]float64, m.Dim())
+	m.Gradient(params, grad, batch)
+
+	const h = 1e-6
+	for i := 0; i < m.Dim(); i += 3 { // spot-check a third of the coordinates
+		orig := params[i]
+		params[i] = orig + h
+		up := m.Loss(params, batch)
+		params[i] = orig - h
+		down := m.Loss(params, batch)
+		params[i] = orig
+		fd := (up - down) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("grad[%d] = %g, finite difference %g", i, grad[i], fd)
+		}
+	}
+}
+
+func TestMLPTrainsOnPS(t *testing.T) {
+	// A nonlinear target the linear models cannot fit: y = tanh-ish of x.
+	r := rand.New(rand.NewSource(17))
+	batch := Batch{}
+	for i := 0; i < 600; i++ {
+		x := []float64{r.NormFloat64(), r.NormFloat64()}
+		batch.X = append(batch.X, x)
+		batch.Y = append(batch.Y, math.Tanh(2*x[0])-math.Tanh(x[1]))
+	}
+	model := MLP{In: 2, Hidden: 8}
+	j, err := StartJob(JobConfig{
+		Model: model, Data: batch, Mode: speedfit.Sync,
+		Workers: 2, Servers: 2, BatchSize: 32, LR: 0.1,
+		Momentum:   0.9,
+		BlockSizes: model.BlockSizes(), // one block per layer, as frameworks do
+		Seed:       17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Stop()
+	before, _ := j.Loss()
+	if _, err := j.RunSteps(400); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := j.Loss()
+	if after >= before*0.2 {
+		t.Errorf("MLP loss %g → %g; expected ≥5x reduction", before, after)
+	}
+}
+
+func TestMomentumAcceleratesConvergence(t *testing.T) {
+	data, _, err := SyntheticRegression(600, 24, 0.01, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossAfter := func(mu float64) float64 {
+		j, err := StartJob(JobConfig{
+			Model: LinearRegression{Features: 24}, Data: data,
+			Mode: speedfit.Sync, Workers: 2, Servers: 2,
+			BatchSize: 32, LR: 0.02, Momentum: mu, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Stop()
+		if _, err := j.RunSteps(60); err != nil {
+			t.Fatal(err)
+		}
+		l, err := j.Loss()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	plain := lossAfter(0)
+	withMomentum := lossAfter(0.9)
+	if withMomentum >= plain {
+		t.Errorf("momentum loss %g not below plain SGD %g after equal steps",
+			withMomentum, plain)
+	}
+}
+
+func TestMomentumValidation(t *testing.T) {
+	data, _, _ := SyntheticRegression(50, 4, 0, 1)
+	_, err := StartJob(JobConfig{
+		Model: LinearRegression{Features: 4}, Data: data,
+		Mode: speedfit.Sync, Workers: 1, Servers: 1,
+		BatchSize: 8, LR: 0.1, Momentum: 1.0,
+	})
+	if err == nil {
+		t.Error("momentum 1.0 accepted")
+	}
+	s, err := NewServer(speedfit.Sync, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMomentum(-0.1); err == nil {
+		t.Error("negative momentum accepted")
+	}
+	if err := s.SetMomentum(0.5); err != nil {
+		t.Errorf("valid momentum rejected: %v", err)
+	}
+}

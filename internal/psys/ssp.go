@@ -1,0 +1,111 @@
+package psys
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SSPCoordinator implements bounded-staleness (stale-synchronous-parallel)
+// training — the middle ground between the paper's two modes (§2.2): fully
+// synchronous training pays a barrier every step, fully asynchronous training
+// risks unbounded parameter staleness ("parameter staleness may lead to
+// unstable training progress", §5.2). Under SSP a worker at round r may only
+// proceed while the slowest worker is at round ≥ r − slack.
+//
+// The coordinator is transport-independent: workers call Advance after each
+// completed step and block until the staleness bound allows the next one.
+type SSPCoordinator struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	slack  int
+	rounds map[int]int // worker ID → completed rounds
+	closed bool
+}
+
+// NewSSPCoordinator creates a coordinator with the given slack (0 = fully
+// synchronous behaviour, large = effectively asynchronous) for the given
+// worker IDs.
+func NewSSPCoordinator(slack int, workerIDs []int) (*SSPCoordinator, error) {
+	if slack < 0 {
+		return nil, fmt.Errorf("psys: negative slack %d", slack)
+	}
+	if len(workerIDs) == 0 {
+		return nil, fmt.Errorf("psys: no workers")
+	}
+	c := &SSPCoordinator{slack: slack, rounds: make(map[int]int, len(workerIDs))}
+	for _, id := range workerIDs {
+		if _, dup := c.rounds[id]; dup {
+			return nil, fmt.Errorf("psys: duplicate worker %d", id)
+		}
+		c.rounds[id] = 0
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// Advance records that the worker finished one round and blocks until the
+// worker may start the next one (i.e. until slowest ≥ myRounds − slack). It
+// returns ErrClosed if the coordinator shuts down while waiting.
+func (c *SSPCoordinator) Advance(workerID int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.rounds[workerID]; !ok {
+		return fmt.Errorf("psys: unknown worker %d", workerID)
+	}
+	c.rounds[workerID]++
+	c.cond.Broadcast()
+	for !c.closed && c.rounds[workerID]-c.slowestLocked() > c.slack {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Staleness reports the current spread between the fastest and slowest
+// worker.
+func (c *SSPCoordinator) Staleness() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fastest, slowest := 0, int(^uint(0)>>1)
+	for _, r := range c.rounds {
+		if r > fastest {
+			fastest = r
+		}
+		if r < slowest {
+			slowest = r
+		}
+	}
+	return fastest - slowest
+}
+
+// Remove drops a worker from the staleness computation (straggler
+// replacement or scale-in), waking anyone blocked on it.
+func (c *SSPCoordinator) Remove(workerID int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.rounds, workerID)
+	c.cond.Broadcast()
+}
+
+// Close unblocks all waiters with ErrClosed.
+func (c *SSPCoordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.cond.Broadcast()
+}
+
+func (c *SSPCoordinator) slowestLocked() int {
+	slowest := int(^uint(0) >> 1)
+	for _, r := range c.rounds {
+		if r < slowest {
+			slowest = r
+		}
+	}
+	if len(c.rounds) == 0 {
+		return 0
+	}
+	return slowest
+}

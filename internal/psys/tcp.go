@@ -1,0 +1,180 @@
+package psys
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The TCP transport serializes push/pull as gob-encoded request/response
+// pairs over a persistent connection — the shape of a real PS data plane
+// (one connection per worker-server pair, §3.2's "handling TCP connections"
+// overhead made concrete).
+
+type wireRequest struct {
+	Op         byte // 'p' = push, 'g' = pull (get)
+	Block      int
+	MinVersion int
+	Grad       []float64
+}
+
+type wireResponse struct {
+	Params  []float64
+	Version int
+	Err     string
+}
+
+// TCPServer exposes a Server over a TCP listener.
+type TCPServer struct {
+	srv *Server
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// ServeTCP starts serving srv on addr (use "127.0.0.1:0" for an ephemeral
+// port) and returns immediately; the listener address is available via
+// Addr.
+func ServeTCP(srv *Server, addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("psys: listen: %w", err)
+	}
+	t := &TCPServer{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener address.
+func (t *TCPServer) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPServer) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.handle(conn)
+	}
+}
+
+func (t *TCPServer) handle(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // client went away
+		}
+		var resp wireResponse
+		switch req.Op {
+		case 'p':
+			if err := t.srv.Push(req.Block, req.Grad); err != nil {
+				resp.Err = err.Error()
+			}
+		case 'g':
+			params, version, err := t.srv.Pull(req.Block, req.MinVersion)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Params = params
+				resp.Version = version
+			}
+		default:
+			resp.Err = fmt.Sprintf("psys: unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener, closes live connections and waits for handlers.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.srv.Close() // wake any pulls blocked inside handlers
+	t.wg.Wait()
+	return err
+}
+
+// tcpConn is the client side of the TCP transport. Requests on one
+// connection are serialized: a PS client issues one RPC at a time.
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialServer connects to a TCPServer.
+func DialServer(addr string) (ServerConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("psys: dial %s: %w", addr, err)
+	}
+	return &tcpConn{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}, nil
+}
+
+func (c *tcpConn) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&req); err != nil {
+		return wireResponse{}, fmt.Errorf("psys: send: %w", err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return wireResponse{}, fmt.Errorf("psys: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return wireResponse{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *tcpConn) Push(blockID int, grad []float64) error {
+	_, err := c.roundTrip(wireRequest{Op: 'p', Block: blockID, Grad: grad})
+	return err
+}
+
+func (c *tcpConn) Pull(blockID int, minVersion int) ([]float64, int, error) {
+	resp, err := c.roundTrip(wireRequest{Op: 'g', Block: blockID, MinVersion: minVersion})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Params, resp.Version, nil
+}
+
+func (c *tcpConn) Close() error { return c.conn.Close() }

@@ -1,0 +1,30 @@
+package psys
+
+// ServerConn is a worker's connection to one parameter server. The two
+// implementations are the zero-cost in-process conn and the TCP/gob conn —
+// both expose identical push/pull semantics so engines and workers are
+// transport-agnostic.
+type ServerConn interface {
+	// Push delivers a gradient for a block.
+	Push(blockID int, grad []float64) error
+	// Pull returns the block's parameters at version ≥ minVersion.
+	Pull(blockID int, minVersion int) (params []float64, version int, err error)
+	// Close releases the connection.
+	Close() error
+}
+
+// localConn is the in-process transport: direct method calls on the server.
+type localConn struct {
+	s *Server
+}
+
+// LocalConn connects to a server within the same process.
+func LocalConn(s *Server) ServerConn { return &localConn{s: s} }
+
+func (c *localConn) Push(blockID int, grad []float64) error { return c.s.Push(blockID, grad) }
+
+func (c *localConn) Pull(blockID int, minVersion int) ([]float64, int, error) {
+	return c.s.Pull(blockID, minVersion)
+}
+
+func (c *localConn) Close() error { return nil }

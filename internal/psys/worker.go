@@ -1,0 +1,103 @@
+package psys
+
+import (
+	"fmt"
+	"time"
+)
+
+// Worker is one training task: it owns a data shard, pulls the latest
+// parameters from the servers, computes a gradient on its next mini-batch
+// and pushes it back (§2.2's worker loop).
+type Worker struct {
+	ID     int
+	model  Model
+	layout BlockLayout
+	owner  []int        // block → index into conns
+	conns  []ServerConn // one per server
+	cursor shardCursor
+	batch  int
+	sync   bool
+	round  int
+
+	// Delay injects artificial per-step slowness, used to create stragglers
+	// in tests and demos (§5.2).
+	Delay time.Duration
+
+	params []float64
+	grad   []float64
+
+	lastCompute time.Duration // gradient-production time of the last step
+}
+
+func newWorker(id int, model Model, layout BlockLayout, owner []int,
+	conns []ServerConn, shard Batch, batch int, syncMode bool) *Worker {
+	return &Worker{
+		ID:     id,
+		model:  model,
+		layout: layout,
+		owner:  owner,
+		conns:  conns,
+		cursor: shardCursor{shard: shard},
+		batch:  batch,
+		sync:   syncMode,
+		params: make([]float64, layout.Dim()),
+		grad:   make([]float64, layout.Dim()),
+	}
+}
+
+// Round returns the number of completed steps (sync rounds).
+func (w *Worker) Round() int { return w.round }
+
+// Step executes one training step and returns the mini-batch loss measured
+// before the update (the quantity fed to the §3.1 convergence fitter).
+func (w *Worker) Step() (float64, error) {
+	if w.Delay > 0 {
+		time.Sleep(w.Delay)
+	}
+	minVersion := 0
+	if w.sync {
+		minVersion = w.round
+	}
+	// Pull all blocks into the local parameter copy.
+	for b, off := range w.layout.Offsets {
+		params, _, err := w.conns[w.owner[b]].Pull(b, minVersion)
+		if err != nil {
+			return 0, fmt.Errorf("psys: worker %d pull block %d: %w", w.ID, b, err)
+		}
+		if len(params) != w.layout.Sizes[b] {
+			return 0, fmt.Errorf("psys: worker %d block %d size %d, want %d",
+				w.ID, b, len(params), w.layout.Sizes[b])
+		}
+		copy(w.params[off:off+w.layout.Sizes[b]], params)
+	}
+
+	batch := w.cursor.next(w.batch)
+	if batch.Len() == 0 {
+		return 0, fmt.Errorf("psys: worker %d has no data", w.ID)
+	}
+	computeStart := time.Now()
+	loss := w.model.Loss(w.params, batch)
+	w.model.Gradient(w.params, w.grad, batch)
+	w.lastCompute = time.Since(computeStart)
+	if w.Delay > 0 {
+		// Injected slowness is part of the worker's own work, so it counts
+		// toward compute time (that is what §5.2's detector must see even
+		// under synchronous barriers).
+		w.lastCompute += w.Delay
+	}
+
+	for b, off := range w.layout.Offsets {
+		if err := w.conns[w.owner[b]].Push(b, w.grad[off:off+w.layout.Sizes[b]]); err != nil {
+			return 0, fmt.Errorf("psys: worker %d push block %d: %w", w.ID, b, err)
+		}
+	}
+	w.round++
+	return loss, nil
+}
+
+// closeConns releases the worker's connections.
+func (w *Worker) closeConns() {
+	for _, c := range w.conns {
+		_ = c.Close() // best-effort teardown
+	}
+}

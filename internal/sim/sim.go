@@ -1,0 +1,732 @@
+// Package sim is the discrete-time deep-learning-cluster simulator of §6.1.
+// It replays a job trace against a cluster and a scheduling policy at fixed
+// scheduling intervals (10 minutes in the paper), driving job progress from
+// the ground-truth physics of the workload package: Eqn-2 step times made
+// placement-aware via the Appendix transfer model, true loss curves for
+// convergence, and checkpoint-based scaling pauses (§5.4).
+//
+// The scheduler side only observes noisy samples — pre-run speed profiles,
+// online speed measurements and per-epoch losses — and builds its own
+// lossfit/speedfit estimates, exactly mirroring how Optimus runs on a real
+// cluster. Ground truth and estimation never mix unless a Config says so.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/metrics"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+// Policy bundles an allocation algorithm with a placement algorithm; the
+// ablation experiments (Fig 18/19) mix and match them.
+type Policy struct {
+	Name     string
+	Allocate func(jobs []*core.JobInfo, capacity cluster.Resources) map[int]core.Allocation
+	Place    func(reqs []core.PlacementRequest, c *cluster.Cluster) (map[int]core.Placement, []int)
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Cluster *cluster.Cluster
+	Jobs    []workload.JobSpec
+	Policy  Policy
+
+	Interval float64 // scheduling interval, seconds (paper: 600)
+	MaxTime  float64 // hard stop, seconds (0 → 40 days)
+	Seed     int64
+
+	// --- estimation behaviour ---
+	// UseTrueModels bypasses online fitting and hands the scheduler the
+	// ground-truth Q and f (used by the ablation studies to isolate the
+	// allocation/placement algorithms from estimation error).
+	UseTrueModels bool
+	// PreRunSamples is the number of (p,w) profiling runs before each job
+	// starts (§6.1 uses 5). Ignored when UseTrueModels is set.
+	PreRunSamples int
+	// SpeedNoise / LossNoise are relative observation noises (e.g. 0.03).
+	SpeedNoise, LossNoise float64
+	// PriorEpochs is the convergence guess used before the loss fitter has
+	// enough data (the "beginning state" of §4.1).
+	PriorEpochs float64
+	// PriorityFactor dampens the marginal gain of beginning-state jobs
+	// (paper: 0.95; 1.0 disables). Only meaningful for the Optimus policy.
+	PriorityFactor float64
+
+	// --- Fig 15 controlled error injection (overrides fitting) ---
+	// InjectConvError / InjectSpeedError e replace estimates with
+	// truth·(1±e·(1−progress)), the paper's decay-with-progress scheme.
+	InjectConvError, InjectSpeedError float64
+
+	// --- scaling overhead (§5.4/§6.2) ---
+	// ScalingBase is the fixed checkpoint/restart pause; ScalingPerTask is
+	// added per task of the new configuration.
+	ScalingBase, ScalingPerTask float64
+	// ReconfigThreshold implements the §7 churn damper: a running job is
+	// only rescaled when the predicted speed improvement exceeds this
+	// fraction (e.g. 0.15 → 15%), avoiding checkpoint pauses for marginal
+	// gains. Zero disables damping.
+	ReconfigThreshold float64
+
+	// Stragglers: probability per running job per interval that one worker
+	// degrades (§5.2). Policies named "optimus" replace stragglers after one
+	// detection interval; others suffer them for the job's lifetime on that
+	// configuration.
+	StragglerProb     float64
+	StragglerSlowdown float64 // e.g. 0.5 → straggling job runs at 50%
+
+	// ShareSchedule implements the §7 mixed-workload extension: Optimus asks
+	// a central resource manager for a share of the cluster that varies over
+	// time (e.g. more at night). The function maps simulation time to the
+	// fraction of nodes available to DL jobs; nil means the whole cluster.
+	ShareSchedule func(t float64) float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 600
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = 40 * 24 * 3600
+	}
+	if c.PreRunSamples <= 0 {
+		c.PreRunSamples = 5
+	}
+	if c.PriorEpochs <= 0 {
+		c.PriorEpochs = 80
+	}
+	if c.PriorityFactor <= 0 {
+		c.PriorityFactor = 1.0
+	}
+	if c.ScalingBase < 0 {
+		c.ScalingBase = 0
+	}
+	if c.StragglerSlowdown <= 0 || c.StragglerSlowdown > 1 {
+		c.StragglerSlowdown = 0.5
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Summary  metrics.Summary
+	Timeline []metrics.IntervalStats
+	// JCTs maps job ID → completion time − arrival (completed jobs only).
+	JCTs map[int]float64
+	// Unfinished lists jobs that did not converge before MaxTime.
+	Unfinished []int
+	// Intervals is the number of scheduling rounds executed.
+	Intervals int
+}
+
+// jobState is the simulator's full view of one job.
+type jobState struct {
+	spec        workload.JobSpec
+	totalEpochs float64 // ground truth
+	progress    float64 // epochs completed
+	done        bool
+	doneAt      float64
+
+	// current deployment
+	alloc  core.Allocation
+	spread workload.TaskSpread
+	placed bool
+
+	// estimation state
+	lossFit  *lossfit.Fitter
+	speedEst *speedfit.Estimator
+	errSign  float64 // ±1, fixed per job, for Fig-15 injection
+
+	straggling bool // a slow worker is degrading the job (§5.2)
+}
+
+// epochsPerSecond converts a steps/s speed into epochs/s for the job: each
+// aggregate step covers `batch` examples (m per worker-step for async, M per
+// synchronized step for sync).
+func epochsPerSecond(spec workload.JobSpec, stepsPerSec float64) float64 {
+	m := spec.Model
+	examples := float64(m.DatasetSize)
+	if spec.Downscale > 0 && spec.Downscale <= 1 {
+		examples *= spec.Downscale
+	}
+	var batch float64
+	if spec.Mode == speedfit.Sync {
+		batch = float64(m.GlobalBatch)
+	} else {
+		batch = float64(m.BatchPerWkr)
+	}
+	return stepsPerSec * batch / examples
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("sim: no cluster")
+	}
+	if cfg.Policy.Allocate == nil || cfg.Policy.Place == nil {
+		return nil, fmt.Errorf("sim: policy %q incomplete", cfg.Policy.Name)
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("sim: no jobs")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rec := metrics.NewRecorder()
+	fitCache := make(map[string]speedfit.Model)
+
+	states := make([]*jobState, len(cfg.Jobs))
+	for i, spec := range cfg.Jobs {
+		js := &jobState{
+			spec:        spec,
+			totalEpochs: spec.TotalEpochs(),
+			lossFit:     lossfit.NewFitter(),
+			speedEst: speedfit.NewEstimator(spec.Mode,
+				float64(spec.Model.GlobalBatch)),
+			errSign: 1,
+		}
+		if rng.Intn(2) == 0 {
+			js.errSign = -1
+		}
+		states[i] = js
+		rec.Arrive(spec.ID, spec.Arrival)
+	}
+
+	res := &Result{JCTs: make(map[int]float64)}
+	now := 0.0
+	for now < cfg.MaxTime {
+		active := activeJobs(states, now)
+		if len(active) == 0 {
+			if allDone(states) {
+				break
+			}
+			// Fast-forward to the next arrival.
+			now = nextArrival(states, now, cfg.Interval)
+			continue
+		}
+		res.Intervals++
+
+		// Pre-run profiling for newly arrived jobs (once per job).
+		if !cfg.UseTrueModels {
+			for _, js := range active {
+				if js.speedEst.Configurations() == 0 {
+					preRunProfile(js, cfg, rng)
+				}
+			}
+		}
+
+		// Build scheduler views.
+		infos := make([]*core.JobInfo, 0, len(active))
+		for _, js := range active {
+			infos = append(infos, schedulerView(js, cfg, rng, fitCache))
+		}
+
+		// §7 mixed workloads: only a share of the nodes may be available.
+		availNodes := cfg.Cluster.Len()
+		if cfg.ShareSchedule != nil {
+			share := cfg.ShareSchedule(now)
+			if share < 0.05 {
+				share = 0.05
+			}
+			if share > 1 {
+				share = 1
+			}
+			availNodes = int(math.Ceil(share * float64(cfg.Cluster.Len())))
+			if availNodes < 1 {
+				availNodes = 1
+			}
+		}
+
+		// Allocate and place.
+		var capacity cluster.Resources
+		for _, n := range cfg.Cluster.Nodes()[:availNodes] {
+			capacity = capacity.Add(n.Capacity)
+		}
+		alloc := cfg.Policy.Allocate(infos, capacity)
+
+		// §7 churn damper: keep a running job's configuration when the
+		// proposed change is not predicted to pay for its checkpoint pause.
+		if cfg.ReconfigThreshold > 0 {
+			infoByID := make(map[int]*core.JobInfo, len(infos))
+			for _, in := range infos {
+				infoByID[in.ID] = in
+			}
+			for _, js := range active {
+				if !js.placed || js.alloc.Tasks() == 0 {
+					continue
+				}
+				a := alloc[js.spec.ID]
+				if a == js.alloc || a.Tasks() == 0 {
+					continue
+				}
+				info := infoByID[js.spec.ID]
+				oldRate := info.Speed(js.alloc.PS, js.alloc.Workers)
+				newRate := info.Speed(a.PS, a.Workers)
+				if newRate < oldRate*(1+cfg.ReconfigThreshold) {
+					alloc[js.spec.ID] = js.alloc
+				}
+			}
+		}
+		cfg.Cluster.ResetAll()
+		// Reserve the nodes lent to other workloads so placement cannot
+		// touch them.
+		for _, n := range cfg.Cluster.Nodes()[availNodes:] {
+			if err := n.Allocate(n.Capacity); err != nil {
+				return nil, fmt.Errorf("sim: reserving node %s: %w", n.ID, err)
+			}
+		}
+		var reqs []core.PlacementRequest
+		for _, info := range infos {
+			a := alloc[info.ID]
+			if a.PS > 0 && a.Workers > 0 {
+				reqs = append(reqs, core.PlacementRequest{
+					JobID: info.ID, Alloc: a,
+					WorkerRes: info.WorkerRes, PSRes: info.PSRes,
+				})
+			}
+		}
+		placements, unplacedIDs := cfg.Policy.Place(reqs, cfg.Cluster)
+
+		// A job can be allocatable against aggregate capacity yet not
+		// packable onto nodes (fragmentation). Shrink its allocation and
+		// retry so the cluster never idles while a runnable job waits —
+		// this is the "rescheduled in the next scheduling interval" escape
+		// hatch of §4.2 made immediate.
+		for _, id := range unplacedIDs {
+			a := alloc[id]
+			var info *core.JobInfo
+			for _, in := range infos {
+				if in.ID == id {
+					info = in
+					break
+				}
+			}
+			if info == nil || a.PS < 1 || a.Workers < 1 {
+				continue
+			}
+			for a.PS+a.Workers > 2 {
+				if a.Workers >= a.PS {
+					a.Workers--
+				} else {
+					a.PS--
+				}
+				retry := []core.PlacementRequest{{
+					JobID: id, Alloc: a,
+					WorkerRes: info.WorkerRes, PSRes: info.PSRes,
+				}}
+				pls, unp := cfg.Policy.Place(retry, cfg.Cluster)
+				if len(unp) == 0 {
+					placements[id] = pls[id]
+					alloc[id] = a
+					break
+				}
+			}
+		}
+
+		// Apply deployments, charging scaling pauses for changed configs.
+		pauses := make(map[int]float64, len(active))
+		for _, js := range active {
+			pl, ok := placements[js.spec.ID]
+			if !ok {
+				js.placed = false
+				js.alloc = core.Allocation{}
+				continue
+			}
+			// Record what was actually deployed — baseline placements may
+			// place fewer tasks than allocated (pending pods).
+			ps, w := pl.Counts()
+			newAlloc := core.Allocation{PS: ps, Workers: w}
+			changed := js.placed && (newAlloc != js.alloc)
+			fresh := !js.placed
+			js.alloc = newAlloc
+			js.spread = workload.TaskSpread{
+				PSOnNode:      pl.PSOnNode,
+				WorkersOnNode: pl.WorkersOnNode,
+			}
+			js.placed = true
+			if changed || fresh {
+				pause := cfg.ScalingBase + cfg.ScalingPerTask*float64(newAlloc.Tasks())
+				if pause > cfg.Interval {
+					pause = cfg.Interval
+				}
+				pauses[js.spec.ID] = pause
+				if changed { // §6.2 counts reconfiguration, not first launch
+					rec.AddScalingTime(pause)
+				}
+			}
+			// Straggler lifecycle (§5.2).
+			if js.straggling && policyHandlesStragglers(cfg.Policy) {
+				js.straggling = false // detected and replaced this interval
+			}
+			if cfg.StragglerProb > 0 && rng.Float64() < cfg.StragglerProb {
+				js.straggling = true
+			}
+		}
+
+		// Advance one interval of progress.
+		intervalEnd := now + cfg.Interval
+		for _, js := range active {
+			if !js.placed || js.done {
+				continue
+			}
+			start := now + pauses[js.spec.ID]
+			if start >= intervalEnd {
+				continue
+			}
+			stepsPerSec := js.spec.Model.PlacedSpeed(js.spec.Mode, js.spread)
+			if js.straggling {
+				stepsPerSec *= cfg.StragglerSlowdown
+			}
+			rate := epochsPerSecond(js.spec, stepsPerSec)
+			if rate <= 0 {
+				continue
+			}
+			remaining := js.totalEpochs - js.progress
+			span := intervalEnd - start
+			if gained := rate * span; gained < remaining {
+				js.progress += gained
+			} else {
+				js.progress = js.totalEpochs
+				js.done = true
+				js.doneAt = start + remaining/rate
+				rec.Complete(js.spec.ID, js.doneAt)
+				res.JCTs[js.spec.ID] = js.doneAt - js.spec.Arrival
+			}
+			// Online observations for the estimators.
+			if !cfg.UseTrueModels {
+				observe(js, stepsPerSec, cfg, rng)
+			}
+		}
+
+		rec.Snapshot(snapshot(now, states, cfg))
+		now = intervalEnd
+	}
+
+	for _, js := range states {
+		if !js.done {
+			res.Unfinished = append(res.Unfinished, js.spec.ID)
+		}
+	}
+	res.Summary = rec.Summarize()
+	res.Timeline = rec.Timeline()
+	return res, nil
+}
+
+func activeJobs(states []*jobState, now float64) []*jobState {
+	var out []*jobState
+	for _, js := range states {
+		if !js.done && js.spec.Arrival <= now {
+			out = append(out, js)
+		}
+	}
+	return out
+}
+
+func allDone(states []*jobState) bool {
+	for _, js := range states {
+		if !js.done {
+			return false
+		}
+	}
+	return true
+}
+
+func nextArrival(states []*jobState, now, interval float64) float64 {
+	next := math.Inf(1)
+	for _, js := range states {
+		if !js.done && js.spec.Arrival > now && js.spec.Arrival < next {
+			next = js.spec.Arrival
+		}
+	}
+	if math.IsInf(next, 1) {
+		return now + interval
+	}
+	// Align to the interval grid.
+	k := math.Ceil((next - now) / interval)
+	if k < 1 {
+		k = 1
+	}
+	return now + k*interval
+}
+
+// preRunProfile simulates the §3.2 sample runs on a small dataset: a handful
+// of (p,w) configurations measured with noise.
+func preRunProfile(js *jobState, cfg Config, rng *rand.Rand) {
+	plan := speedfit.SamplingPlan(cfg.PreRunSamples, 24)
+	for _, c := range plan {
+		truth := js.spec.Model.TrueSpeed(js.spec.Mode, c[0], c[1])
+		if truth <= 0 {
+			continue
+		}
+		obs := truth * (1 + cfg.SpeedNoise*rng.NormFloat64())
+		if obs <= 0 {
+			obs = truth
+		}
+		// Ignore the impossible: Observe only rejects invalid inputs, which
+		// cannot occur here by construction.
+		_ = js.speedEst.Observe(c[0], c[1], obs)
+	}
+}
+
+// observe feeds the running job's interval measurements to its estimators.
+func observe(js *jobState, stepsPerSec float64, cfg Config, rng *rand.Rand) {
+	if stepsPerSec > 0 {
+		obs := stepsPerSec * (1 + cfg.SpeedNoise*rng.NormFloat64())
+		if obs > 0 {
+			_ = js.speedEst.Observe(js.alloc.PS, js.alloc.Workers, obs)
+		}
+	}
+	if js.progress > 0 {
+		loss := js.spec.Model.TrueLoss(js.progress) * (1 + cfg.LossNoise*rng.NormFloat64())
+		if loss > 0 {
+			_ = js.lossFit.Add(js.progress, loss)
+		}
+	}
+}
+
+// approxPlacedSpeed predicts the speed of configuration (p, w) including the
+// cross-server transfer cost of spreading the job evenly over the fewest
+// servers that can host it. This is what a measured speed model would have
+// learned — the paper's fitted f(p,w) is calibrated from placed deployments,
+// not from an ideal single-switch abstraction.
+func approxPlacedSpeed(cfg Config, spec workload.JobSpec, p, w int) float64 {
+	if p < 1 || w < 1 {
+		return 0
+	}
+	taskCPU := (spec.Model.WorkerRes[cluster.CPU] + spec.Model.PSRes[cluster.CPU]) / 2
+	nodeCPU := cfg.Cluster.Capacity()[cluster.CPU] / float64(cfg.Cluster.Len())
+	perNode := 1.0
+	if taskCPU > 0 {
+		perNode = math.Floor(nodeCPU / taskCPU)
+		if perNode < 1 {
+			perNode = 1
+		}
+	}
+	return spec.Model.SmoothPlacedSpeed(spec.Mode, p, w, perNode)
+}
+
+// trueFitted builds the "perfect estimation" speed model for a job: an
+// Eqn-3/4 model fitted to noise-free placed-speed samples. The fitted form's
+// basis functions are monotone, so — exactly like the paper's learned models
+// — it smooths over the colocation valley of the raw placement physics that
+// would otherwise trap the greedy allocator in (1,1)-scale local optima.
+// Results are cached per (model, mode) for the duration of a run.
+func trueFitted(cfg Config, cache map[string]speedfit.Model, spec workload.JobSpec) (speedfit.Model, bool) {
+	key := spec.Model.Name + "/" + spec.Mode.String()
+	if m, ok := cache[key]; ok {
+		return m, m.Valid()
+	}
+	var samples []speedfit.Sample
+	for p := 1; p <= 16; p++ {
+		for w := 1; w <= 16; w++ {
+			s := approxPlacedSpeed(cfg, spec, p, w)
+			if s > 0 {
+				samples = append(samples, speedfit.Sample{P: p, W: w, Speed: s})
+			}
+		}
+	}
+	m, err := speedfit.Fit(spec.Mode, samples, float64(spec.Model.GlobalBatch))
+	if err != nil {
+		cache[key] = speedfit.Model{}
+		return speedfit.Model{}, false
+	}
+	cache[key] = m
+	return m, true
+}
+
+// truePredictor returns the noise-free fitted steps/s predictor for a job,
+// falling back to the smooth placed-speed surface when fitting fails.
+func truePredictor(cfg Config, cache map[string]speedfit.Model, spec workload.JobSpec) func(p, w int) float64 {
+	if m, ok := trueFitted(cfg, cache, spec); ok {
+		return m.Speed
+	}
+	return func(p, w int) float64 { return approxPlacedSpeed(cfg, spec, p, w) }
+}
+
+// schedulerView builds the core.JobInfo the policy sees for one job: a
+// remaining-work estimate Q (in epochs) and a speed function (epochs/s).
+func schedulerView(js *jobState, cfg Config, rng *rand.Rand, fitCache map[string]speedfit.Model) *core.JobInfo {
+	spec := js.spec
+	info := &core.JobInfo{
+		ID:        spec.ID,
+		WorkerRes: spec.Model.WorkerRes,
+		PSRes:     spec.Model.PSRes,
+	}
+	if spec.Mode == speedfit.Sync {
+		info.MaxWorkers = spec.Model.GlobalBatch // m = M/w must stay ≥ 1
+	}
+
+	progressFrac := 0.0
+	if js.totalEpochs > 0 {
+		progressFrac = js.progress / js.totalEpochs
+	}
+
+	// --- remaining work Q (epochs) ---
+	var totalEst float64
+	switch {
+	case cfg.InjectConvError > 0:
+		e := cfg.InjectConvError * (1 - progressFrac)
+		totalEst = js.totalEpochs * (1 + js.errSign*e)
+	case cfg.UseTrueModels:
+		totalEst = js.totalEpochs
+	default:
+		totalEst = estimateEpochs(js, cfg)
+	}
+	remaining := totalEst - js.progress
+	if remaining < 0.1 {
+		remaining = 0.1
+	}
+	info.RemainingWork = remaining
+
+	// --- speed function (epochs/s) ---
+	switch {
+	case cfg.InjectSpeedError > 0:
+		e := cfg.InjectSpeedError * (1 - progressFrac)
+		factor := 1 + js.errSign*e
+		if factor <= 0.01 {
+			factor = 0.01
+		}
+		base := truePredictor(cfg, fitCache, spec)
+		info.Speed = func(p, w int) float64 {
+			return epochsPerSecond(spec, base(p, w)) * factor
+		}
+	case cfg.UseTrueModels:
+		base := truePredictor(cfg, fitCache, spec)
+		info.Speed = func(p, w int) float64 {
+			return epochsPerSecond(spec, base(p, w))
+		}
+	default:
+		// Trust the fitted model only once it is over-determined; an
+		// exactly-determined fit (5 sync samples for 5 coefficients) can be
+		// arbitrarily biased off the sampled points.
+		minSamples := 5
+		if spec.Mode == speedfit.Sync {
+			minSamples = 6
+		}
+		var model speedfit.Model
+		fitOK := false
+		if js.speedEst.Configurations() >= minSamples {
+			if m, err := js.speedEst.Fit(); err == nil {
+				model, fitOK = m, true
+			}
+		}
+		if fitOK {
+			info.Speed = func(p, w int) float64 {
+				return epochsPerSecond(spec, model.Speed(p, w))
+			}
+		} else {
+			// Not enough samples yet: fall back to a placement-aware truth
+			// with a pessimistic haircut so the job is schedulable but not
+			// favoured.
+			info.Speed = func(p, w int) float64 {
+				return epochsPerSecond(spec, approxPlacedSpeed(cfg, spec, p, w)) * 0.8
+			}
+		}
+		// Beginning-state priority damping (§4.1).
+		if progressFrac < 0.1 {
+			info.Priority = cfg.PriorityFactor
+		}
+	}
+	_ = rng
+	return info
+}
+
+// estimateEpochs runs the online loss fit and converts it to a total-epoch
+// estimate, falling back to the prior when the fit is not ready.
+func estimateEpochs(js *jobState, cfg Config) float64 {
+	if js.lossFit.Len() >= 5 {
+		if m, err := js.lossFit.Fit(); err == nil {
+			if steps, err := m.StepsToConverge(js.spec.Threshold, 1, 3); err == nil {
+				return steps
+			}
+		}
+	}
+	return cfg.PriorEpochs
+}
+
+// policyHandlesStragglers reports whether the policy performs §5.2 straggler
+// replacement (only Optimus does in the paper's system).
+func policyHandlesStragglers(p Policy) bool { return p.Name == "optimus" }
+
+// snapshot computes the Fig-14 interval statistics from the current states.
+func snapshot(now float64, states []*jobState, cfg Config) metrics.IntervalStats {
+	s := metrics.IntervalStats{Time: now}
+	var wUtilSum, pUtilSum float64
+	var wTasks, pTasks int
+	var usedCPU float64
+	for _, js := range states {
+		if js.done {
+			continue
+		}
+		if js.spec.Arrival > now {
+			continue
+		}
+		if !js.placed {
+			s.WaitingJobs++
+			continue
+		}
+		s.RunningJobs++
+		s.RunningTasks += js.alloc.Tasks()
+		wu, pu := taskUtilizations(js)
+		wUtilSum += wu * float64(js.alloc.Workers)
+		pUtilSum += pu * float64(js.alloc.PS)
+		wTasks += js.alloc.Workers
+		pTasks += js.alloc.PS
+		usedCPU += js.spec.Model.WorkerRes[cluster.CPU]*float64(js.alloc.Workers) +
+			js.spec.Model.PSRes[cluster.CPU]*float64(js.alloc.PS)
+	}
+	if wTasks > 0 {
+		s.WorkerUtil = wUtilSum / float64(wTasks)
+	}
+	if pTasks > 0 {
+		s.PSUtil = pUtilSum / float64(pTasks)
+	}
+	if total := cfg.Cluster.Capacity()[cluster.CPU]; total > 0 {
+		s.ClusterShare = usedCPU / total
+	}
+	return s
+}
+
+// taskUtilizations derives the normalized CPU utilization of the job's
+// workers and parameter servers from the Eqn-2 physics: a worker computes
+// for m·T_fwd+T_back of each step; a PS is busy for its update and transfer
+// share. The rest of the step is waiting — unused allocated CPU, which is
+// what Fig 14(b)(c) visualizes.
+func taskUtilizations(js *jobState) (worker, ps float64) {
+	m := js.spec.Model
+	p, w := js.alloc.PS, js.alloc.Workers
+	if p < 1 || w < 1 {
+		return 0, 0
+	}
+	step := m.PlacedStepTime(js.spec.Mode, js.spread)
+	if step <= 0 || math.IsInf(step, 1) {
+		return 0, 0
+	}
+	var mEff float64
+	if js.spec.Mode == speedfit.Sync {
+		mEff = float64(m.GlobalBatch) / float64(w)
+	} else {
+		mEff = float64(m.BatchPerWkr)
+	}
+	compute := mEff*m.FwdPerEx + m.Backward
+	worker = clamp01(compute / step)
+
+	update := (m.ModelBytes / m.UpdateRate) * float64(w) / float64(p)
+	transfer := 2 * (m.ModelBytes / float64(p)) * float64(w) / m.PSBandwidth
+	ps = clamp01((update + transfer*0.3) / step) // NIC DMA ≠ CPU; charge 30%
+	return worker, ps
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optimus/internal/workload"
+)
+
+// FuzzReadJobs hardens the CSV trace parser: arbitrary input must never
+// panic, and every accepted trace must survive a write→read round trip.
+func FuzzReadJobs(f *testing.F) {
+	var seed bytes.Buffer
+	jobs := workload.Generate(workload.GenConfig{N: 5, Horizon: 100, Seed: 1, Downscale: 0.5})
+	if err := WriteJobs(&seed, jobs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("id,model,mode,threshold,arrival,downscale\n1,resnet-50,sync,0.01,5,1\n")
+	f.Add("id,model,mode\n")
+	f.Add("")
+	f.Add("id,model,mode,threshold,arrival,downscale\nx,y,z,a,b,c\n")
+	f.Add("id,model,mode,threshold,arrival,downscale\n1,resnet-50,sync,nan,5,1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ReadJobs(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteJobs(&buf, parsed); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		again, err := ReadJobs(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(parsed) {
+			t.Fatalf("round trip changed job count: %d → %d", len(parsed), len(again))
+		}
+	})
+}

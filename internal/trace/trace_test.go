@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optimus/internal/metrics"
+	"optimus/internal/workload"
+)
+
+func TestJobsRoundTrip(t *testing.T) {
+	jobs := workload.Generate(workload.GenConfig{N: 20, Horizon: 5000, Seed: 3, Downscale: 0.05})
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("read %d jobs, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		a, b := jobs[i], got[i]
+		if a.ID != b.ID || a.Model.Name != b.Model.Name || a.Mode != b.Mode ||
+			a.Threshold != b.Threshold || a.Arrival != b.Arrival || a.Downscale != b.Downscale {
+			t.Fatalf("job %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWriteJobsNilModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, []workload.JobSpec{{ID: 1}}); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestReadJobsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "a,b,c\n",
+		"short row":     "id,model,mode,threshold,arrival,downscale\n1,resnet-50\n",
+		"bad id":        "id,model,mode,threshold,arrival,downscale\nx,resnet-50,sync,0.01,0,1\n",
+		"unknown model": "id,model,mode,threshold,arrival,downscale\n1,nope,sync,0.01,0,1\n",
+		"bad mode":      "id,model,mode,threshold,arrival,downscale\n1,resnet-50,half,0.01,0,1\n",
+		"bad threshold": "id,model,mode,threshold,arrival,downscale\n1,resnet-50,sync,-1,0,1\n",
+		"bad arrival":   "id,model,mode,threshold,arrival,downscale\n1,resnet-50,sync,0.01,-5,1\n",
+		"bad downscale": "id,model,mode,threshold,arrival,downscale\n1,resnet-50,sync,0.01,0,2\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadJobs(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	tl := []metrics.IntervalStats{
+		{Time: 0, RunningTasks: 5, RunningJobs: 2, WaitingJobs: 1, WorkerUtil: 0.5, PSUtil: 0.2, ClusterShare: 0.7},
+		{Time: 600, RunningTasks: 8},
+	}
+	if err := WriteTimeline(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,5,2,1,0.5,0.2,0.7") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteJCTsSorted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJCTs(&buf, map[int]float64{3: 30, 1: 10, 2: 20}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"job_id,jct_seconds", "1,10", "2,20", "3,30"}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ParameterBlocks generates the model's per-layer parameter-block sizes (in
+// number of parameters), deterministically from the model name.
+//
+// Real DNNs have a bimodal layer-size distribution: a minority of weight
+// blocks (convolution/FC/embedding matrices) hold almost all parameters —
+// with a few disproportionately large ones, like ResNet-50's 2M-parameter FC
+// layer — while the majority are tiny bias/BatchNorm vectors. That skew is
+// exactly what breaks MXNet's threshold heuristic (§5.3): blocks just below
+// the threshold land on random servers and unbalance them, while blocks
+// above it are needlessly sliced. The dust blocks are also what allows the
+// paper's PAA to equalize per-server request counts. We reproduce both modes
+// with a deterministic draw whose total matches ParamsMillion and whose
+// count matches NumBlocks.
+func (m *Model) ParameterBlocks() []int64 {
+	n := m.NumBlocks
+	if n <= 0 {
+		return nil
+	}
+	total := int64(m.ParamsMillion * 1e6)
+	r := rand.New(rand.NewSource(seedFromName(m.Name)))
+
+	// Split the count: ~40% weight blocks carry ~99.5% of the parameters,
+	// the rest are bias/BN dust.
+	nWeights := n * 2 / 5
+	if nWeights < 1 {
+		nWeights = 1
+	}
+	nDust := n - nWeights
+
+	// Weight blocks: log-normal body plus capped giants.
+	weights := make([]float64, nWeights)
+	var wsum float64
+	for i := range weights {
+		w := math.Exp(r.NormFloat64())
+		weights[i] = w
+		wsum += w
+	}
+	giants := nWeights / 12
+	if giants < 1 {
+		giants = 1
+	}
+	for g := 0; g < giants; g++ {
+		i := r.Intn(nWeights)
+		boost := (5 + 5*r.Float64()) * wsum / float64(nWeights)
+		if lim := 0.2 * wsum; boost > lim {
+			boost = lim
+		}
+		weights[i] += boost
+		wsum += boost
+	}
+
+	weightTotal := float64(total) * 0.995
+	dustTotal := float64(total) - weightTotal
+
+	blocks := make([]int64, 0, n)
+	var assigned int64
+	for _, w := range weights {
+		b := int64(w / wsum * weightTotal)
+		if b < 1 {
+			b = 1
+		}
+		blocks = append(blocks, b)
+		assigned += b
+	}
+	for i := 0; i < nDust; i++ {
+		b := int64(dustTotal / float64(nDust) * (0.3 + 1.4*r.Float64()))
+		if b < 1 {
+			b = 1
+		}
+		blocks = append(blocks, b)
+		assigned += b
+	}
+
+	// Fix rounding drift on the largest block so totals are exact.
+	largest := 0
+	for i, b := range blocks {
+		if b > blocks[largest] {
+			largest = i
+		}
+	}
+	blocks[largest] += total - assigned
+	if blocks[largest] < 1 {
+		blocks[largest] = 1
+	}
+
+	// Interleave weight and dust blocks the way real layer orderings do.
+	r.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	return blocks
+}
+
+// seedFromName hashes a model name to a deterministic RNG seed (FNV-1a).
+func seedFromName(name string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & math.MaxInt64)
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+
+	"optimus/internal/speedfit"
+)
+
+// TaskSpread describes how one job's tasks are distributed over servers:
+// PSOnNode[k] and WorkersOnNode[k] for each server k hosting at least one of
+// the job's tasks. The slices must have equal length.
+type TaskSpread struct {
+	PSOnNode      []int
+	WorkersOnNode []int
+}
+
+// Total returns the total number of PS and workers in the spread.
+func (s TaskSpread) Total() (p, w int) {
+	for _, v := range s.PSOnNode {
+		p += v
+	}
+	for _, v := range s.WorkersOnNode {
+		w += v
+	}
+	return p, w
+}
+
+// EvenSpread builds the Theorem-1 optimal spread: p parameter servers and w
+// workers over k servers, each server receiving ⌈/⌋ equal counts.
+func EvenSpread(p, w, k int) TaskSpread {
+	if k < 1 {
+		k = 1
+	}
+	s := TaskSpread{PSOnNode: make([]int, k), WorkersOnNode: make([]int, k)}
+	for i := 0; i < p; i++ {
+		s.PSOnNode[i%k]++
+	}
+	for i := 0; i < w; i++ {
+		s.WorkersOnNode[i%k]++
+	}
+	return s
+}
+
+// CrossServerTransferTime implements the Appendix transmission-time model:
+// for each server k hosting any of the job's tasks, the PS-side cost is
+// (S/p)·(w−w_k)/B and the worker-side cost (S/w)·(p−p_k)/b; a training
+// step's transfer completes when the slowest finishes. Both terms are
+// evaluated on every used server — that is the relaxation under which the
+// paper's Theorem 1 (even placement on the fewest servers) is optimal. A
+// single direction is returned; push and pull double it.
+func (m *Model) CrossServerTransferTime(spread TaskSpread) float64 {
+	p, w := spread.Total()
+	if p < 1 || w < 1 {
+		return math.Inf(1)
+	}
+	var worst float64
+	for k := range spread.PSOnNode {
+		pk, wk := spread.PSOnNode[k], spread.WorkersOnNode[k]
+		if pk == 0 && wk == 0 {
+			continue // server not used by this job
+		}
+		if t := (m.ModelBytes / float64(p)) * float64(w-wk) / m.PSBandwidth; t > worst {
+			worst = t
+		}
+		if t := (m.ModelBytes / float64(w)) * float64(p-pk) / m.WkrBandwidth; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// intraNodeTransferFraction models the residual cost of parameter exchange
+// between colocated tasks (shared-memory copies are fast but not free).
+const intraNodeTransferFraction = 0.05
+
+// PlacedStepTime is TrueStepTime with the ideal transfer term replaced by
+// the placement-dependent Appendix model. The compute, update and overhead
+// terms of Eqn 2 are unchanged; the data-transfer term becomes
+// 2·max(cross-server time, intra-node floor).
+func (m *Model) PlacedStepTime(mode speedfit.Mode, spread TaskSpread) float64 {
+	p, w := spread.Total()
+	if p < 1 || w < 1 {
+		return math.Inf(1)
+	}
+	pf, wf := float64(p), float64(w)
+	var mEff float64
+	switch mode {
+	case speedfit.Sync:
+		mEff = float64(m.GlobalBatch) / wf
+	default:
+		mEff = float64(m.BatchPerWkr)
+	}
+	compute := mEff*m.FwdPerEx + m.Backward
+	ideal := (m.ModelBytes / pf) * wf / m.PSBandwidth
+	cross := m.CrossServerTransferTime(spread)
+	transfer := cross
+	if floor := ideal * intraNodeTransferFraction; transfer < floor {
+		transfer = floor
+	}
+	update := (m.ModelBytes / m.UpdateRate) * wf / pf
+	overhead := m.OverheadWkr*wf + m.OverheadPS*pf
+	return compute + 2*transfer + update + overhead
+}
+
+// SmoothPlacedSpeed is the scheduler-facing analogue of PlacedSpeed: Eqn 2
+// with the cross-server share of the transfer term varied *continuously*
+// with the number of servers the job would span (k ≈ (p+w)/tasksPerNode).
+// A fitted Eqn-3/4 model is smooth in (p, w) by construction; a scheduler
+// optimizing greedily against a cliff-ridden exact placement surface stalls
+// at server-boundary local optima, so predictions — like the paper's fitted
+// models — must be smooth even though the simulator's ground truth is not.
+func (m *Model) SmoothPlacedSpeed(mode speedfit.Mode, p, w int, tasksPerNode float64) float64 {
+	if p < 1 || w < 1 {
+		return 0
+	}
+	if tasksPerNode < 1 {
+		tasksPerNode = 1
+	}
+	pf, wf := float64(p), float64(w)
+	k := (pf + wf) / tasksPerNode
+	if k < 1 {
+		k = 1
+	}
+	crossFrac := 1 - 1/k
+	if crossFrac < intraNodeTransferFraction {
+		crossFrac = intraNodeTransferFraction
+	}
+	var mEff float64
+	switch mode {
+	case speedfit.Sync:
+		mEff = float64(m.GlobalBatch) / wf
+	default:
+		mEff = float64(m.BatchPerWkr)
+	}
+	compute := mEff*m.FwdPerEx + m.Backward
+	// Both directions of the Appendix transfer model, smoothed: the PS-side
+	// cross traffic (S/p)·w and the worker-side cross traffic (S/w)·p, each
+	// carrying the continuous cross-server fraction. The slowest end bounds
+	// the step, as in CrossServerTransferTime.
+	psSide := (m.ModelBytes / pf) * wf / m.PSBandwidth * crossFrac
+	wkSide := (m.ModelBytes / wf) * pf / m.WkrBandwidth * crossFrac
+	transfer := psSide
+	if wkSide > transfer {
+		transfer = wkSide
+	}
+	update := (m.ModelBytes / m.UpdateRate) * wf / pf
+	overhead := m.OverheadWkr*wf + m.OverheadPS*pf
+	t := compute + 2*transfer + update + overhead
+	if t <= 0 {
+		return 0
+	}
+	if mode == speedfit.Async {
+		return wf / t
+	}
+	return 1 / t
+}
+
+// PlacedSpeed converts PlacedStepTime into steps/second for the given mode.
+func (m *Model) PlacedSpeed(mode speedfit.Mode, spread TaskSpread) float64 {
+	t := m.PlacedStepTime(mode, spread)
+	if math.IsInf(t, 1) || t <= 0 {
+		return 0
+	}
+	_, w := spread.Total()
+	if mode == speedfit.Async {
+		return float64(w) / t
+	}
+	return 1 / t
+}
