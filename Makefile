@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/
+	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/
 
 # One benchmark per paper table/figure plus micro-benchmarks; prints the
 # regenerated rows.
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSolve -fuzztime 15s ./internal/nnls/
 	$(GO) test -fuzz FuzzPAA -fuzztime 15s ./internal/psassign/
 	$(GO) test -fuzz FuzzReadJobs -fuzztime 15s ./internal/trace/
+	$(GO) test -fuzz FuzzParseSchedule -fuzztime 15s ./internal/chaos/
 
 clean:
 	rm -rf internal/*/testdata/fuzz

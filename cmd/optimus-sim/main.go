@@ -6,7 +6,11 @@
 //
 //	optimus-sim [-quick] [-seed N] all
 //	optimus-sim fig11 table3
+//	optimus-sim -faults faults.txt failures
 //	optimus-sim -list
+//
+// -faults replays a chaos schedule file (see optimus-trace faults) in the
+// failures exhibit instead of its generated one.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"optimus/internal/chaos"
 	"optimus/internal/experiments"
 )
 
@@ -22,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	faultsFile := flag.String("faults", "", "chaos schedule file for the failures exhibit")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +45,20 @@ func main() {
 		ids = experiments.IDs()
 	}
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	if *faultsFile != "" {
+		f, err := os.Open(*faultsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sched, err := chaos.ParseSchedule(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *faultsFile, err)
+			os.Exit(1)
+		}
+		opt.Faults = &sched
+	}
 	failed := false
 	for _, id := range ids {
 		tbl, err := experiments.Run(id, opt)

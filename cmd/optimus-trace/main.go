@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	optimus-trace gen  -n 30 -arrivals poisson -o trace.csv
-//	optimus-trace info trace.csv
-//	optimus-trace run  trace.csv -policy optimus -timeline tl.csv -jcts jcts.csv
+//	optimus-trace gen    -n 30 -arrivals poisson -o trace.csv
+//	optimus-trace info   trace.csv
+//	optimus-trace run    trace.csv -policy optimus -timeline tl.csv -jcts jcts.csv
+//	optimus-trace faults -trace trace.csv -mtbf 50000 -o faults.txt
+//	optimus-trace run    trace.csv -faults faults.txt
 //
 // Traces are plain CSV (see internal/trace), so a run is fully replayable
-// and its outputs feed standard plotting tools.
+// and its outputs feed standard plotting tools. Fault schedules are plain
+// text (see internal/chaos): generating one with `faults` and passing it to
+// `run` under different -policy values replays the identical fault sequence
+// against every scheduler.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"log"
 	"os"
 
+	"optimus/internal/chaos"
 	"optimus/internal/cluster"
 	"optimus/internal/sim"
 	"optimus/internal/trace"
@@ -35,6 +41,8 @@ func main() {
 		cmdInfo(os.Args[2:])
 	case "run":
 		cmdRun(os.Args[2:])
+	case "faults":
+		cmdFaults(os.Args[2:])
 	default:
 		usage()
 	}
@@ -42,9 +50,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  optimus-trace gen  [-n N] [-horizon S] [-seed N] [-downscale F] [-arrivals uniform|poisson|google] -o FILE
-  optimus-trace info FILE
-  optimus-trace run  FILE [-policy optimus|drf|tetris] [-seed N] [-timeline FILE] [-jcts FILE]`)
+  optimus-trace gen    [-n N] [-horizon S] [-seed N] [-downscale F] [-arrivals uniform|poisson|google] -o FILE
+  optimus-trace info   FILE
+  optimus-trace run    FILE [-policy optimus|drf|tetris] [-seed N] [-faults FILE] [-timeline FILE] [-jcts FILE]
+  optimus-trace faults [-trace FILE] [-seed N] [-horizon S] [-mtbf S] [-kill-rate R] [-straggler-rate R] -o FILE`)
 	os.Exit(2)
 }
 
@@ -135,10 +144,24 @@ func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	policyName := fs.String("policy", "optimus", "scheduler: optimus|drf|tetris")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	faultsFile := fs.String("faults", "", "chaos schedule file to replay against the run")
 	timelineOut := fs.String("timeline", "", "write per-interval stats CSV here")
 	jctsOut := fs.String("jcts", "", "write per-job completion times CSV here")
 	if err := fs.Parse(args[1:]); err != nil {
 		log.Fatal(err)
+	}
+	var faults *chaos.Schedule
+	if *faultsFile != "" {
+		f, err := os.Open(*faultsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := chaos.ParseSchedule(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *faultsFile, err)
+		}
+		faults = &sched
 	}
 	var policy sim.Policy
 	switch *policyName {
@@ -165,6 +188,7 @@ func cmdRun(args []string) {
 		ScalingBase:       12,
 		ScalingPerTask:    0.3,
 		ReconfigThreshold: 0.15,
+		Faults:            faults,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -194,5 +218,57 @@ func cmdRun(args []string) {
 			log.Fatal(err)
 		}
 		log.Printf("jcts → %s", *jctsOut)
+	}
+}
+
+// cmdFaults draws a random chaos schedule for a trace's jobs against the
+// testbed nodes and writes it in the internal/chaos file format. The output
+// is a pure function of the flags, so regenerating with the same arguments
+// reproduces the schedule exactly.
+func cmdFaults(args []string) {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace whose job IDs receive job-level faults")
+	seed := fs.Int64("seed", 1, "generator seed")
+	horizon := fs.Float64("horizon", 30000, "faults drawn in [0, horizon) seconds")
+	mtbf := fs.Float64("mtbf", 50000, "per-node mean time between crashes (0 disables)")
+	outage := fs.Float64("outage", 1200, "mean node outage seconds")
+	killRate := fs.Float64("kill-rate", 1.0, "expected task kills per job over the horizon")
+	stragRate := fs.Float64("straggler-rate", 0.8, "expected stragglers per job over the horizon")
+	ckptProb := fs.Float64("ckpt-fail-prob", 0.2, "per-job checkpoint-write failure probability")
+	netSlow := fs.Int("net-slow", 1, "fabric-wide slowdown events")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	var jobIDs []int
+	if *tracePath != "" {
+		for _, j := range loadJobs(*tracePath) {
+			jobIDs = append(jobIDs, j.ID)
+		}
+	}
+	var nodes []string
+	for _, n := range cluster.Testbed().Nodes() {
+		nodes = append(nodes, n.ID)
+	}
+	sched := chaos.Generate(chaos.GenConfig{
+		Seed: *seed, Horizon: *horizon,
+		Nodes: nodes, NodeMTBF: *mtbf, MeanOutage: *outage,
+		Jobs: jobIDs, TaskKillRate: *killRate, StragglerRate: *stragRate,
+		CkptFailProb: *ckptProb, NetSlowCount: *netSlow,
+	})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := chaos.WriteSchedule(w, sched); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		log.Printf("wrote %d faults to %s", sched.Len(), *out)
 	}
 }

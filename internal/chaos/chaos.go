@@ -1,0 +1,232 @@
+// Package chaos is the deterministic fault-injection engine behind the §5
+// resilience claims: node crashes, task kills, transient stragglers, network
+// degradation, checkpoint-write failures and delayed recoveries, expressed as
+// a declarative, replayable schedule. A Schedule is either written by hand,
+// parsed from a text file (ParseSchedule) or drawn from a seeded random
+// process (Generate); an Injector then hands the faults to an execution
+// backend — the discrete-time simulator (internal/sim) or the live PS runtime
+// (internal/operator) — in time order.
+//
+// Determinism contract: a Schedule is plain data, Generate is a pure function
+// of its GenConfig (seed included), and Injector.Window is a pure cursor over
+// the sorted fault list. The same seed and schedule therefore produce the
+// same fault sequence on every run, which is what lets the CLIs replay one
+// fault trace across competing scheduling policies.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+const (
+	// NodeCrash takes a node down at Time for Duration seconds; every task
+	// hosted on it dies and its jobs must restore from checkpoint.
+	NodeCrash Kind = iota
+	// TaskKill kills one task of job Job (a PS or worker), forcing a
+	// checkpoint restore of the whole incarnation (§5.4).
+	TaskKill
+	// Straggler degrades one worker of job Job to Severity× speed for
+	// Duration seconds (§5.2); Optimus detects and replaces it.
+	Straggler
+	// NetworkSlow degrades the whole fabric to Severity× speed for Duration
+	// seconds, slowing every running job.
+	NetworkSlow
+	// CheckpointFail makes job Job's next checkpoint write fail, widening the
+	// rollback window of a later crash (§5.4's HDFS write failing).
+	CheckpointFail
+	// RecoveryDelay adds Duration seconds to job Job's next fault recovery
+	// (slow checkpoint storage, image pulls, ...).
+	RecoveryDelay
+
+	numKinds
+)
+
+// String implements fmt.Stringer using the schedule-file spelling.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case TaskKill:
+		return "task-kill"
+	case Straggler:
+		return "straggler"
+	case NetworkSlow:
+		return "net-slow"
+	case CheckpointFail:
+		return "ckpt-fail"
+	case RecoveryDelay:
+		return "recovery-delay"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindFromString parses the schedule-file spelling of a fault kind.
+func KindFromString(s string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown fault kind %q", s)
+}
+
+// Fault is one scheduled failure event.
+type Fault struct {
+	Kind Kind
+	Time float64 // injection time, seconds from experiment start
+	Node string  // NodeCrash: node ID
+	Job  int     // TaskKill / Straggler / CheckpointFail / RecoveryDelay
+	// Task selects the worker a live backend targets for TaskKill/Straggler
+	// (the simulator models tasks in aggregate and ignores it).
+	Task int
+	// Duration is the outage / degradation / extra-delay length in seconds.
+	Duration float64
+	// Severity is the speed multiplier in (0,1) for Straggler / NetworkSlow
+	// (0.5 → the affected work runs at half speed).
+	Severity float64
+}
+
+// Validate checks the fault's fields against its kind's requirements.
+func (f Fault) Validate() error {
+	if f.Time < 0 {
+		return fmt.Errorf("chaos: %s: negative time %g", f.Kind, f.Time)
+	}
+	if f.Task < 0 {
+		return fmt.Errorf("chaos: %s: negative task %d", f.Kind, f.Task)
+	}
+	needsJob := func() error {
+		if f.Job < 0 {
+			return fmt.Errorf("chaos: %s: invalid job %d", f.Kind, f.Job)
+		}
+		return nil
+	}
+	needsDuration := func() error {
+		if f.Duration <= 0 {
+			return fmt.Errorf("chaos: %s: duration %g must be positive", f.Kind, f.Duration)
+		}
+		return nil
+	}
+	needsSeverity := func() error {
+		if f.Severity <= 0 || f.Severity >= 1 {
+			return fmt.Errorf("chaos: %s: severity %g must be in (0,1)", f.Kind, f.Severity)
+		}
+		return nil
+	}
+	switch f.Kind {
+	case NodeCrash:
+		if f.Node == "" {
+			return fmt.Errorf("chaos: node-crash: missing node")
+		}
+		return needsDuration()
+	case TaskKill:
+		return needsJob()
+	case Straggler:
+		if err := needsJob(); err != nil {
+			return err
+		}
+		if err := needsDuration(); err != nil {
+			return err
+		}
+		return needsSeverity()
+	case NetworkSlow:
+		if err := needsDuration(); err != nil {
+			return err
+		}
+		return needsSeverity()
+	case CheckpointFail:
+		return needsJob()
+	case RecoveryDelay:
+		if err := needsJob(); err != nil {
+			return err
+		}
+		return needsDuration()
+	default:
+		return fmt.Errorf("chaos: unknown kind %d", int(f.Kind))
+	}
+}
+
+// String renders the fault in the schedule-file syntax.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s t=%g", f.Kind, f.Time)
+	if f.Node != "" {
+		s += fmt.Sprintf(" node=%s", f.Node)
+	}
+	switch f.Kind {
+	case TaskKill, Straggler, CheckpointFail, RecoveryDelay:
+		s += fmt.Sprintf(" job=%d", f.Job)
+	}
+	if f.Task != 0 {
+		s += fmt.Sprintf(" task=%d", f.Task)
+	}
+	if f.Duration != 0 {
+		s += fmt.Sprintf(" dur=%g", f.Duration)
+	}
+	if f.Severity != 0 {
+		s += fmt.Sprintf(" sev=%g", f.Severity)
+	}
+	return s
+}
+
+// Schedule is an ordered list of faults to replay against a run.
+type Schedule struct {
+	Faults []Fault
+}
+
+// Len reports the number of scheduled faults.
+func (s Schedule) Len() int { return len(s.Faults) }
+
+// Validate checks every fault.
+func (s Schedule) Validate() error {
+	for i, f := range s.Faults {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("chaos: fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// sorted returns the faults in time order (stable, so equal-time faults keep
+// their schedule order — part of the determinism contract).
+func (s Schedule) sorted() []Fault {
+	out := make([]Fault, len(s.Faults))
+	copy(out, s.Faults)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Injector is a cursor over a schedule: each Window call returns the faults
+// firing in [t0, t1) and advances past them. Windows must be asked for in
+// non-decreasing time order, which both backends do naturally.
+type Injector struct {
+	faults []Fault
+	next   int
+}
+
+// NewInjector builds an injector over a validated copy of the schedule.
+func NewInjector(s Schedule) (*Injector, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{faults: s.sorted()}, nil
+}
+
+// Window returns the faults with Time in [t0, t1), advancing the cursor.
+// Faults whose time was skipped over (before t0 but not yet returned) are
+// delivered too — a fault must never be silently lost to a fast-forward.
+func (in *Injector) Window(t0, t1 float64) []Fault {
+	var out []Fault
+	for in.next < len(in.faults) && in.faults[in.next].Time < t1 {
+		out = append(out, in.faults[in.next])
+		in.next++
+	}
+	_ = t0 // the lower bound is informational: late faults still fire
+	return out
+}
+
+// Remaining reports how many faults have not fired yet.
+func (in *Injector) Remaining() int { return len(in.faults) - in.next }

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validSchedule() Schedule {
+	return Schedule{Faults: []Fault{
+		{Kind: Straggler, Time: 600, Job: 2, Duration: 1200, Severity: 0.5},
+		{Kind: NodeCrash, Time: 1200, Node: "cpu-3", Duration: 1800},
+		{Kind: TaskKill, Time: 2400, Job: 5},
+		{Kind: NetworkSlow, Time: 3000, Duration: 600, Severity: 0.7},
+		{Kind: CheckpointFail, Time: 4000, Job: 1},
+		{Kind: RecoveryDelay, Time: 4000, Job: 1, Duration: 120},
+	}}
+}
+
+func TestValidateRejectsBadFaults(t *testing.T) {
+	bad := []Fault{
+		{Kind: NodeCrash, Time: 10, Duration: 60},                        // missing node
+		{Kind: NodeCrash, Time: 10, Node: "n", Duration: 0},              // no outage
+		{Kind: NodeCrash, Time: -1, Node: "n", Duration: 60},             // negative time
+		{Kind: TaskKill, Time: 10, Job: -1},                              // bad job
+		{Kind: Straggler, Time: 10, Job: 1, Duration: 60, Severity: 1.5}, // bad severity
+		{Kind: Straggler, Time: 10, Job: 1, Duration: 0, Severity: 0.5},  // no duration
+		{Kind: NetworkSlow, Time: 10, Duration: 60, Severity: 0},         // bad severity
+		{Kind: RecoveryDelay, Time: 10, Job: 1},                          // no duration
+		{Kind: Kind(99), Time: 10},                                       // unknown kind
+		{Kind: TaskKill, Time: 10, Job: 1, Task: -2},                     // bad task
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", f)
+		}
+	}
+	if err := validSchedule().Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s := validSchedule()
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip changed schedule:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestParseCommentsAndErrors(t *testing.T) {
+	good := `
+# header comment
+node-crash t=100 node=gpu-1 dur=300
+
+task-kill t=200 job=3 task=1
+`
+	s, err := ParseSchedule(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Faults[1].Task != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+
+	for _, bad := range []string{
+		"explode t=1",                     // unknown kind
+		"task-kill job=1",                 // missing t
+		"task-kill t=1 job=x",             // bad int
+		"task-kill t=nan job=1",           // non-finite time
+		"node-crash t=1 node=a dur=+Inf",  // non-finite duration
+		"task-kill t=1 job=1 color=red",   // unknown key
+		"task-kill t=1 job",               // malformed field
+		"straggler t=1 job=1 dur=5 sev=2", // invalid severity
+	} {
+		if _, err := ParseSchedule(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectorWindowsAndLateDelivery(t *testing.T) {
+	in, err := NewInjector(validSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Window(0, 600); len(got) != 0 {
+		t.Fatalf("window [0,600) = %v", got)
+	}
+	if got := in.Window(600, 1300); len(got) != 2 {
+		t.Fatalf("window [600,1300) = %v", got)
+	}
+	// A fast-forward past fault times must still deliver them.
+	if got := in.Window(5000, 6000); len(got) != 4 {
+		t.Fatalf("late window delivered %d faults, want 4", len(got))
+	}
+	if in.Remaining() != 0 {
+		t.Errorf("Remaining = %d", in.Remaining())
+	}
+}
+
+func TestInjectorSortsSchedule(t *testing.T) {
+	s := Schedule{Faults: []Fault{
+		{Kind: TaskKill, Time: 500, Job: 1},
+		{Kind: TaskKill, Time: 100, Job: 2},
+	}}
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.Window(0, 1000)
+	if len(got) != 2 || got[0].Job != 2 || got[1].Job != 1 {
+		t.Fatalf("window = %v, want time order", got)
+	}
+}
+
+func TestInjectorRejectsInvalid(t *testing.T) {
+	if _, err := NewInjector(Schedule{Faults: []Fault{{Kind: NodeCrash, Time: 1}}}); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := GenConfig{
+		Seed: 7, Horizon: 10000,
+		Nodes: []string{"n0", "n1", "n2"}, NodeMTBF: 8000,
+		Jobs: []int{1, 2, 3}, TaskKillRate: 1, StragglerRate: 1,
+		CkptFailProb: 0.5, NetSlowCount: 2,
+	}
+	a, b := Generate(cfg), Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	if a.Len() == 0 {
+		t.Fatal("generator produced no faults at these rates")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	for i := 1; i < a.Len(); i++ {
+		if a.Faults[i].Time < a.Faults[i-1].Time {
+			t.Fatal("generated schedule not sorted")
+		}
+	}
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, Generate(cfg)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateEmptyConfigs(t *testing.T) {
+	if s := Generate(GenConfig{}); s.Len() != 0 {
+		t.Errorf("zero config generated %d faults", s.Len())
+	}
+	if s := Generate(GenConfig{Horizon: 100}); s.Len() != 0 {
+		t.Errorf("no-process config generated %d faults", s.Len())
+	}
+}

@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSchedule hardens the schedule parser: arbitrary input must never
+// panic, and every accepted schedule must validate and serialize stably
+// (write → parse → write reproduces the first serialization byte for byte —
+// the property the deterministic-replay contract rests on).
+func FuzzParseSchedule(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteSchedule(&seed, validSchedule()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("# only a comment\n")
+	f.Add("")
+	f.Add("node-crash t=1200 node=cpu-3 dur=1800\n")
+	f.Add("task-kill t=2400 job=5 task=1\n")
+	f.Add("straggler t=600 job=2 dur=1200 sev=0.5\n")
+	f.Add("net-slow t=3e3 dur=600 sev=0.7\nckpt-fail t=4000 job=1\n")
+	f.Add("recovery-delay t=0 job=0 dur=1e-9\n")
+	f.Add("task-kill t=nan job=1\n")
+	f.Add("node-crash t=1 node=a dur=Inf\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSchedule(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics and hangs are not
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("accepted schedule fails validation: %v", verr)
+		}
+		var first bytes.Buffer
+		if werr := WriteSchedule(&first, s); werr != nil {
+			t.Fatalf("accepted schedule failed to serialize: %v", werr)
+		}
+		again, err := ParseSchedule(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialized:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if werr := WriteSchedule(&second, again); werr != nil {
+			t.Fatal(werr)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("serialization not stable:\nfirst:\n%s\nsecond:\n%s",
+				first.String(), second.String())
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GenConfig parameterizes random schedule generation. Every process is driven
+// by one seeded RNG consumed in a fixed order, so Generate is a pure function
+// of this struct: the same config always yields the same schedule.
+type GenConfig struct {
+	Seed    int64
+	Horizon float64 // faults are drawn in [0, Horizon) seconds
+
+	// --- node crashes: per-node Poisson process ---
+	Nodes      []string // node IDs eligible to crash
+	NodeMTBF   float64  // mean seconds between crashes per node; 0 disables
+	MeanOutage float64  // mean outage duration (exponential, floor 60 s)
+
+	// --- per-job hazards ---
+	Jobs []int // job IDs eligible for job-level faults
+	// TaskKillRate / StragglerRate are per-job Poisson rates in events per
+	// Horizon (e.g. 0.5 → each job expects half a kill over the run).
+	TaskKillRate  float64
+	StragglerRate float64
+	// StragglerSlowdown / StragglerDur shape injected stragglers; defaults
+	// 0.5 and Horizon/10.
+	StragglerSlowdown float64
+	StragglerDur      float64
+	// CkptFailProb is the probability that a job suffers one checkpoint-write
+	// failure, scheduled uniformly over the horizon.
+	CkptFailProb float64
+
+	// --- fabric ---
+	// NetSlowCount fabric-wide degradation events, each NetSlowDur seconds at
+	// NetSlowSeverity× speed (defaults Horizon/20 and 0.7).
+	NetSlowCount    int
+	NetSlowDur      float64
+	NetSlowSeverity float64
+}
+
+// Generate draws a schedule from the configured random processes. The result
+// is sorted by time and always validates.
+func Generate(cfg GenConfig) Schedule {
+	if cfg.Horizon <= 0 {
+		return Schedule{}
+	}
+	if cfg.StragglerSlowdown <= 0 || cfg.StragglerSlowdown >= 1 {
+		cfg.StragglerSlowdown = 0.5
+	}
+	if cfg.StragglerDur <= 0 {
+		cfg.StragglerDur = cfg.Horizon / 10
+	}
+	if cfg.MeanOutage <= 0 {
+		cfg.MeanOutage = cfg.Horizon / 8
+	}
+	if cfg.NetSlowDur <= 0 {
+		cfg.NetSlowDur = cfg.Horizon / 20
+	}
+	if cfg.NetSlowSeverity <= 0 || cfg.NetSlowSeverity >= 1 {
+		cfg.NetSlowSeverity = 0.7
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var s Schedule
+
+	// Node crashes: exponential inter-arrival times per node (Poisson MTBF).
+	if cfg.NodeMTBF > 0 {
+		for _, node := range cfg.Nodes {
+			t := r.ExpFloat64() * cfg.NodeMTBF
+			for t < cfg.Horizon {
+				outage := r.ExpFloat64() * cfg.MeanOutage
+				if outage < 60 {
+					outage = 60
+				}
+				s.Faults = append(s.Faults, Fault{
+					Kind: NodeCrash, Time: t, Node: node, Duration: outage,
+				})
+				t += outage + r.ExpFloat64()*cfg.NodeMTBF
+			}
+		}
+	}
+
+	// Per-job hazards: Poisson counts over the horizon.
+	for _, job := range cfg.Jobs {
+		for i, n := 0, poisson(r, cfg.TaskKillRate); i < n; i++ {
+			s.Faults = append(s.Faults, Fault{
+				Kind: TaskKill, Time: r.Float64() * cfg.Horizon, Job: job,
+			})
+		}
+		for i, n := 0, poisson(r, cfg.StragglerRate); i < n; i++ {
+			s.Faults = append(s.Faults, Fault{
+				Kind: Straggler, Time: r.Float64() * cfg.Horizon, Job: job,
+				Duration: cfg.StragglerDur, Severity: cfg.StragglerSlowdown,
+			})
+		}
+		if cfg.CkptFailProb > 0 && r.Float64() < cfg.CkptFailProb {
+			s.Faults = append(s.Faults, Fault{
+				Kind: CheckpointFail, Time: r.Float64() * cfg.Horizon, Job: job,
+			})
+		}
+	}
+
+	// Fabric-wide slowdowns.
+	for i := 0; i < cfg.NetSlowCount; i++ {
+		s.Faults = append(s.Faults, Fault{
+			Kind: NetworkSlow, Time: r.Float64() * cfg.Horizon,
+			Duration: cfg.NetSlowDur, Severity: cfg.NetSlowSeverity,
+		})
+	}
+
+	sort.SliceStable(s.Faults, func(i, j int) bool {
+		return s.Faults[i].Time < s.Faults[j].Time
+	})
+	return s
+}
+
+// poisson draws from a Poisson distribution with the given mean (Knuth's
+// product method — means here are small).
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	limit := math.Exp(-mean)
+	l := 1.0
+	for k := 0; ; k++ {
+		l *= r.Float64()
+		if l <= limit {
+			return k
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Schedule file syntax: one fault per line, `kind key=value ...`, with `#`
+// comments and blank lines ignored. Keys: t (seconds, required), node, job,
+// task, dur, sev. Example:
+//
+//	# two rack failures and a flaky fabric
+//	node-crash t=1200 node=cpu-3 dur=1800
+//	task-kill t=2400 job=5
+//	straggler t=600 job=2 dur=1200 sev=0.5
+//	net-slow t=3000 dur=600 sev=0.7
+//	ckpt-fail t=4000 job=1
+//	recovery-delay t=4000 job=1 dur=120
+
+// ParseSchedule reads the text schedule format. Every accepted schedule
+// validates and round-trips through WriteSchedule unchanged.
+func ParseSchedule(r io.Reader) (Schedule, error) {
+	var s Schedule
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := parseFault(line)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("chaos: line %d: %w", lineNo, err)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if err := sc.Err(); err != nil {
+		return Schedule{}, fmt.Errorf("chaos: read schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+func parseFault(line string) (Fault, error) {
+	fields := strings.Fields(line)
+	kind, err := KindFromString(fields[0])
+	if err != nil {
+		return Fault{}, err
+	}
+	f := Fault{Kind: kind, Time: math.NaN()}
+	for _, kv := range fields[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" {
+			return Fault{}, fmt.Errorf("malformed field %q (want key=value)", kv)
+		}
+		switch key {
+		case "t":
+			f.Time, err = parseFinite(val)
+		case "node":
+			f.Node = val
+		case "job":
+			f.Job, err = strconv.Atoi(val)
+		case "task":
+			f.Task, err = strconv.Atoi(val)
+		case "dur":
+			f.Duration, err = parseFinite(val)
+		case "sev":
+			f.Severity, err = parseFinite(val)
+		default:
+			return Fault{}, fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return Fault{}, fmt.Errorf("field %q: %w", kv, err)
+		}
+	}
+	if math.IsNaN(f.Time) {
+		return Fault{}, fmt.Errorf("%s: missing t=", kind)
+	}
+	return f, nil
+}
+
+// parseFinite parses a float and rejects NaN/Inf, which would silently break
+// the injector's time ordering.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
+
+// WriteSchedule writes the schedule in the text format ParseSchedule reads.
+func WriteSchedule(w io.Writer, s Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, f := range s.Faults {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optimus/internal/chaos"
+	"optimus/internal/cluster"
+	"optimus/internal/sim"
+	"optimus/internal/workload"
+)
+
+func init() {
+	register("failures", failureSweep)
+}
+
+// failureSweep is the resilience exhibit: one seeded chaos schedule — node
+// crashes from a Poisson MTBF process, task kills, stragglers, a fabric
+// slowdown and checkpoint-write failures — replayed identically against
+// Optimus, DRF and Tetris, next to each policy's fault-free run. Because the
+// injector and the simulator are both deterministic, every policy faces the
+// exact same fault sequence, isolating how scheduling policy shapes recovery
+// cost.
+func failureSweep(opt Options) (Table, error) {
+	t := Table{
+		ID:    "failures",
+		Title: "JCT under injected failures: identical fault schedule per policy",
+		Columns: []string{"scheduler", "clean-JCT(s)", "faulty-JCT(s)", "slowdown",
+			"faults", "restarts", "wasted(s)", "recovery(s)"},
+		Notes: "crashes roll jobs back to their last checkpoint; Optimus also replaces injected stragglers (§5.2, §5.4)",
+	}
+	n := 15
+	if opt.Quick {
+		n = 6
+	}
+	jobs := workload.Generate(workload.GenConfig{
+		N: n, Horizon: 4000, Seed: opt.Seed + 400, Downscale: 0.03,
+	})
+
+	sched := opt.Faults
+	if sched == nil {
+		var nodes []string
+		for _, nd := range cluster.Testbed().Nodes() {
+			nodes = append(nodes, nd.ID)
+		}
+		jobIDs := make([]int, len(jobs))
+		for i, j := range jobs {
+			jobIDs[i] = j.ID
+		}
+		// Keep the fault horizon inside the run's expected makespan so most
+		// of the schedule actually fires before the last job completes.
+		s := chaos.Generate(chaos.GenConfig{
+			Seed: opt.Seed + 41, Horizon: 9000,
+			Nodes: nodes, NodeMTBF: 30000, MeanOutage: 1200,
+			Jobs: jobIDs, TaskKillRate: 1.0,
+			StragglerRate: 0.8, StragglerSlowdown: 0.5, StragglerDur: 1800,
+			CkptFailProb: 0.2, NetSlowCount: 1, NetSlowDur: 1200, NetSlowSeverity: 0.7,
+		})
+		sched = &s
+	}
+
+	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
+		clean, err := sim.Run(simConfig(policy, jobs, opt.Seed))
+		if err != nil {
+			return Table{}, err
+		}
+		cfg := simConfig(policy, jobs, opt.Seed)
+		cfg.Faults = sched
+		faulty, err := sim.Run(cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		slowdown := 0.0
+		if clean.Summary.AvgJCT > 0 {
+			slowdown = faulty.Summary.AvgJCT / clean.Summary.AvgJCT
+		}
+		t.Rows = append(t.Rows, []string{
+			policy.Name,
+			fmt.Sprintf("%.0f", clean.Summary.AvgJCT),
+			fmt.Sprintf("%.0f", faulty.Summary.AvgJCT),
+			f2(slowdown),
+			fmt.Sprintf("%d", faulty.Summary.FaultsInjected),
+			fmt.Sprintf("%d", faulty.Summary.TasksRestarted),
+			fmt.Sprintf("%.0f", faulty.Summary.WastedWork),
+			fmt.Sprintf("%.0f", faulty.Summary.RecoveryTime),
+		})
+	}
+	return t, nil
+}

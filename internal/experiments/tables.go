@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"optimus/internal/ascii"
+	"optimus/internal/chaos"
 )
 
 // Table is one experiment's regenerated data.
@@ -90,6 +91,9 @@ func printRow(w io.Writer, cells []string, widths []int) {
 type Options struct {
 	Quick bool
 	Seed  int64
+	// Faults, when set, replaces the failure exhibit's generated chaos
+	// schedule with a user-provided one (cmd/optimus-sim -faults).
+	Faults *chaos.Schedule
 }
 
 // Runner is one registered experiment.

@@ -32,6 +32,11 @@ type Recorder struct {
 	timeline    []IntervalStats
 	// scaling bookkeeping (§6.2 "resource adjustment overhead")
 	scalingTime float64
+	// fault/recovery bookkeeping (§5 resilience, driven by internal/chaos)
+	faults       int
+	restarts     int
+	wastedWork   float64
+	recoveryTime float64
 }
 
 // NewRecorder returns an empty recorder.
@@ -54,6 +59,19 @@ func (r *Recorder) Snapshot(s IntervalStats) { r.timeline = append(r.timeline, s
 // AddScalingTime accounts job-seconds spent on checkpoint/restart scaling.
 func (r *Recorder) AddScalingTime(d float64) { r.scalingTime += d }
 
+// AddFault counts one injected fault.
+func (r *Recorder) AddFault() { r.faults++ }
+
+// AddRestarts counts tasks restarted by fault recovery.
+func (r *Recorder) AddRestarts(n int) { r.restarts += n }
+
+// AddWastedWork accounts job-seconds of progress lost to a failure and
+// recomputed after the checkpoint restore.
+func (r *Recorder) AddWastedWork(d float64) { r.wastedWork += d }
+
+// AddRecoveryTime accounts job-seconds paused in checkpoint-restore recovery.
+func (r *Recorder) AddRecoveryTime(d float64) { r.recoveryTime += d }
+
 // Timeline returns the recorded snapshots.
 func (r *Recorder) Timeline() []IntervalStats { return r.timeline }
 
@@ -66,12 +84,23 @@ type Summary struct {
 	StddevJCT   float64
 	Makespan    float64
 	ScalingFrac float64 // scaling overhead as a fraction of makespan (§6.2)
+	// Fault/recovery digest (§5 resilience; zero on fault-free runs).
+	FaultsInjected int
+	TasksRestarted int
+	WastedWork     float64 // job-seconds of recomputed progress
+	RecoveryTime   float64 // job-seconds paused in checkpoint restores
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Fault/recovery counters are appended only
+// when faults were injected, so fault-free output stays unchanged.
 func (s Summary) String() string {
-	return fmt.Sprintf("jobs=%d avgJCT=%.0fs medJCT=%.0fs p95=%.0fs sd=%.0fs makespan=%.0fs scaling=%.2f%%",
+	out := fmt.Sprintf("jobs=%d avgJCT=%.0fs medJCT=%.0fs p95=%.0fs sd=%.0fs makespan=%.0fs scaling=%.2f%%",
 		s.Completed, s.AvgJCT, s.MedianJCT, s.P95JCT, s.StddevJCT, s.Makespan, s.ScalingFrac*100)
+	if s.FaultsInjected > 0 {
+		out += fmt.Sprintf(" faults=%d restarts=%d wasted=%.0fs recovery=%.0fs",
+			s.FaultsInjected, s.TasksRestarted, s.WastedWork, s.RecoveryTime)
+	}
+	return out
 }
 
 // JCT returns the completion time of one job, or NaN if incomplete.
@@ -97,7 +126,13 @@ func (r *Recorder) JCTs() []float64 {
 // JCT statistics but the caller can detect them via Completed < submitted.
 func (r *Recorder) Summarize() Summary {
 	jcts := r.JCTs()
-	s := Summary{Completed: len(jcts)}
+	s := Summary{
+		Completed:      len(jcts),
+		FaultsInjected: r.faults,
+		TasksRestarted: r.restarts,
+		WastedWork:     r.wastedWork,
+		RecoveryTime:   r.recoveryTime,
+	}
 	if len(jcts) == 0 {
 		return s
 	}

@@ -12,6 +12,7 @@
 package operator
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -84,6 +85,8 @@ type managedJob struct {
 	flatWindows int
 	completed   bool
 	completedAt time.Time
+	// restoreDelay stretches the next fault recovery (chaos RecoveryDelay).
+	restoreDelay time.Duration
 
 	fitter   *lossfit.Fitter
 	speedEst *speedfit.Estimator
@@ -96,8 +99,9 @@ type Operator struct {
 	sched   *kube.OptimusScheduler
 	ckptDir string
 
-	mu   sync.Mutex
-	jobs map[int]*managedJob
+	mu     sync.Mutex
+	jobs   map[int]*managedJob
+	faults FaultStats
 }
 
 // New builds an operator against a kube control plane. Checkpoints for
@@ -444,6 +448,14 @@ func (o *Operator) resize(mj *managedJob, next core.Allocation) error {
 
 	ckpt := filepath.Join(o.ckptDir, fmt.Sprintf("job-%d.ckpt", mj.req.ID))
 	if err := job.SaveCheckpoint(ckpt); err != nil {
+		if errors.Is(err, psys.ErrCheckpointFailed) {
+			// Injected checkpoint-write failure: keep the current incarnation
+			// and let the next interval retry the resize.
+			o.mu.Lock()
+			o.faults.CheckpointFailures++
+			o.mu.Unlock()
+			return nil
+		}
 		return err
 	}
 	ck, err := psys.LoadCheckpoint(ckpt)

@@ -2,9 +2,14 @@ package psys
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 )
+
+// ErrCheckpointFailed is returned by SaveCheckpoint when a chaos injection
+// armed via Job.FailNextCheckpoint eats the write.
+var ErrCheckpointFailed = errors.New("psys: checkpoint write failed (injected)")
 
 // Checkpoint is the serialized training state of §5.4's checkpoint-based
 // elastic scaling: model identity, parameters and progress.
@@ -18,6 +23,13 @@ type Checkpoint struct {
 // SaveCheckpoint captures the job's current parameters to a file (the HDFS
 // write of §5.4).
 func (j *Job) SaveCheckpoint(path string) error {
+	j.mu.Lock()
+	if j.ckptFail {
+		j.ckptFail = false
+		j.mu.Unlock()
+		return ErrCheckpointFailed
+	}
+	j.mu.Unlock()
 	params, err := j.Params()
 	if err != nil {
 		return fmt.Errorf("psys: checkpoint gather: %w", err)

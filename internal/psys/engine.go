@@ -98,9 +98,10 @@ type Job struct {
 	workers []*Worker
 	chunks  *ChunkStore
 
-	mu      sync.Mutex
-	stopped bool
-	rounds  int // completed RunSteps rounds across the job's lifetime
+	mu       sync.Mutex
+	stopped  bool
+	rounds   int  // completed RunSteps rounds across the job's lifetime
+	ckptFail bool // next SaveCheckpoint fails (armed by FailNextCheckpoint)
 }
 
 // StartJob builds and wires up a job: parameter layout, §5.3 block
@@ -225,7 +226,7 @@ func StartJob(cfg JobConfig) (*Job, error) {
 		w := newWorker(i, cfg.Model, layout, owner, conns, j.chunks.Shard(i),
 			cfg.BatchSize, cfg.Mode == speedfit.Sync)
 		if d, ok := cfg.WorkerDelays[i]; ok {
-			w.Delay = d
+			w.SetDelay(d)
 		}
 		j.workers = append(j.workers, w)
 	}
@@ -402,10 +403,35 @@ func DetectStragglers(stats []StepStat) []int {
 	return out
 }
 
+// InjectWorkerDelay degrades one worker's step time in place — the chaos
+// straggler fault against a live job. Safe while RunSteps is in flight.
+func (j *Job) InjectWorkerDelay(id int, d time.Duration) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, w := range j.workers {
+		if w.ID == id {
+			w.SetDelay(d)
+			return nil
+		}
+	}
+	return fmt.Errorf("psys: no worker %d", id)
+}
+
+// FailNextCheckpoint arms a one-shot checkpoint-write failure: the next
+// SaveCheckpoint returns ErrCheckpointFailed without touching the file (the
+// chaos stand-in for a failed HDFS write, §5.4).
+func (j *Job) FailNextCheckpoint() {
+	j.mu.Lock()
+	j.ckptFail = true
+	j.mu.Unlock()
+}
+
 // ReplaceWorker implements §5.2's remediation: the straggler is torn down
 // and a fresh worker (same ID, same shard, no injected delay) takes over at
 // the same training round. Must not be called while RunSteps is in flight.
 func (j *Job) ReplaceWorker(id int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	for i, w := range j.workers {
 		if w.ID != id {
 			continue

@@ -2,6 +2,7 @@ package psys
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,9 +20,10 @@ type Worker struct {
 	sync   bool
 	round  int
 
-	// Delay injects artificial per-step slowness, used to create stragglers
-	// in tests and demos (§5.2).
-	Delay time.Duration
+	// delayNS injects artificial per-step slowness, used to create stragglers
+	// in tests, demos and chaos runs (§5.2). Atomic so a fault injector can
+	// degrade a worker while RunSteps is in flight.
+	delayNS atomic.Int64
 
 	params []float64
 	grad   []float64
@@ -48,11 +50,18 @@ func newWorker(id int, model Model, layout BlockLayout, owner []int,
 // Round returns the number of completed steps (sync rounds).
 func (w *Worker) Round() int { return w.round }
 
+// SetDelay sets the injected per-step slowness; safe during RunSteps.
+func (w *Worker) SetDelay(d time.Duration) { w.delayNS.Store(int64(d)) }
+
+// Delay returns the currently injected per-step slowness.
+func (w *Worker) Delay() time.Duration { return time.Duration(w.delayNS.Load()) }
+
 // Step executes one training step and returns the mini-batch loss measured
 // before the update (the quantity fed to the §3.1 convergence fitter).
 func (w *Worker) Step() (float64, error) {
-	if w.Delay > 0 {
-		time.Sleep(w.Delay)
+	delay := w.Delay()
+	if delay > 0 {
+		time.Sleep(delay)
 	}
 	minVersion := 0
 	if w.sync {
@@ -79,11 +88,11 @@ func (w *Worker) Step() (float64, error) {
 	loss := w.model.Loss(w.params, batch)
 	w.model.Gradient(w.params, w.grad, batch)
 	w.lastCompute = time.Since(computeStart)
-	if w.Delay > 0 {
+	if delay > 0 {
 		// Injected slowness is part of the worker's own work, so it counts
 		// toward compute time (that is what §5.2's detector must see even
 		// under synchronous barriers).
-		w.lastCompute += w.Delay
+		w.lastCompute += delay
 	}
 
 	for b, off := range w.layout.Offsets {

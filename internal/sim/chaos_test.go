@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+
+	"optimus/internal/chaos"
+	"optimus/internal/cluster"
+)
+
+// faultMix is a schedule exercising every fault kind against the testbed.
+// Faults land mid-interval (the grid is 600s) so crashes waste real progress,
+// and task kills recur across several intervals so every job is hit at least
+// once while it is actually running, whatever its arrival time.
+func faultMix() *chaos.Schedule {
+	s := &chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.Straggler, Time: 650, Job: 1, Duration: 2000, Severity: 0.4},
+		{Kind: chaos.CheckpointFail, Time: 700, Job: 2},
+		{Kind: chaos.RecoveryDelay, Time: 850, Job: 0, Duration: 90},
+		{Kind: chaos.NodeCrash, Time: 900, Node: "cpu-0", Duration: 1200},
+		{Kind: chaos.NodeCrash, Time: 900, Node: "gpu-0", Duration: 1200},
+		{Kind: chaos.NetworkSlow, Time: 2700, Duration: 1200, Severity: 0.6},
+	}}
+	for _, t := range []float64{950, 1550, 2150} {
+		for job := 0; job < 6; job++ {
+			s.Faults = append(s.Faults, chaos.Fault{
+				Kind: chaos.TaskKill, Time: t + 10*float64(job), Job: job,
+			})
+		}
+	}
+	return s
+}
+
+func chaosConfig(policy Policy) Config {
+	cfg := testbedConfig(policy, smallMix(6, 11))
+	cfg.Faults = faultMix()
+	return cfg
+}
+
+// The determinism contract of the acceptance criteria: the same seed and the
+// same schedule replayed twice produce byte-identical metrics summaries.
+func TestFaultDeterminism(t *testing.T) {
+	a, err := Run(chaosConfig(OptimusPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(chaosConfig(OptimusPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := a.Summary.String(), b.Summary.String(); sa != sb {
+		t.Errorf("replay diverged:\n a: %s\n b: %s", sa, sb)
+	}
+	if len(a.Timeline) != len(b.Timeline) {
+		t.Errorf("timeline lengths differ: %d vs %d", len(a.Timeline), len(b.Timeline))
+	}
+}
+
+// A node crash mid-run must not lose jobs: everything still completes, with
+// visible recovery overhead (wasted work recomputed, restore pauses paid).
+func TestNodeCrashRecovery(t *testing.T) {
+	for _, policy := range []Policy{OptimusPolicy(), DRFPolicy(), TetrisPolicy()} {
+		res, err := Run(chaosConfig(policy))
+		if err != nil {
+			t.Fatalf("%s: %v", policy.Name, err)
+		}
+		t.Logf("%s: %s", policy.Name, res.Summary)
+		if len(res.Unfinished) != 0 {
+			t.Errorf("%s: lost jobs %v", policy.Name, res.Unfinished)
+		}
+		// Late-scheduled kills never fire once all jobs are done, so the
+		// injected count is bounded by, not equal to, the schedule length.
+		if n := res.Summary.FaultsInjected; n == 0 || n > faultMix().Len() {
+			t.Errorf("%s: injected %d faults, schedule has %d",
+				policy.Name, n, faultMix().Len())
+		}
+		if res.Summary.RecoveryTime <= 0 {
+			t.Errorf("%s: no recovery overhead recorded", policy.Name)
+		}
+		if res.Summary.TasksRestarted == 0 {
+			t.Errorf("%s: no task restarts recorded", policy.Name)
+		}
+		if res.Summary.WastedWork <= 0 {
+			t.Errorf("%s: no wasted work recorded", policy.Name)
+		}
+	}
+}
+
+// Faults must make the run strictly worse than the identical fault-free run —
+// the overhead the failure-sweep exhibit quantifies.
+func TestFaultsDegradeJCT(t *testing.T) {
+	clean, err := Run(testbedConfig(OptimusPolicy(), smallMix(6, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(chaosConfig(OptimusPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clean:  %s", clean.Summary)
+	t.Logf("faulty: %s", faulty.Summary)
+	if faulty.Summary.AvgJCT <= clean.Summary.AvgJCT {
+		t.Errorf("faults did not degrade avg JCT: %.0f vs clean %.0f",
+			faulty.Summary.AvgJCT, clean.Summary.AvgJCT)
+	}
+	if clean.Summary.FaultsInjected != 0 {
+		t.Errorf("clean run recorded %d faults", clean.Summary.FaultsInjected)
+	}
+}
+
+// An invalid schedule is rejected up front, and a crash of a never-used node
+// plus idle-stretch fast-forwards must not wedge the run.
+func TestFaultEdgeCases(t *testing.T) {
+	cfg := testbedConfig(OptimusPolicy(), smallMix(2, 3))
+	cfg.Faults = &chaos.Schedule{Faults: []chaos.Fault{{Kind: chaos.NodeCrash, Time: 1}}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+
+	cfg = testbedConfig(OptimusPolicy(), smallMix(2, 3))
+	cfg.Faults = &chaos.Schedule{Faults: []chaos.Fault{
+		{Kind: chaos.NodeCrash, Time: 0, Node: "no-such-node", Duration: 600},
+		{Kind: chaos.TaskKill, Time: 600, Job: 999}, // job never exists
+	}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unfinished) != 0 {
+		t.Errorf("unfinished %v", res.Unfinished)
+	}
+	if res.Summary.FaultsInjected != 2 {
+		t.Errorf("injected %d", res.Summary.FaultsInjected)
+	}
+}
+
+// A generated schedule (Poisson MTBF) drives a multi-policy comparison run —
+// the shape of the failure-sweep exhibit.
+func TestGeneratedScheduleComparison(t *testing.T) {
+	nodes := make([]string, 0)
+	for _, n := range cluster.Testbed().Nodes() {
+		nodes = append(nodes, n.ID)
+	}
+	s := chaos.Generate(chaos.GenConfig{
+		Seed: 5, Horizon: 20000, Nodes: nodes, NodeMTBF: 40000,
+		MeanOutage: 900, Jobs: []int{0, 1, 2, 3, 4, 5}, TaskKillRate: 0.5,
+	})
+	if s.Len() == 0 {
+		t.Skip("generator produced no faults at these rates")
+	}
+	for _, policy := range []Policy{OptimusPolicy(), DRFPolicy()} {
+		cfg := testbedConfig(policy, smallMix(6, 9))
+		cfg.Faults = &s
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", policy.Name, err)
+		}
+		if len(res.Unfinished) != 0 {
+			t.Errorf("%s: unfinished %v", policy.Name, res.Unfinished)
+		}
+	}
+}

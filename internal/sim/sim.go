@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 
+	"optimus/internal/chaos"
 	"optimus/internal/cluster"
 	"optimus/internal/core"
 	"optimus/internal/lossfit"
@@ -81,6 +82,13 @@ type Config struct {
 	StragglerProb     float64
 	StragglerSlowdown float64 // e.g. 0.5 → straggling job runs at 50%
 
+	// Faults, when non-nil, is a chaos schedule replayed against the run:
+	// node crashes, task kills, stragglers, network slowdowns, checkpoint
+	// write failures and delayed recoveries (see internal/sim/faults.go for
+	// the exact semantics). The same schedule and seed reproduce the same
+	// run byte for byte.
+	Faults *chaos.Schedule
+
 	// ShareSchedule implements the §7 mixed-workload extension: Optimus asks
 	// a central resource manager for a share of the cluster that varies over
 	// time (e.g. more at night). The function maps simulation time to the
@@ -143,6 +151,17 @@ type jobState struct {
 	errSign  float64 // ±1, fixed per job, for Fig-15 injection
 
 	straggling bool // a slow worker is degrading the job (§5.2)
+	// chaos-injected straggler shape: severity overrides the Config slowdown
+	// and the degradation expires at stragglerUntil (0 → until replaced).
+	stragglerSev   float64
+	stragglerUntil float64
+
+	// fault-recovery state (see faults.go)
+	nodes        []string // node IDs hosting the current deployment
+	ckptProgress float64  // progress at the last successful checkpoint
+	ckptSkip     bool     // next boundary checkpoint write fails (chaos)
+	needRestore  bool     // crashed; owes a checkpoint-restore pause
+	restoreDelay float64  // extra one-shot recovery delay (chaos)
 }
 
 // epochsPerSecond converts a steps/s speed into epochs/s for the job: each
@@ -178,6 +197,10 @@ func Run(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rec := metrics.NewRecorder()
 	fitCache := make(map[string]speedfit.Model)
+	faults, err := newFaultRuntime(cfg.Faults, rec)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 
 	states := make([]*jobState, len(cfg.Jobs))
 	for i, spec := range cfg.Jobs {
@@ -204,11 +227,17 @@ func Run(cfg Config) (*Result, error) {
 			if allDone(states) {
 				break
 			}
-			// Fast-forward to the next arrival.
-			now = nextArrival(states, now, cfg.Interval)
+			// Fast-forward to the next arrival, firing any faults in the
+			// skipped stretch (outages must not be lost to idle time).
+			next := nextArrival(states, now, cfg.Interval)
+			if faults != nil {
+				faults.collect(now, next, nil)
+			}
+			now = next
 			continue
 		}
 		res.Intervals++
+		intervalEnd := now + cfg.Interval
 
 		// Pre-run profiling for newly arrived jobs (once per job).
 		if !cfg.UseTrueModels {
@@ -241,9 +270,13 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		// Allocate and place.
+		// Allocate and place. Nodes inside a fault outage contribute no
+		// capacity and are reserved below so placement cannot touch them.
 		var capacity cluster.Resources
 		for _, n := range cfg.Cluster.Nodes()[:availNodes] {
+			if faults != nil && faults.isDown(n.ID, now) {
+				continue
+			}
 			capacity = capacity.Add(n.Capacity)
 		}
 		alloc := cfg.Policy.Allocate(infos, capacity)
@@ -277,6 +310,17 @@ func Run(cfg Config) (*Result, error) {
 		for _, n := range cfg.Cluster.Nodes()[availNodes:] {
 			if err := n.Allocate(n.Capacity); err != nil {
 				return nil, fmt.Errorf("sim: reserving node %s: %w", n.ID, err)
+			}
+		}
+		// Reserve crashed nodes for the length of their outage.
+		if faults != nil {
+			for _, n := range cfg.Cluster.Nodes()[:availNodes] {
+				if !faults.isDown(n.ID, now) {
+					continue
+				}
+				if err := n.Allocate(n.Capacity); err != nil {
+					return nil, fmt.Errorf("sim: reserving crashed node %s: %w", n.ID, err)
+				}
 			}
 		}
 		var reqs []core.PlacementRequest
@@ -334,6 +378,7 @@ func Run(cfg Config) (*Result, error) {
 			if !ok {
 				js.placed = false
 				js.alloc = core.Allocation{}
+				js.nodes = nil
 				continue
 			}
 			// Record what was actually deployed — baseline placements may
@@ -347,9 +392,21 @@ func Run(cfg Config) (*Result, error) {
 				PSOnNode:      pl.PSOnNode,
 				WorkersOnNode: pl.WorkersOnNode,
 			}
+			js.nodes = pl.NodeIDs
 			js.placed = true
 			if changed || fresh {
 				pause := cfg.ScalingBase + cfg.ScalingPerTask*float64(newAlloc.Tasks())
+				if js.needRestore {
+					// Requeued after a crash: the pause is a checkpoint
+					// restore (§5.4) plus any injected recovery delay.
+					pause += js.restoreDelay
+					js.restoreDelay = 0
+					js.needRestore = false
+					if pause > cfg.Interval {
+						pause = cfg.Interval
+					}
+					rec.AddRecoveryTime(pause)
+				}
 				if pause > cfg.Interval {
 					pause = cfg.Interval
 				}
@@ -358,48 +415,94 @@ func Run(cfg Config) (*Result, error) {
 					rec.AddScalingTime(pause)
 				}
 			}
-			// Straggler lifecycle (§5.2).
-			if js.straggling && policyHandlesStragglers(cfg.Policy) {
-				js.straggling = false // detected and replaced this interval
+			// Straggler lifecycle (§5.2): injected degradations expire on
+			// their own; straggler-aware policies replace the slow worker
+			// after one detection interval (a task restart when the worker
+			// was chaos-killed rather than merely slow by chance).
+			if js.straggling {
+				expired := js.stragglerUntil > 0 && js.stragglerUntil <= now
+				replaced := policyHandlesStragglers(cfg.Policy)
+				if expired || replaced {
+					if replaced && !expired && js.stragglerSev > 0 {
+						rec.AddRestarts(1)
+					}
+					js.straggling = false
+					js.stragglerSev = 0
+					js.stragglerUntil = 0
+				}
 			}
 			if cfg.StragglerProb > 0 && rng.Float64() < cfg.StragglerProb {
 				js.straggling = true
 			}
 		}
 
+		// Fire this interval's faults now that placement is known: crashes
+		// must hit the tasks where they actually landed.
+		var crashAt map[int]float64
+		if faults != nil {
+			crashAt = faults.collect(now, intervalEnd, active)
+		}
+
 		// Advance one interval of progress.
-		intervalEnd := now + cfg.Interval
 		for _, js := range active {
 			if !js.placed || js.done {
 				continue
 			}
-			start := now + pauses[js.spec.ID]
-			if start >= intervalEnd {
-				continue
+			crashT, crashed := crashAt[js.spec.ID]
+			end := intervalEnd
+			if crashed && crashT < end {
+				end = crashT
 			}
 			stepsPerSec := js.spec.Model.PlacedSpeed(js.spec.Mode, js.spread)
 			if js.straggling {
-				stepsPerSec *= cfg.StragglerSlowdown
+				sev := cfg.StragglerSlowdown
+				if js.stragglerSev > 0 {
+					sev = js.stragglerSev
+				}
+				stepsPerSec *= sev
+			}
+			if faults != nil {
+				stepsPerSec *= faults.netFactor(now)
 			}
 			rate := epochsPerSecond(js.spec, stepsPerSec)
-			if rate <= 0 {
+			start := now + pauses[js.spec.ID]
+			if start < end && rate > 0 {
+				remaining := js.totalEpochs - js.progress
+				span := end - start
+				if gained := rate * span; gained < remaining {
+					js.progress += gained
+				} else {
+					// Completion inside [start, end) always beats a crash at
+					// end: the converged model is already checkpointed.
+					js.progress = js.totalEpochs
+					js.done = true
+					js.doneAt = start + remaining/rate
+					rec.Complete(js.spec.ID, js.doneAt)
+					res.JCTs[js.spec.ID] = js.doneAt - js.spec.Arrival
+				}
+				// Online observations for the estimators. A crashed job's
+				// interval telemetry dies with its tasks.
+				if !cfg.UseTrueModels && !crashed {
+					observe(js, stepsPerSec, cfg, rng)
+				}
+			}
+			if crashed && !js.done {
+				faults.crash(js, rate)
+			}
+		}
+
+		// Interval-boundary checkpoints (§5.4): surviving deployments save
+		// their state unless a chaos CheckpointFail eats the write. Crashed
+		// jobs keep their previous checkpoint.
+		for _, js := range active {
+			if js.done || !js.placed {
 				continue
 			}
-			remaining := js.totalEpochs - js.progress
-			span := intervalEnd - start
-			if gained := rate * span; gained < remaining {
-				js.progress += gained
-			} else {
-				js.progress = js.totalEpochs
-				js.done = true
-				js.doneAt = start + remaining/rate
-				rec.Complete(js.spec.ID, js.doneAt)
-				res.JCTs[js.spec.ID] = js.doneAt - js.spec.Arrival
+			if js.ckptSkip {
+				js.ckptSkip = false
+				continue
 			}
-			// Online observations for the estimators.
-			if !cfg.UseTrueModels {
-				observe(js, stepsPerSec, cfg, rng)
-			}
+			js.ckptProgress = js.progress
 		}
 
 		rec.Snapshot(snapshot(now, states, cfg))
