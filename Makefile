@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench quick full fuzz clean
+.PHONY: all build vet test race bench bench-all quick full fuzz clean
 
 all: build vet test
 
@@ -15,12 +15,22 @@ vet:
 test:
 	$(GO) test ./...
 
+# internal/experiments runs its parallel worker pool under the detector.
 race:
-	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/
+	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/
+
+# Micro-benchmarks of the core algorithms, recorded as the repo's perf
+# trajectory: BENCH_1.json is the first point; bump N for later snapshots
+# and compare ns/op and allocs/op against the committed history.
+BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkPAA|BenchmarkPSStep)$$
+BENCH_OUT ?= BENCH_1.json
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # One benchmark per paper table/figure plus micro-benchmarks; prints the
 # regenerated rows.
-bench:
+bench-all:
 	$(GO) test -bench=. -benchmem .
 
 # Fast smoke reproduction of every exhibit.

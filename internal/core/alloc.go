@@ -43,6 +43,28 @@ type Allocation struct {
 // Tasks returns the total number of tasks in the allocation.
 func (a Allocation) Tasks() int { return a.PS + a.Workers }
 
+// MemoizeSpeed wraps a speed function with a lookup table keyed on (p, w).
+// The greedy allocator evaluates each job's Speed O(tasks granted) times and
+// almost always at arguments it has already visited — the base allocation is
+// re-probed on every heap pop — while the underlying closures (fitted models
+// over placement physics, or the simulator's ground-truth surfaces) are far
+// more expensive than a map hit. Callers with expensive speed functions wrap
+// once per scheduling interval (see sim.schedulerView) rather than inside
+// Allocate itself, so cheap closures pay no map overhead. Speed functions
+// must be pure for the lifetime of the wrapper for the memo to be exact.
+func MemoizeSpeed(f func(p, w int) float64) func(p, w int) float64 {
+	cache := make(map[[2]int]float64)
+	return func(p, w int) float64 {
+		key := [2]int{p, w}
+		if v, ok := cache[key]; ok {
+			return v
+		}
+		v := f(p, w)
+		cache[key] = v
+		return v
+	}
+}
+
 // remainingTime returns Q/f(p,w), with +Inf when the job cannot progress.
 func remainingTime(j *JobInfo, p, w int) float64 {
 	f := j.Speed(p, w)

@@ -23,14 +23,22 @@ func ablationPriority(opt Options) (Table, error) {
 		Columns: []string{"priority-factor", "avg-JCT(s)", "makespan(s)", "norm-JCT"},
 		Notes:   "paper: factor 0.95 improves JCT 2.66% and makespan 1.88%",
 	}
-	var baseJCT float64
-	for _, factor := range []float64{1.0, 0.95} {
+	factors := []float64{1.0, 0.95}
+	cases := make([]testbedCase, len(factors))
+	for i, factor := range factors {
 		factor := factor
-		jct, span, _, _, err := testbedAverage(opt, sim.OptimusPolicy(), 3,
-			func(c *sim.Config) { c.PriorityFactor = factor })
-		if err != nil {
-			return Table{}, err
+		cases[i] = testbedCase{
+			policy: sim.OptimusPolicy(),
+			mutate: func(c *sim.Config) { c.PriorityFactor = factor },
 		}
+	}
+	stats, err := testbedSweep(opt, cases, 3)
+	if err != nil {
+		return Table{}, err
+	}
+	var baseJCT float64
+	for i, factor := range factors {
+		jct, span := stats[i].jct, stats[i].span
 		if factor == 1.0 {
 			baseJCT = jct
 		}
@@ -52,18 +60,24 @@ func stragglerStudy(opt Options) (Table, error) {
 		Columns: []string{"scheduler", "clean-JCT(s)", "straggler-JCT(s)", "slowdown"},
 		Notes:   "Optimus replaces stragglers after one detection interval; baselines keep them",
 	}
-	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
-		clean, _, _, _, err := testbedAverage(opt, policy, 3, nil)
-		if err != nil {
-			return Table{}, err
-		}
-		strag, _, _, _, err := testbedAverage(opt, policy, 3, func(c *sim.Config) {
-			c.StragglerProb = 0.4
-			c.StragglerSlowdown = 0.5
-		})
-		if err != nil {
-			return Table{}, err
-		}
+	// One fan-out for all six columns: each policy's clean and straggling
+	// averages are independent runs.
+	policies := []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()}
+	var cases []testbedCase
+	for _, policy := range policies {
+		cases = append(cases,
+			testbedCase{policy: policy},
+			testbedCase{policy: policy, mutate: func(c *sim.Config) {
+				c.StragglerProb = 0.4
+				c.StragglerSlowdown = 0.5
+			}})
+	}
+	stats, err := testbedSweep(opt, cases, 3)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, policy := range policies {
+		clean, strag := stats[2*i].jct, stats[2*i+1].jct
 		t.Rows = append(t.Rows, []string{
 			policy.Name, fmt.Sprintf("%.0f", clean), fmt.Sprintf("%.0f", strag),
 			f2(strag / clean),
@@ -103,18 +117,26 @@ func mixedWorkloads(opt Options) (Table, error) {
 	jobs := workload.Generate(workload.GenConfig{
 		N: n, Horizon: 4000, Seed: opt.Seed + 300, Downscale: 0.03,
 	})
+	policies := []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy()}
+	var cfgs []sim.Config
 	for _, sched := range schedules {
-		for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy()} {
+		for _, policy := range policies {
 			cfg := simConfig(policy, jobs, opt.Seed)
 			cfg.ShareSchedule = sched.fn
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return Table{}, err
-			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runConfigs(opt, cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for si, sched := range schedules {
+		for pi, policy := range policies {
+			s := results[si*len(policies)+pi].Summary
 			t.Rows = append(t.Rows, []string{
 				sched.name, policy.Name,
-				fmt.Sprintf("%.0f", res.Summary.AvgJCT),
-				fmt.Sprintf("%.0f", res.Summary.Makespan),
+				fmt.Sprintf("%.0f", s.AvgJCT),
+				fmt.Sprintf("%.0f", s.Makespan),
 			})
 		}
 	}

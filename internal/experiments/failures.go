@@ -58,17 +58,23 @@ func failureSweep(opt Options) (Table, error) {
 		sched = &s
 	}
 
-	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
-		clean, err := sim.Run(simConfig(policy, jobs, opt.Seed))
-		if err != nil {
-			return Table{}, err
-		}
+	// The schedule is shared read-only: each run builds its own injector
+	// cursor from a copy, so the same fault sequence replays against every
+	// policy concurrently.
+	policies := []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()}
+	cfgs := make([]sim.Config, 0, 2*len(policies))
+	for _, policy := range policies {
+		cfgs = append(cfgs, simConfig(policy, jobs, opt.Seed))
 		cfg := simConfig(policy, jobs, opt.Seed)
 		cfg.Faults = sched
-		faulty, err := sim.Run(cfg)
-		if err != nil {
-			return Table{}, err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runConfigs(opt, cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, policy := range policies {
+		clean, faulty := results[2*i], results[2*i+1]
 		slowdown := 0.0
 		if clean.Summary.AvgJCT > 0 {
 			slowdown = faulty.Summary.AvgJCT / clean.Summary.AvgJCT

@@ -61,35 +61,18 @@ func simConfig(policy sim.Policy, jobs []workload.JobSpec, seed int64) sim.Confi
 	}
 }
 
-func runPolicy(policy sim.Policy, jobs []workload.JobSpec, seed int64) (*sim.Result, error) {
-	return sim.Run(simConfig(policy, jobs, seed))
+// comparisonPolicies is the Fig-11/13/14/16/17 scheduler lineup.
+func comparisonPolicies() []sim.Policy {
+	return []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()}
 }
 
-// testbedAverage runs a policy over `reps` different testbed workloads
-// (matched to the paper's 9-job load relative to cluster capacity — our
-// downscaled jobs are individually smaller, so 15 of them produce the same
-// contention) and returns the mean JCT/makespan plus per-rep samples.
-func testbedAverage(opt Options, policy sim.Policy, reps int,
-	mutate func(*sim.Config)) (jct, span float64, jcts, spans []float64, err error) {
-	if opt.Quick {
-		reps = 1
+// policyCases wraps the comparison lineup as testbed sweep cases.
+func policyCases(policies []sim.Policy, mutate func(*sim.Config)) []testbedCase {
+	cases := make([]testbedCase, len(policies))
+	for i, p := range policies {
+		cases[i] = testbedCase{policy: p, mutate: mutate}
 	}
-	for r := 0; r < reps; r++ {
-		jobs := workload.Generate(workload.GenConfig{
-			N: 15, Horizon: 4000, Seed: opt.Seed + int64(r*997), Downscale: 0.03,
-		})
-		cfg := simConfig(policy, jobs, opt.Seed+int64(r))
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		res, rerr := sim.Run(cfg)
-		if rerr != nil {
-			return 0, 0, nil, nil, rerr
-		}
-		jcts = append(jcts, res.Summary.AvgJCT)
-		spans = append(spans, res.Summary.Makespan)
-	}
-	return metrics.Mean(jcts), metrics.Mean(spans), jcts, spans, nil
+	return cases
 }
 
 // fig11Comparison regenerates Fig. 11: normalized JCT and makespan of
@@ -102,12 +85,14 @@ func fig11Comparison(opt Options) (Table, error) {
 		Columns: []string{"scheduler", "norm-JCT", "norm-makespan", "avg-JCT(s)", "makespan(s)"},
 		Notes:   "paper: DRF 2.39x JCT / 1.63x makespan vs Optimus; Tetris in between",
 	}
+	policies := comparisonPolicies()
+	stats, err := testbedSweep(opt, policyCases(policies, nil), 3)
+	if err != nil {
+		return Table{}, err
+	}
 	var baseJCT, baseSpan float64
-	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
-		jct, span, _, _, err := testbedAverage(opt, policy, 3, nil)
-		if err != nil {
-			return Table{}, err
-		}
+	for i, policy := range policies {
+		jct, span := stats[i].jct, stats[i].span
 		if policy.Name == "optimus" {
 			baseJCT, baseSpan = jct, span
 		}
@@ -134,6 +119,9 @@ func fig12Scalability(opt Options) (Table, error) {
 		jobCounts = []int{200}
 		nodeCounts = []int{500, 1000}
 	}
+	// This exhibit measures the scheduler's own wall-clock, so its sweep
+	// points run serially on purpose: timing them concurrently would measure
+	// pool contention, not scheduling time.
 	zoo := workload.Zoo()
 	for _, nJobs := range jobCounts {
 		for _, nNodes := range nodeCounts {
@@ -194,11 +182,13 @@ func fig13Stats(opt Options) (Table, error) {
 		Title:   "JCT and makespan, mean ± stddev over repetitions",
 		Columns: []string{"scheduler", "avg-JCT(s)", "sd-JCT", "makespan(s)", "sd-makespan"},
 	}
-	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
-		_, _, jcts, spans, err := testbedAverage(opt, policy, reps, nil)
-		if err != nil {
-			return Table{}, err
-		}
+	policies := comparisonPolicies()
+	stats, err := testbedSweep(opt, policyCases(policies, nil), reps)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, policy := range policies {
+		jcts, spans := stats[i].jcts, stats[i].spans
 		t.Rows = append(t.Rows, []string{
 			policy.Name,
 			fmt.Sprintf("%.0f", metrics.Mean(jcts)), fmt.Sprintf("%.0f", metrics.Stddev(jcts)),
@@ -219,11 +209,17 @@ func fig14Timelines(opt Options) (Table, error) {
 		Title:   "Running tasks and normalized CPU utilization over time",
 		Columns: []string{"scheduler", "time(s)", "tasks", "worker-util", "ps-util"},
 	}
-	for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
-		res, err := runPolicy(policy, jobs, opt.Seed)
-		if err != nil {
-			return Table{}, err
-		}
+	policies := comparisonPolicies()
+	cfgs := make([]sim.Config, len(policies))
+	for i, policy := range policies {
+		cfgs[i] = simConfig(policy, jobs, opt.Seed)
+	}
+	results, err := runConfigs(opt, cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, policy := range policies {
+		res := results[i]
 		stride := len(res.Timeline)/8 + 1
 		for i := 0; i < len(res.Timeline); i += stride {
 			s := res.Timeline[i]
@@ -254,48 +250,59 @@ func fig15ErrorSensitivity(opt Options) (Table, error) {
 		Columns: []string{"error-kind", "error%", "norm-JCT", "norm-makespan"},
 		Notes:   "speed error hurts more than convergence error (paper §6.3)",
 	}
-	run := func(conv, speed float64, seed int64) (metrics.Summary, error) {
-		cfg := simConfig(sim.OptimusPolicy(), jobs, seed)
-		cfg.UseTrueModels = true
-		cfg.InjectConvError = conv
-		cfg.InjectSpeedError = speed
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return metrics.Summary{}, err
+	// One combo per distinct (conv, speed) error pair; the error-free pair is
+	// shared by both kinds' zero levels and by the normalization base, so it
+	// runs once instead of three times.
+	type combo struct{ conv, speed float64 }
+	combos := []combo{{0, 0}}
+	for _, e := range levels {
+		if e > 0 {
+			combos = append(combos, combo{conv: e})
 		}
-		return res.Summary, nil
 	}
-	avg := func(conv, speed float64) (float64, float64, error) {
-		var jct, span float64
+	for _, e := range levels {
+		if e > 0 {
+			combos = append(combos, combo{speed: e})
+		}
+	}
+	cfgs := make([]sim.Config, 0, len(combos)*reps)
+	for _, c := range combos {
 		for r := 0; r < reps; r++ {
-			s, err := run(conv, speed, opt.Seed+int64(r*13))
-			if err != nil {
-				return 0, 0, err
-			}
-			jct += s.AvgJCT
-			span += s.Makespan
+			cfg := simConfig(sim.OptimusPolicy(), jobs, opt.Seed+int64(r*13))
+			cfg.UseTrueModels = true
+			cfg.InjectConvError = c.conv
+			cfg.InjectSpeedError = c.speed
+			cfgs = append(cfgs, cfg)
 		}
-		return jct / float64(reps), span / float64(reps), nil
 	}
-	baseJCT, baseSpan, err := avg(0, 0)
+	results, err := runConfigs(opt, cfgs)
 	if err != nil {
 		return Table{}, err
 	}
+	avg := make(map[combo][2]float64, len(combos))
+	for ci, c := range combos {
+		var jct, span float64
+		for r := 0; r < reps; r++ {
+			s := results[ci*reps+r].Summary
+			jct += s.AvgJCT
+			span += s.Makespan
+		}
+		avg[c] = [2]float64{jct / float64(reps), span / float64(reps)}
+	}
+	base := avg[combo{}]
+	baseJCT, baseSpan := base[0], base[1]
 	for _, kind := range []string{"convergence", "speed"} {
 		for _, e := range levels {
-			conv, speed := 0.0, 0.0
+			c := combo{}
 			if kind == "convergence" {
-				conv = e
+				c.conv = e
 			} else {
-				speed = e
+				c.speed = e
 			}
-			jct, span, err := avg(conv, speed)
-			if err != nil {
-				return Table{}, err
-			}
+			a := avg[c]
 			t.Rows = append(t.Rows, []string{
 				kind, fmt.Sprintf("%.0f", e*100),
-				f2(jct / baseJCT), f2(span / baseSpan),
+				f2(a[0] / baseJCT), f2(a[1] / baseSpan),
 			})
 		}
 	}
@@ -309,7 +316,10 @@ func fig16TrainingModes(opt Options) (Table, error) {
 		Title:   "Sensitivity to training modes",
 		Columns: []string{"mode", "scheduler", "norm-JCT", "norm-makespan"},
 	}
-	for _, mode := range []speedfit.Mode{speedfit.Async, speedfit.Sync} {
+	modes := []speedfit.Mode{speedfit.Async, speedfit.Sync}
+	policies := comparisonPolicies()
+	var cfgs []sim.Config
+	for _, mode := range modes {
 		m := mode
 		n := 36
 		if opt.Quick {
@@ -318,19 +328,25 @@ func fig16TrainingModes(opt Options) (Table, error) {
 		jobs := workload.Generate(workload.GenConfig{
 			N: n, Horizon: 8000, Seed: opt.Seed + 200, Downscale: 0.03, ForceMode: &m,
 		})
+		for _, policy := range policies {
+			cfgs = append(cfgs, simConfig(policy, jobs, opt.Seed))
+		}
+	}
+	results, err := runConfigs(opt, cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for mi, mode := range modes {
 		var base metrics.Summary
-		for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
-			res, err := runPolicy(policy, jobs, opt.Seed)
-			if err != nil {
-				return Table{}, err
-			}
+		for pi, policy := range policies {
+			s := results[mi*len(policies)+pi].Summary
 			if policy.Name == "optimus" {
-				base = res.Summary
+				base = s
 			}
 			t.Rows = append(t.Rows, []string{
 				mode.String(), policy.Name,
-				f2(res.Summary.AvgJCT / base.AvgJCT),
-				f2(res.Summary.Makespan / base.Makespan),
+				f2(s.AvgJCT / base.AvgJCT),
+				f2(s.Makespan / base.Makespan),
 			})
 		}
 	}
@@ -353,21 +369,29 @@ func fig17ArrivalProcesses(opt Options) (Table, error) {
 		{"poisson", workload.PoissonArrivals},
 		{"google-trace", workload.GoogleTraceArrivals},
 	}
+	policies := comparisonPolicies()
+	var cfgs []sim.Config
 	for _, proc := range procs {
 		jobs := mixFor(opt, 36, proc.fn)
+		for _, policy := range policies {
+			cfgs = append(cfgs, simConfig(policy, jobs, opt.Seed))
+		}
+	}
+	results, err := runConfigs(opt, cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for qi, proc := range procs {
 		var base metrics.Summary
-		for _, policy := range []sim.Policy{sim.OptimusPolicy(), sim.DRFPolicy(), sim.TetrisPolicy()} {
-			res, err := runPolicy(policy, jobs, opt.Seed)
-			if err != nil {
-				return Table{}, err
-			}
+		for pi, policy := range policies {
+			s := results[qi*len(policies)+pi].Summary
 			if policy.Name == "optimus" {
-				base = res.Summary
+				base = s
 			}
 			t.Rows = append(t.Rows, []string{
 				proc.name, policy.Name,
-				f2(res.Summary.AvgJCT / base.AvgJCT),
-				f2(res.Summary.Makespan / base.Makespan),
+				f2(s.AvgJCT / base.AvgJCT),
+				f2(s.Makespan / base.Makespan),
 			})
 		}
 	}
@@ -388,15 +412,16 @@ func fig18AllocAblation(opt Options) (Table, error) {
 		sim.Hybrid("drf-alloc", sim.DRFAllocatorOnly, core.Place),
 		sim.Hybrid("tetris-alloc", sim.TetrisAllocatorOnly, core.Place),
 	}
+	stats, err := testbedSweep(opt, policyCases(policies, func(c *sim.Config) {
+		c.UseTrueModels = true  // isolate the algorithm from estimation noise
+		c.ReconfigThreshold = 0 // and from the §7 churn damper
+	}), 3)
+	if err != nil {
+		return Table{}, err
+	}
 	var baseJCT, baseSpan float64
-	for _, policy := range policies {
-		jct, span, _, _, err := testbedAverage(opt, policy, 3, func(c *sim.Config) {
-			c.UseTrueModels = true  // isolate the algorithm from estimation noise
-			c.ReconfigThreshold = 0 // and from the §7 churn damper
-		})
-		if err != nil {
-			return Table{}, err
-		}
+	for i, policy := range policies {
+		jct, span := stats[i].jct, stats[i].span
 		if policy.Name == "optimus" {
 			baseJCT, baseSpan = jct, span
 		}
@@ -421,15 +446,16 @@ func fig19PlacementAblation(opt Options) (Table, error) {
 		sim.Hybrid("spread-place", core.Allocate, sim.DRFPolicy().Place),
 		sim.Hybrid("pack-place", core.Allocate, sim.TetrisPolicy().Place),
 	}
+	stats, err := testbedSweep(opt, policyCases(policies, func(c *sim.Config) {
+		c.UseTrueModels = true
+		c.ReconfigThreshold = 0
+	}), 3)
+	if err != nil {
+		return Table{}, err
+	}
 	var baseJCT, baseSpan float64
-	for _, policy := range policies {
-		jct, span, _, _, err := testbedAverage(opt, policy, 3, func(c *sim.Config) {
-			c.UseTrueModels = true
-			c.ReconfigThreshold = 0
-		})
-		if err != nil {
-			return Table{}, err
-		}
+	for i, policy := range policies {
+		jct, span := stats[i].jct, stats[i].span
 		if policy.Name == "optimus" {
 			baseJCT, baseSpan = jct, span
 		}
@@ -446,10 +472,13 @@ func overheadScaling(opt Options) (Table, error) {
 	jobs := workload.Generate(workload.GenConfig{
 		N: 15, Horizon: 4000, Seed: opt.Seed + 100, Downscale: 0.03,
 	})
-	res, err := runPolicy(sim.OptimusPolicy(), jobs, opt.Seed)
+	results, err := runConfigs(opt, []sim.Config{
+		simConfig(sim.OptimusPolicy(), jobs, opt.Seed),
+	})
 	if err != nil {
 		return Table{}, err
 	}
+	res := results[0]
 	return Table{
 		ID:      "overhead",
 		Title:   "Resource-adjustment (checkpoint scaling) overhead",

@@ -91,6 +91,11 @@ func printRow(w io.Writer, cells []string, widths []int) {
 type Options struct {
 	Quick bool
 	Seed  int64
+	// Parallel is the worker-pool width for independent simulator runs.
+	// Zero means GOMAXPROCS; 1 forces serial execution. Any width produces
+	// byte-identical tables for the same seed (see internal/experiments/
+	// parallel.go for the invariants that guarantee this).
+	Parallel int
 	// Faults, when set, replaces the failure exhibit's generated chaos
 	// schedule with a user-provided one (cmd/optimus-sim -faults).
 	Faults *chaos.Schedule

@@ -111,6 +111,16 @@ type Fitter struct {
 	// adjacent samples are averaged (the paper's "average several data
 	// points" reduction). Zero means unlimited.
 	MaxPoints int
+
+	// Fit cache: FitPoints is pure in (points, OutlierWindow), so the result
+	// only changes when Add appends a sample (or the window setting moves).
+	// The scheduler refits every active job every interval; between epoch
+	// boundaries nothing new arrives, so the cached model is exact.
+	dirty        bool
+	fitted       bool
+	cachedWindow int
+	cached       Model
+	cachedErr    error
 }
 
 // NewFitter returns a Fitter with the paper's default preprocessing window.
@@ -131,6 +141,7 @@ func (f *Fitter) Add(k, loss float64) error {
 	if f.MaxPoints > 0 && len(f.points) > f.MaxPoints {
 		f.compact()
 	}
+	f.dirty = true
 	return nil
 }
 
@@ -216,9 +227,16 @@ func Preprocess(points []Point, window int) ([]Point, float64) {
 }
 
 // Fit fits the convergence model to the samples collected so far. At least
-// four samples are required.
+// four samples are required. Results are cached until the next Add (or an
+// OutlierWindow change), so repeated scheduler refits without new
+// observations cost a field read instead of a grid of NNLS solves.
 func (f *Fitter) Fit() (Model, error) {
-	return FitPoints(f.points, f.OutlierWindow)
+	if f.fitted && !f.dirty && f.cachedWindow == f.OutlierWindow {
+		return f.cached, f.cachedErr
+	}
+	f.cached, f.cachedErr = FitPoints(f.points, f.OutlierWindow)
+	f.fitted, f.dirty, f.cachedWindow = true, false, f.OutlierWindow
+	return f.cached, f.cachedErr
 }
 
 // FitPoints fits the model to an explicit sample set.

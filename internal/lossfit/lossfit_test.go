@@ -263,3 +263,58 @@ func convergencePoint(b0, b1, b2, threshold float64, window int) float64 {
 	}
 	return k
 }
+
+// TestFitCacheMatchesRefit is the dirty-flag contract: a Fitter's cached Fit
+// must be indistinguishable from refitting the accumulated points from
+// scratch, at every point in the Add/Fit interleaving.
+func TestFitCacheMatchesRefit(t *testing.T) {
+	pts := synth(0.2, 1.0, 0.06, 60, 0.01, 9)
+	f := NewFitter()
+	for i, p := range pts {
+		if err := f.Add(p.K, p.Loss); err != nil {
+			t.Fatal(err)
+		}
+		if i < 4 || i%7 != 0 {
+			continue
+		}
+		got, gotErr := f.Fit()
+		// Repeat without new data: must hit the cache and return the same.
+		again, againErr := f.Fit()
+		if got != again || (gotErr == nil) != (againErr == nil) {
+			t.Fatalf("point %d: cached refit diverged: %+v vs %+v", i, got, again)
+		}
+		want, wantErr := FitPoints(pts[:i+1], f.OutlierWindow)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("point %d: err %v vs fresh err %v", i, gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("point %d: cached fit %+v != fresh fit %+v", i, got, want)
+		}
+	}
+}
+
+// Changing the preprocessing window must invalidate the cache.
+func TestFitCacheInvalidatedByWindowChange(t *testing.T) {
+	pts := synth(0.15, 1.1, 0.05, 40, 0.02, 10)
+	f := NewFitter()
+	for _, p := range pts {
+		if err := f.Add(p.K, p.Loss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	f.OutlierWindow = 0
+	got, err := f.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FitPoints(pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("after window change: cached %+v != fresh %+v", got, want)
+	}
+}

@@ -221,6 +221,15 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{JCTs: make(map[int]float64)}
 	now := 0.0
+	// Per-interval scratch, reused across intervals: the scheduling loop is
+	// the simulator's hot path and these buffers otherwise churn the
+	// allocator every 600 simulated seconds.
+	var (
+		infos []*core.JobInfo
+		reqs  []core.PlacementRequest
+	)
+	pauses := make(map[int]float64)
+	infoByID := make(map[int]*core.JobInfo)
 	for now < cfg.MaxTime {
 		active := activeJobs(states, now)
 		if len(active) == 0 {
@@ -249,7 +258,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// Build scheduler views.
-		infos := make([]*core.JobInfo, 0, len(active))
+		infos = infos[:0]
 		for _, js := range active {
 			infos = append(infos, schedulerView(js, cfg, rng, fitCache))
 		}
@@ -284,7 +293,7 @@ func Run(cfg Config) (*Result, error) {
 		// §7 churn damper: keep a running job's configuration when the
 		// proposed change is not predicted to pay for its checkpoint pause.
 		if cfg.ReconfigThreshold > 0 {
-			infoByID := make(map[int]*core.JobInfo, len(infos))
+			clear(infoByID)
 			for _, in := range infos {
 				infoByID[in.ID] = in
 			}
@@ -323,7 +332,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
-		var reqs []core.PlacementRequest
+		reqs = reqs[:0]
 		for _, info := range infos {
 			a := alloc[info.ID]
 			if a.PS > 0 && a.Workers > 0 {
@@ -372,7 +381,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// Apply deployments, charging scaling pauses for changed configs.
-		pauses := make(map[int]float64, len(active))
+		clear(pauses)
 		for _, js := range active {
 			pl, ok := placements[js.spec.ID]
 			if !ok {
@@ -735,6 +744,10 @@ func schedulerView(js *jobState, cfg Config, rng *rand.Rand, fitCache map[string
 		}
 	}
 	_ = rng
+	// Every speed closure above is pure for the duration of the interval,
+	// and the allocator plus the §7 churn damper probe it with heavily
+	// repeated arguments — memoize per job per interval.
+	info.Speed = core.MemoizeSpeed(info.Speed)
 	return info
 }
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"optimus/internal/nnls"
 )
@@ -157,6 +158,15 @@ type Estimator struct {
 	Decay     float64
 
 	acc map[[2]int]*accum
+
+	// Fit cache: the fit is a pure function of the accumulated averages, so
+	// it only needs to re-run when Observe has changed them since the last
+	// Fit (the scheduler refits every job every interval, but most jobs gain
+	// no new configuration data between intervals).
+	dirty     bool
+	fitted    bool
+	cached    Model
+	cachedErr error
 }
 
 type accum struct {
@@ -191,24 +201,41 @@ func (e *Estimator) Observe(p, w int, speed float64) error {
 		a.sum += speed
 		a.n++
 	}
+	e.dirty = true
 	return nil
 }
 
 // Configurations reports how many distinct (p, w) points have been observed.
 func (e *Estimator) Configurations() int { return len(e.acc) }
 
-// Samples returns the averaged per-configuration observations.
+// Samples returns the averaged per-configuration observations, ordered by
+// (p, w). The order is deterministic on purpose: NNLS accumulates rows in
+// floating point, so map-iteration order would leak run-to-run jitter into
+// the fitted coefficients and break the simulator's reproducibility.
 func (e *Estimator) Samples() []Sample {
 	out := make([]Sample, 0, len(e.acc))
 	for key, a := range e.acc {
 		out = append(out, Sample{P: key[0], W: key[1], Speed: a.sum / a.n})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].W < out[j].W
+	})
 	return out
 }
 
-// Fit produces a model from everything observed so far.
+// Fit produces a model from everything observed so far. The result is cached
+// until the next Observe: re-fitting without new data always reproduces the
+// same model, so the cache is exact, not approximate.
 func (e *Estimator) Fit() (Model, error) {
-	return Fit(e.Mode, e.Samples(), e.BatchSize)
+	if e.fitted && !e.dirty {
+		return e.cached, e.cachedErr
+	}
+	e.cached, e.cachedErr = Fit(e.Mode, e.Samples(), e.BatchSize)
+	e.fitted, e.dirty = true, false
+	return e.cached, e.cachedErr
 }
 
 // SamplingPlan returns a small set of (p, w) configurations for the

@@ -359,3 +359,62 @@ func TestEstimatorDecayTracksDrift(t *testing.T) {
 		t.Errorf("decayed mean = %g, want ≈ 5 (tracking the new regime)", decayed)
 	}
 }
+
+// TestEstimatorFitCacheMatchesRefit is the dirty-flag contract: cached fits
+// must be indistinguishable from always-refitting on the same observations.
+func TestEstimatorFitCacheMatchesRefit(t *testing.T) {
+	th := [4]float64{0.02, 0.01, 0.003, 0.002}
+	e := NewEstimator(Async, 0)
+	n := 0
+	for p := 1; p <= 6; p++ {
+		for w := 1; w <= 6; w++ {
+			if err := e.Observe(p, w, trueAsync(th, p, w)); err != nil {
+				t.Fatal(err)
+			}
+			n++
+			if n < 6 || n%5 != 0 {
+				continue
+			}
+			got, gotErr := e.Fit()
+			again, againErr := e.Fit() // no new data: cache hit
+			if (gotErr == nil) != (againErr == nil) {
+				t.Fatalf("n=%d: err %v vs cached err %v", n, gotErr, againErr)
+			}
+			want, wantErr := Fit(e.Mode, e.Samples(), e.BatchSize)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("n=%d: err %v vs fresh err %v", n, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if got.Residual != want.Residual || got.Residual != again.Residual ||
+				len(got.Theta) != len(want.Theta) {
+				t.Fatalf("n=%d: cached fit %+v != fresh fit %+v", n, got, want)
+			}
+			for i := range got.Theta {
+				if got.Theta[i] != want.Theta[i] || got.Theta[i] != again.Theta[i] {
+					t.Fatalf("n=%d: theta[%d] cached %g fresh %g", n, i, got.Theta[i], want.Theta[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSamplesDeterministicOrder pins the (p, w) ordering of Samples: NNLS
+// sums rows in floating point, so map-iteration order would make fitted
+// coefficients — and with them whole simulator runs — irreproducible.
+func TestSamplesDeterministicOrder(t *testing.T) {
+	e := NewEstimator(Async, 0)
+	for _, c := range [][2]int{{3, 1}, {1, 2}, {2, 2}, {1, 1}, {2, 1}} {
+		if err := e.Observe(c[0], c[1], 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := e.Samples()
+	want := [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1}}
+	for i, s := range got {
+		if s.P != want[i][0] || s.W != want[i][1] {
+			t.Fatalf("Samples()[%d] = (%d,%d), want (%d,%d)", i, s.P, s.W, want[i][0], want[i][1])
+		}
+	}
+}
