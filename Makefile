@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-all quick full fuzz clean
+.PHONY: all build vet test race bench bench-diff bench-all quick full fuzz clean
 
 all: build vet test
 
@@ -22,11 +22,17 @@ race:
 # Micro-benchmarks of the core algorithms, recorded as the repo's perf
 # trajectory: BENCH_1.json is the first point; bump N for later snapshots
 # and compare ns/op and allocs/op against the committed history.
-BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkPAA|BenchmarkPSStep)$$
-BENCH_OUT ?= BENCH_1.json
+BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkNNLS|BenchmarkPAA|BenchmarkPSStep)$$
+BENCH_OUT ?= BENCH_2.json
+BENCH_BASE ?= BENCH_1.json
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# Like bench, but also print per-benchmark ns/op and allocs/op deltas against
+# the previous committed snapshot.
+bench-diff:
+	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -diff $(BENCH_BASE)
 
 # One benchmark per paper table/figure plus micro-benchmarks; prints the
 # regenerated rows.

@@ -1,0 +1,106 @@
+package optimus
+
+import (
+	"math/rand"
+	"testing"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/psys"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+// TestAllocationBudgets is the CI regression guard for the zero-allocation
+// scheduler kernels: once warmed, the hot paths must stay within fixed
+// allocs-per-op budgets. The budgets carry roughly 2× headroom over measured
+// steady state, so they catch a reintroduced per-item allocation (which scales
+// with input size) without flaking on incidental small ones.
+func TestAllocationBudgets(t *testing.T) {
+	t.Run("allocate", func(t *testing.T) {
+		zoo := workload.Zoo()
+		rng := rand.New(rand.NewSource(1))
+		const nJobs = 100
+		jobs := make([]*core.JobInfo, nJobs)
+		for i := range jobs {
+			m := zoo[i%len(zoo)]
+			mode := speedfit.Mode(rng.Intn(2))
+			jobs[i] = &core.JobInfo{
+				ID:            i,
+				RemainingWork: 1000 + rng.Float64()*100000,
+				Speed:         func(p, w int) float64 { return m.TrueSpeed(mode, p, w) },
+				WorkerRes:     m.WorkerRes,
+				PSRes:         m.PSRes,
+				MaxWorkers:    16,
+				MaxPS:         16,
+			}
+		}
+		capacity := cluster.Resources{
+			cluster.CPU:    float64(nJobs) * 40,
+			cluster.Memory: float64(nJobs) * 160,
+		}
+		st := core.NewAllocState()
+		st.Allocate(jobs, capacity) // warm the scratch buffers
+		allocs := testing.AllocsPerRun(10, func() {
+			st.Allocate(jobs, capacity)
+		})
+		// A per-job or per-grant allocation would cost ≥100 here.
+		if allocs > 25 {
+			t.Errorf("warmed Allocate: %.1f allocs/op, budget 25", allocs)
+		}
+	})
+
+	t.Run("lossfit", func(t *testing.T) {
+		m := workload.ZooByName("seq2seq")
+		f := &lossfit.Fitter{OutlierWindow: 5}
+		for i := 0; i < 200; i++ {
+			e := float64(i + 1)
+			if err := f.Add(e, m.TrueLoss(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := f.Fit(); err != nil { // warm the scratch buffers
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := f.Fit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// The old fitter allocated per candidate asymptote (41 grid points ×
+		// matrix + NNLS scratch ≈ 9500); a warmed refit must stay near zero.
+		if allocs > 20 {
+			t.Errorf("warmed lossfit refit: %.1f allocs/op, budget 20", allocs)
+		}
+	})
+
+	t.Run("psstep-tcp", func(t *testing.T) {
+		data, _, err := psys.SyntheticRegression(512, 64, 0.01, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := psys.StartJob(psys.JobConfig{
+			Model: psys.LinearRegression{Features: 64}, Data: data,
+			Mode: speedfit.Sync, Workers: 2, Servers: 2,
+			BatchSize: 32, LR: 0.05, Transport: psys.TransportTCP, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer job.Stop()
+		if _, err := job.RunSteps(1); err != nil { // warm pools and pull buffers
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := job.RunSteps(1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// The gob transport cost ~203 allocs/step; the framed transport leaves
+		// mostly the engine's per-step stat bookkeeping (~35).
+		if allocs > 70 {
+			t.Errorf("warmed TCP training step: %.1f allocs/op, budget 70", allocs)
+		}
+	})
+}

@@ -4,7 +4,12 @@
 // through to stdout unchanged, so it can sit at the end of a pipe without
 // hiding the test output:
 //
-//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_1.json
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_2.json
+//
+// With -diff it also loads a previous record and prints per-benchmark ns/op
+// and allocs/op deltas, the review artifact for performance PRs:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_2.json -diff BENCH_1.json
 package main
 
 import (
@@ -38,6 +43,7 @@ type Record struct {
 
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout only)")
+	diff := flag.String("diff", "", "previous record to print ns/op and allocs/op deltas against")
 	flag.Parse()
 
 	var rec Record
@@ -77,13 +83,69 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rec.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *diff != "" {
+		if err := printDiff(*diff, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rec.Benchmarks), *out)
+}
+
+// printDiff compares the freshly parsed record against a previous JSON file,
+// matching benchmarks by name. New or vanished benchmarks are flagged rather
+// than silently dropped.
+func printDiff(oldPath string, rec Record) error {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old Record
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	prev := make(map[string]Entry, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		prev[e.Name] = e
+	}
+	fmt.Printf("\nbenchmark deltas vs %s:\n", oldPath)
+	fmt.Printf("%-36s %14s %11s %14s %11s\n", "name", "ns/op", "Δ", "allocs/op", "Δ")
+	seen := make(map[string]bool, len(rec.Benchmarks))
+	for _, e := range rec.Benchmarks {
+		seen[e.Name] = true
+		o, ok := prev[e.Name]
+		if !ok {
+			fmt.Printf("%-36s %14.0f %11s %14.0f %11s\n", e.Name, e.NsPerOp, "(new)", e.AllocsPerOp, "(new)")
+			continue
+		}
+		fmt.Printf("%-36s %14.0f %11s %14.0f %11s\n",
+			e.Name, e.NsPerOp, pctDelta(o.NsPerOp, e.NsPerOp),
+			e.AllocsPerOp, pctDelta(o.AllocsPerOp, e.AllocsPerOp))
+	}
+	for _, o := range old.Benchmarks {
+		if !seen[o.Name] {
+			fmt.Printf("%-36s %14s %11s %14s %11s\n", o.Name, "-", "(gone)", "-", "(gone)")
+		}
+	}
+	return nil
+}
+
+// pctDelta formats the relative change from old to cur; negative is an
+// improvement for both tracked metrics.
+func pctDelta(old, cur float64) string {
+	if old == 0 {
+		if cur == 0 {
+			return "0%"
+		}
+		return "(was 0)"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-old)/old)
 }
 
 // parseLine parses one result line, e.g.

@@ -6,7 +6,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -82,26 +81,73 @@ const (
 	addPS
 )
 
-// candidate is a heap entry: the best pending grant for one job.
-type candidate struct {
-	job   *JobInfo
-	kind  gainKind
+// heapEntry is the best pending grant for one job run. Entries are always
+// current: the heap holds at most one entry per job, and the only job whose
+// gain changes between pops is the one just granted — its entry is replaced
+// at the top in the same operation. `after` carries the remaining time the
+// entry's action would leave the job with, so granting it never re-evaluates
+// the (pure) speed model for a configuration already probed.
+type heapEntry struct {
 	gain  float64
-	alloc Allocation // allocation the gain was computed against (staleness check)
+	after float64
+	kind  gainKind
+	run   int32 // index into AllocState.runs
 }
 
-type gainHeap []candidate
+// gainHeap is a typed max-heap of heapEntry (gain descending, ties broken by
+// run index for determinism). It replaces the previous container/heap
+// implementation, whose interface{}-based Push/Pop boxed every candidate and
+// allocated on each heap operation. Only three operations are needed:
+// heapify after bulk append, replace-top, and pop-top — none allocate.
+type gainHeap []heapEntry
 
-func (h gainHeap) Len() int            { return len(h) }
-func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
-func (h *gainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h gainHeap) less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].run < h[j].run
+}
+
+func (h gainHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func (h gainHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// replaceTop overwrites the maximum element and restores heap order.
+func (h gainHeap) replaceTop(e heapEntry) {
+	h[0] = e
+	h.siftDown(0)
+}
+
+// popTop removes the maximum element, returning the shortened heap.
+func (h gainHeap) popTop() gainHeap {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return h
 }
 
 // bestGain computes the larger of the two marginal gains (9) for a job at
@@ -109,16 +155,23 @@ func (h *gainHeap) Pop() interface{} {
 // task being added (the DRF-style normalization of §4.1, which makes gains
 // comparable across heterogeneous task profiles).
 func bestGain(j *JobInfo, a Allocation, capacity cluster.Resources) (gainKind, float64) {
-	base := remainingTime(j, a.PS, a.Workers)
+	kind, gain, _ := bestGainFrom(j, a, remainingTime(j, a.PS, a.Workers), capacity)
+	return kind, gain
+}
 
-	gw := math.Inf(-1)
+// bestGainFrom is bestGain with the job's current remaining time supplied by
+// the caller (the allocator carries it across grants instead of re-deriving
+// it from the speed model). It additionally returns the remaining time the
+// winning action would leave the job with.
+func bestGainFrom(j *JobInfo, a Allocation, base float64, capacity cluster.Resources) (gainKind, float64, float64) {
+	gw, tw := math.Inf(-1), math.Inf(1)
 	if j.MaxWorkers == 0 || a.Workers < j.MaxWorkers {
-		tw := remainingTime(j, a.PS, a.Workers+1)
+		tw = remainingTime(j, a.PS, a.Workers+1)
 		gw = normalizedGain(base, tw, j.WorkerRes, capacity)
 	}
-	gp := math.Inf(-1)
+	gp, tp := math.Inf(-1), math.Inf(1)
 	if j.MaxPS == 0 || a.PS < j.MaxPS {
-		tp := remainingTime(j, a.PS+1, a.Workers)
+		tp = remainingTime(j, a.PS+1, a.Workers)
 		gp = normalizedGain(base, tp, j.PSRes, capacity)
 	}
 
@@ -127,9 +180,9 @@ func bestGain(j *JobInfo, a Allocation, capacity cluster.Resources) (gainKind, f
 		prio = 1
 	}
 	if gw >= gp {
-		return addWorker, gw * prio
+		return addWorker, gw * prio, tw
 	}
-	return addPS, gp * prio
+	return addPS, gp * prio, tp
 }
 
 // normalizedGain is (t_before − t_after) / dominantShare(taskRes).
@@ -152,6 +205,34 @@ func normalizedGain(before, after float64, taskRes, capacity cluster.Resources) 
 	return diff / share
 }
 
+// allocRun is the per-job working state of one Allocate invocation: the
+// allocation granted so far and the remaining completion time it implies
+// (kept current so gain evaluations never re-probe the base configuration).
+type allocRun struct {
+	job    *JobInfo
+	alloc  Allocation
+	remain float64
+}
+
+// AllocState owns the scratch memory of the §4.1 allocator so the scheduler
+// can run Allocate every interval without re-allocating its job ordering,
+// run table, gain heap, or result map. The zero value is ready to use. A
+// state is not safe for concurrent use; each concurrent scheduling session
+// (e.g. parallel simulator runs) needs its own.
+//
+// The map returned by Allocate is owned by the state and is overwritten by
+// the next Allocate call; callers that retain allocations across intervals
+// must copy it.
+type AllocState struct {
+	ordered []*JobInfo
+	runs    []allocRun
+	heap    gainHeap
+	out     map[int]Allocation
+}
+
+// NewAllocState returns an empty allocator state.
+func NewAllocState() *AllocState { return &AllocState{} }
+
 // Allocate runs the §4.1 marginal-gain algorithm: every active job first
 // receives one worker and one parameter server (starvation avoidance), then
 // single tasks are granted greedily to the job whose completion time shrinks
@@ -160,19 +241,24 @@ func normalizedGain(before, after float64, taskRes, capacity cluster.Resources) 
 //
 // Jobs whose initial (1,1) pair does not fit the remaining capacity receive
 // an empty allocation — the caller pauses them until the next interval.
-func Allocate(jobs []*JobInfo, capacity cluster.Resources) map[int]Allocation {
-	out := make(map[int]Allocation, len(jobs))
+func (st *AllocState) Allocate(jobs []*JobInfo, capacity cluster.Resources) map[int]Allocation {
+	if st.out == nil {
+		st.out = make(map[int]Allocation, len(jobs))
+	} else {
+		clear(st.out)
+	}
+	out := st.out
 	if len(jobs) == 0 {
 		return out
 	}
 	remaining := capacity
 
 	// Phase 1: one worker + one PS per job, in deterministic job-ID order.
-	ordered := make([]*JobInfo, len(jobs))
-	copy(ordered, jobs)
+	st.ordered = append(st.ordered[:0], jobs...)
+	ordered := st.ordered
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
 
-	var active []*JobInfo
+	runs := st.runs[:0]
 	for _, j := range ordered {
 		seed := j.WorkerRes.Add(j.PSRes)
 		if !seed.Fits(remaining) {
@@ -180,84 +266,104 @@ func Allocate(jobs []*JobInfo, capacity cluster.Resources) map[int]Allocation {
 			continue
 		}
 		remaining = remaining.Sub(seed)
-		out[j.ID] = Allocation{PS: 1, Workers: 1}
-		active = append(active, j)
+		runs = append(runs, allocRun{job: j, alloc: Allocation{PS: 1, Workers: 1}})
 	}
+	st.runs = runs
 
-	// Phase 2: greedy marginal-gain grants via a lazy max-heap.
-	h := make(gainHeap, 0, len(active))
-	for _, j := range active {
-		kind, gain := bestGain(j, out[j.ID], capacity)
+	// Phase 2: greedy marginal-gain grants. One always-current heap entry per
+	// job: a grant changes only that job's gain, so its entry is recomputed
+	// and replaced at the top while every other entry stays valid.
+	h := st.heap[:0]
+	for ri := range runs {
+		r := &runs[ri]
+		r.remain = remainingTime(r.job, r.alloc.PS, r.alloc.Workers)
+		kind, gain, after := bestGainFrom(r.job, r.alloc, r.remain, capacity)
 		if gain > 0 {
-			h = append(h, candidate{job: j, kind: kind, gain: gain, alloc: out[j.ID]})
+			h = append(h, heapEntry{gain: gain, after: after, kind: kind, run: int32(ri)})
 		}
 	}
-	heap.Init(&h)
+	st.heap = h
+	h.init()
 
-	for h.Len() > 0 {
-		c := heap.Pop(&h).(candidate)
-		cur := out[c.job.ID]
-		if c.alloc != cur {
-			// Stale entry (the job was granted since): recompute and requeue.
-			kind, gain := bestGain(c.job, cur, capacity)
-			if gain > 0 {
-				heap.Push(&h, candidate{job: c.job, kind: kind, gain: gain, alloc: cur})
-			}
-			continue
-		}
+	for len(h) > 0 {
+		e := h[0]
+		r := &runs[e.run]
 		var req cluster.Resources
-		if c.kind == addWorker {
-			req = c.job.WorkerRes
+		if e.kind == addWorker {
+			req = r.job.WorkerRes
 		} else {
-			req = c.job.PSRes
+			req = r.job.PSRes
 		}
 		if !req.Fits(remaining) {
 			// This particular task no longer fits. The job may still have a
 			// fitting alternative action; try the other kind once.
-			if alt, gain := otherGain(c.job, cur, capacity, c.kind); gain > 0 {
+			if alt, gain, after := otherGainFrom(r.job, r.alloc, r.remain, capacity, e.kind); gain > 0 {
 				var altReq cluster.Resources
 				if alt == addWorker {
-					altReq = c.job.WorkerRes
+					altReq = r.job.WorkerRes
 				} else {
-					altReq = c.job.PSRes
+					altReq = r.job.PSRes
 				}
 				if altReq.Fits(remaining) {
-					heap.Push(&h, candidate{job: c.job, kind: alt, gain: gain, alloc: cur})
+					h.replaceTop(heapEntry{gain: gain, after: after, kind: alt, run: e.run})
+					continue
 				}
 			}
+			h = h.popTop()
 			continue
 		}
 		remaining = remaining.Sub(req)
-		if c.kind == addWorker {
-			cur.Workers++
+		if e.kind == addWorker {
+			r.alloc.Workers++
 		} else {
-			cur.PS++
+			r.alloc.PS++
 		}
-		out[c.job.ID] = cur
-		if kind, gain := bestGain(c.job, cur, capacity); gain > 0 {
-			heap.Push(&h, candidate{job: c.job, kind: kind, gain: gain, alloc: cur})
+		r.remain = e.after
+		if kind, gain, after := bestGainFrom(r.job, r.alloc, r.remain, capacity); gain > 0 {
+			h.replaceTop(heapEntry{gain: gain, after: after, kind: kind, run: e.run})
+		} else {
+			h = h.popTop()
 		}
+	}
+
+	for ri := range runs {
+		out[runs[ri].job.ID] = runs[ri].alloc
 	}
 	return out
 }
 
+// Allocate is the stateless convenience wrapper: each call runs on a fresh
+// AllocState, so the returned map is caller-owned. Hot paths should hold an
+// AllocState and call its method instead.
+func Allocate(jobs []*JobInfo, capacity cluster.Resources) map[int]Allocation {
+	var st AllocState
+	return st.Allocate(jobs, capacity)
+}
+
 // otherGain computes the normalized gain of the action other than `tried`.
 func otherGain(j *JobInfo, a Allocation, capacity cluster.Resources, tried gainKind) (gainKind, float64) {
-	base := remainingTime(j, a.PS, a.Workers)
+	kind, gain, _ := otherGainFrom(j, a, remainingTime(j, a.PS, a.Workers), capacity, tried)
+	return kind, gain
+}
+
+// otherGainFrom is otherGain with the job's current remaining time supplied
+// by the caller; it additionally returns the remaining time the alternative
+// action would leave the job with.
+func otherGainFrom(j *JobInfo, a Allocation, base float64, capacity cluster.Resources, tried gainKind) (gainKind, float64, float64) {
 	prio := j.Priority
 	if prio == 0 {
 		prio = 1
 	}
 	if tried == addWorker {
 		if j.MaxPS != 0 && a.PS >= j.MaxPS {
-			return addPS, math.Inf(-1)
+			return addPS, math.Inf(-1), math.Inf(1)
 		}
 		tp := remainingTime(j, a.PS+1, a.Workers)
-		return addPS, normalizedGain(base, tp, j.PSRes, capacity) * prio
+		return addPS, normalizedGain(base, tp, j.PSRes, capacity) * prio, tp
 	}
 	if j.MaxWorkers != 0 && a.Workers >= j.MaxWorkers {
-		return addWorker, math.Inf(-1)
+		return addWorker, math.Inf(-1), math.Inf(1)
 	}
 	tw := remainingTime(j, a.PS, a.Workers+1)
-	return addWorker, normalizedGain(base, tw, j.WorkerRes, capacity) * prio
+	return addWorker, normalizedGain(base, tw, j.WorkerRes, capacity) * prio, tw
 }

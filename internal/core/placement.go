@@ -42,6 +42,45 @@ func (r PlacementRequest) demand() cluster.Resources {
 		Add(r.PSRes.Scale(float64(r.Alloc.PS)))
 }
 
+// PlaceState owns the scratch memory of the §4.2 placer: the request
+// ordering, a free-CPU-sorted node index maintained incrementally across
+// placements, and the per-attempt count/spare buffers of the greedy
+// fallback. The zero value is ready to use; a state is not safe for
+// concurrent use.
+//
+// The sorted index is the core optimization: the previous implementation
+// re-selected (or re-sorted) the most-available nodes from scratch for every
+// request, while committing a placement only changes the availability of the
+// handful of nodes it touched. Place now sorts the cluster once per call and
+// re-sifts just the touched nodes after each commit (partition + merge), so
+// each request sees exactly the ordering a full re-sort would produce at a
+// fraction of the cost.
+type PlaceState struct {
+	ordered []PlacementRequest
+	index   []*cluster.Node // sorted: available CPU desc, node ID asc
+	merged  []*cluster.Node // merge scratch, swapped with index after resift
+	moved   []*cluster.Node // touched nodes awaiting re-insertion
+	touched map[string]struct{}
+	psOn    []int
+	wOn     []int
+	spare   []cluster.Resources
+}
+
+// NewPlaceState returns an empty placer state.
+func NewPlaceState() *PlaceState { return &PlaceState{} }
+
+// nodeLess is the §4.2 server ordering: descending available CPU, ties
+// broken by node ID. It matches cluster.SortedByAvailable(cluster.CPU) and
+// is a total order (IDs are unique), so any sort produces one canonical
+// sequence.
+func nodeLess(a, b *cluster.Node) bool {
+	aa, ab := a.Available()[cluster.CPU], b.Available()[cluster.CPU]
+	if aa != ab {
+		return aa > ab
+	}
+	return a.ID < b.ID
+}
+
 // Place implements the §4.2 placement scheme. Servers are sorted in
 // descending order of available CPU; jobs are placed smallest-demand-first
 // (starvation avoidance); each job uses the smallest k such that the top-k
@@ -49,12 +88,15 @@ func (r PlacementRequest) demand() cluster.Resources {
 // remainders assigned to the most-available servers. Placed resources are
 // allocated on the cluster's nodes. Jobs that cannot be placed are returned
 // in unplaced and must be paused until the next interval (§4.2).
-func Place(reqs []PlacementRequest, c *cluster.Cluster) (map[int]Placement, []int) {
+//
+// The returned map, Placements, and unplaced slice are caller-owned; only
+// the state's internal scratch is reused between calls.
+func (st *PlaceState) Place(reqs []PlacementRequest, c *cluster.Cluster) (map[int]Placement, []int) {
 	placements := make(map[int]Placement, len(reqs))
 	var unplaced []int
 
-	ordered := make([]PlacementRequest, len(reqs))
-	copy(ordered, reqs)
+	st.ordered = append(st.ordered[:0], reqs...)
+	ordered := st.ordered
 	capacity := c.Capacity()
 	sort.SliceStable(ordered, func(i, j int) bool {
 		di, _ := ordered[i].demand().DominantShare(capacity)
@@ -65,104 +107,132 @@ func Place(reqs []PlacementRequest, c *cluster.Cluster) (map[int]Placement, []in
 		return ordered[i].JobID < ordered[j].JobID
 	})
 
+	// One full sort per Place call; incrementally re-sifted after commits.
+	st.index = append(st.index[:0], c.Nodes()...)
+	index := st.index
+	sort.Slice(index, func(i, j int) bool { return nodeLess(index[i], index[j]) })
+	if st.touched == nil {
+		st.touched = make(map[string]struct{})
+	}
+
 	for _, req := range ordered {
 		if req.Alloc.PS <= 0 || req.Alloc.Workers <= 0 {
 			unplaced = append(unplaced, req.JobID)
 			continue
 		}
-		// A job only ever needs its p+w(+slack) most-available servers, so a
-		// bounded top-K selection replaces a full O(N log N) sort per job —
-		// the difference between seconds and tens of seconds at the Fig-12
-		// scale of 16,000 nodes.
-		nodes := topAvailable(c, req.Alloc.PS+req.Alloc.Workers+16)
-		pl, ok := placeOne(req, nodes)
-		if !ok {
-			// Fall back to the complete ordering before pausing the job:
-			// the top-K slice may just have been unlucky with fragmentation.
-			pl, ok = placeOne(req, c.SortedByAvailable(cluster.CPU))
-		}
+		pl, ok := st.placeOne(req)
 		if !ok {
 			unplaced = append(unplaced, req.JobID)
 			continue
 		}
-		// Commit allocations to the chosen nodes.
+		// Commit allocations to the chosen nodes, then restore the index
+		// ordering for the nodes whose availability just changed.
 		commitPlacement(req, pl, c)
 		placements[req.JobID] = pl
+		clear(st.touched)
+		for _, id := range pl.NodeIDs {
+			st.touched[id] = struct{}{}
+		}
+		st.resift()
 	}
 	return placements, unplaced
 }
 
-// topAvailable returns the k nodes with the most available CPU, sorted in
-// descending order (ties by node ID), using a single bounded-heap pass over
-// the cluster instead of a full sort.
-func topAvailable(c *cluster.Cluster, k int) []*cluster.Node {
-	all := c.Nodes()
-	if k >= len(all) {
-		return c.SortedByAvailable(cluster.CPU)
-	}
-	// less reports whether a should be kept over b (a is "better").
-	less := func(a, b *cluster.Node) bool {
-		aa, ab := a.Available()[cluster.CPU], b.Available()[cluster.CPU]
-		if aa != ab {
-			return aa > ab
-		}
-		return a.ID < b.ID
-	}
-	top := make([]*cluster.Node, 0, k)
-	for _, n := range all {
-		if len(top) < k {
-			top = append(top, n)
-			// Sift the new entry into place (top kept sorted, best first).
-			for i := len(top) - 1; i > 0 && less(top[i], top[i-1]); i-- {
-				top[i], top[i-1] = top[i-1], top[i]
-			}
-			continue
-		}
-		if !less(n, top[k-1]) {
-			continue
-		}
-		top[k-1] = n
-		for i := k - 1; i > 0 && less(top[i], top[i-1]); i-- {
-			top[i], top[i-1] = top[i-1], top[i]
-		}
-	}
-	return top
+// Place is the stateless convenience wrapper: each call runs on a fresh
+// PlaceState. Hot paths should hold a PlaceState and call its method.
+func Place(reqs []PlacementRequest, c *cluster.Cluster) (map[int]Placement, []int) {
+	var st PlaceState
+	return st.Place(reqs, c)
 }
 
-// placeOne finds the smallest k such that the first k nodes fit an even
-// split of the job. When no exact even split exists on any prefix (per-node
-// capacities may be too uneven), it falls back to a greedy placement that
-// keeps per-node counts as balanced as the capacities allow — preserving
-// Theorem 1's spirit while guaranteeing progress whenever the job fits at
-// all.
-func placeOne(req PlacementRequest, nodes []*cluster.Node) (Placement, bool) {
+// resift restores sorted order after the touched nodes' availability
+// shrank: the untouched nodes are still mutually sorted, so partition them
+// out, sort just the touched ones, and merge the two runs. The comparator is
+// a total order, so the merge reproduces exactly what a full re-sort would.
+func (st *PlaceState) resift() {
+	if len(st.touched) == 0 {
+		return
+	}
+	moved := st.moved[:0]
+	kept := st.index[:0] // in-place partition: writes trail reads
+	for _, n := range st.index {
+		if _, hit := st.touched[n.ID]; hit {
+			moved = append(moved, n)
+		} else {
+			kept = append(kept, n)
+		}
+	}
+	sort.Slice(moved, func(i, j int) bool { return nodeLess(moved[i], moved[j]) })
+
+	merged := st.merged[:0]
+	i, j := 0, 0
+	for i < len(kept) && j < len(moved) {
+		if nodeLess(kept[i], moved[j]) {
+			merged = append(merged, kept[i])
+			i++
+		} else {
+			merged = append(merged, moved[j])
+			j++
+		}
+	}
+	merged = append(merged, kept[i:]...)
+	merged = append(merged, moved[j:]...)
+
+	st.moved = moved[:0]
+	st.merged = st.index[:0] // old backing array becomes next merge scratch
+	st.index = merged
+}
+
+// placeOne finds the smallest k such that the first k index nodes fit an
+// even split of the job. When no exact even split exists on any prefix
+// (per-node capacities may be too uneven), it falls back to a greedy
+// placement that keeps per-node counts as balanced as the capacities allow —
+// preserving Theorem 1's spirit while guaranteeing progress whenever the job
+// fits at all.
+func (st *PlaceState) placeOne(req PlacementRequest) (Placement, bool) {
 	p, w := req.Alloc.PS, req.Alloc.Workers
+	nodes := st.index
 	// Searching every prefix is O(N²) per job on a full cluster. Beyond
 	// k = p+w each server hosts at most one task of each kind, so growing k
 	// further only helps by swapping in different servers — territory the
 	// greedy fallback covers directly. Bounding the scan keeps a scheduling
 	// cycle near-linear in cluster size (the Fig-12 scalability property).
 	maxK := p + w + 16
-	if maxK > len(nodes) {
-		maxK = len(nodes)
+	bound := maxK
+	if bound > len(nodes) {
+		bound = len(nodes)
 	}
-	for k := 1; k <= maxK; k++ {
-		pl, ok := tryEvenSplit(req, nodes[:k], p, w)
-		if ok {
-			return pl, true
+	for k := 1; k <= bound; k++ {
+		if evenSplitFits(req, nodes[:k], p, w) {
+			return buildEvenSplit(nodes[:k], p, w), true
 		}
 	}
-	return greedyBalanced(req, nodes, p, w)
+	top := nodes
+	if maxK < len(top) {
+		top = top[:maxK]
+	}
+	if pl, ok := st.greedyBalanced(req, top, p, w); ok {
+		return pl, true
+	}
+	if len(top) < len(nodes) {
+		// The top-K slice may just have been unlucky with fragmentation; try
+		// the complete ordering before pausing the job.
+		return st.greedyBalanced(req, nodes, p, w)
+	}
+	return Placement{}, false
 }
 
 // greedyBalanced assigns tasks one at a time to the fitting node currently
 // hosting the fewest tasks of this job (ties broken by available CPU, then
 // node order). Workers go first since they are usually the larger profile.
-func greedyBalanced(req PlacementRequest, nodes []*cluster.Node, p, w int) (Placement, bool) {
+func (st *PlaceState) greedyBalanced(req PlacementRequest, nodes []*cluster.Node, p, w int) (Placement, bool) {
 	k := len(nodes)
-	psOn := make([]int, k)
-	wOn := make([]int, k)
-	spare := make([]cluster.Resources, k)
+	psOn := resizeInts(&st.psOn, k)
+	wOn := resizeInts(&st.wOn, k)
+	if cap(st.spare) < k {
+		st.spare = make([]cluster.Resources, k)
+	}
+	spare := st.spare[:k]
 	for i, n := range nodes {
 		spare[i] = n.Available()
 	}
@@ -210,10 +280,53 @@ func greedyBalanced(req PlacementRequest, nodes []*cluster.Node, p, w int) (Plac
 	return pl, true
 }
 
-// tryEvenSplit checks whether an even split of p PS and w workers over the
-// given servers fits, assigning remainders to the most-available servers
-// (which come first in the sorted slice).
-func tryEvenSplit(req PlacementRequest, nodes []*cluster.Node, p, w int) (Placement, bool) {
+// resizeInts returns *s resized to n elements, all zero, growing the backing
+// array only when needed.
+func resizeInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+		return *s
+	}
+	out := (*s)[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// evenSplit returns the PS and worker counts node i receives when p PS and
+// w workers are split evenly over k servers, remainders going to the
+// most-available servers (which come first in the sorted slice).
+func evenSplit(i, k, p, w int) (ps, workers int) {
+	ps = p / k
+	if i < p%k {
+		ps++
+	}
+	workers = w / k
+	if i < w%k {
+		workers++
+	}
+	return ps, workers
+}
+
+// evenSplitFits checks whether an even split of p PS and w workers over the
+// given servers fits, without materializing the placement.
+func evenSplitFits(req PlacementRequest, nodes []*cluster.Node, p, w int) bool {
+	k := len(nodes)
+	for i, n := range nodes {
+		pi, wi := evenSplit(i, k, p, w)
+		need := req.PSRes.Scale(float64(pi)).
+			Add(req.WorkerRes.Scale(float64(wi)))
+		if !need.Fits(n.Available()) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildEvenSplit materializes the even-split placement evenSplitFits
+// accepted. The slices are freshly allocated: placements outlive the call.
+func buildEvenSplit(nodes []*cluster.Node, p, w int) Placement {
 	k := len(nodes)
 	pl := Placement{
 		NodeIDs:       make([]string, k),
@@ -222,23 +335,9 @@ func tryEvenSplit(req PlacementRequest, nodes []*cluster.Node, p, w int) (Placem
 	}
 	for i, n := range nodes {
 		pl.NodeIDs[i] = n.ID
-		pl.PSOnNode[i] = p / k
-		if i < p%k {
-			pl.PSOnNode[i]++
-		}
-		pl.WorkersOnNode[i] = w / k
-		if i < w%k {
-			pl.WorkersOnNode[i]++
-		}
+		pl.PSOnNode[i], pl.WorkersOnNode[i] = evenSplit(i, k, p, w)
 	}
-	for i, n := range nodes {
-		need := req.PSRes.Scale(float64(pl.PSOnNode[i])).
-			Add(req.WorkerRes.Scale(float64(pl.WorkersOnNode[i])))
-		if !need.Fits(n.Available()) {
-			return Placement{}, false
-		}
-	}
-	return pl, true
+	return pl
 }
 
 // commitPlacement reserves the placed tasks on the cluster nodes.

@@ -121,6 +121,21 @@ type Fitter struct {
 	cachedWindow int
 	cached       Model
 	cachedErr    error
+
+	// scratch holds the NNLS workspace and preprocessing buffers reused
+	// across refits; allocated on first Fit.
+	scratch *fitScratch
+}
+
+// fitScratch bundles every buffer one FitPoints evaluation needs. A Fitter
+// keeps one across refits so the steady-state "one new point then refit"
+// cycle allocates nothing and warm-starts NNLS from the previous active set.
+type fitScratch struct {
+	ws      nnls.Workspace
+	mat     nnls.Matrix
+	rhs     []float64
+	cleaned []Point
+	orig    []Point
 }
 
 // NewFitter returns a Fitter with the paper's default preprocessing window.
@@ -234,7 +249,10 @@ func (f *Fitter) Fit() (Model, error) {
 	if f.fitted && !f.dirty && f.cachedWindow == f.OutlierWindow {
 		return f.cached, f.cachedErr
 	}
-	f.cached, f.cachedErr = FitPoints(f.points, f.OutlierWindow)
+	if f.scratch == nil {
+		f.scratch = new(fitScratch)
+	}
+	f.cached, f.cachedErr = f.scratch.fitPoints(f.points, f.OutlierWindow)
 	f.fitted, f.dirty, f.cachedWindow = true, false, f.OutlierWindow
 	return f.cached, f.cachedErr
 }
@@ -248,10 +266,16 @@ func (f *Fitter) Fit() (Model, error) {
 // residual measured in the original loss space. This mirrors the paper's
 // NNLS-based fitting while staying dependency-free and deterministic.
 func FitPoints(points []Point, window int) (Model, error) {
+	var s fitScratch
+	return s.fitPoints(points, window)
+}
+
+// fitPoints is FitPoints running on a reusable scratch.
+func (s *fitScratch) fitPoints(points []Point, window int) (Model, error) {
 	if len(points) < 4 {
 		return Model{}, fmt.Errorf("lossfit: need at least 4 points, have %d", len(points))
 	}
-	cleaned, maxLoss := Preprocess(points, window)
+	cleaned, maxLoss := s.preprocess(points, window)
 
 	minLoss := math.Inf(1)
 	for _, p := range cleaned {
@@ -264,7 +288,7 @@ func FitPoints(points []Point, window int) (Model, error) {
 	const gridSteps = 40
 	for g := 0; g <= gridSteps; g++ {
 		b2 := minLoss * float64(g) / float64(gridSteps+1)
-		m, ok := fitWithAsymptote(cleaned, b2)
+		m, ok := s.fitWithAsymptote(cleaned, b2)
 		if !ok {
 			continue
 		}
@@ -279,27 +303,91 @@ func FitPoints(points []Point, window int) (Model, error) {
 	return best, nil
 }
 
+// preprocess is Preprocess writing into the scratch buffers. The returned
+// slice is owned by the scratch and valid until the next call.
+func (s *fitScratch) preprocess(points []Point, window int) ([]Point, float64) {
+	if len(points) == 0 {
+		return nil, 0
+	}
+	s.cleaned = append(s.cleaned[:0], points...)
+	cleaned := s.cleaned
+
+	// Outlier removal: a point must fall within [min of the next `window`
+	// losses, max of the previous `window` losses]; otherwise it is replaced
+	// by the mean of its immediate neighbours.
+	if window > 0 {
+		s.orig = append(s.orig[:0], points...)
+		orig := s.orig
+		for i := range orig {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for j := i + 1; j <= i+window && j < len(orig); j++ {
+				if orig[j].Loss < lo {
+					lo = orig[j].Loss
+				}
+			}
+			for j := i - 1; j >= 0 && j >= i-window; j-- {
+				if orig[j].Loss > hi {
+					hi = orig[j].Loss
+				}
+			}
+			if math.IsInf(lo, 1) || math.IsInf(hi, -1) {
+				continue // boundary points keep their value
+			}
+			if orig[i].Loss >= lo && orig[i].Loss <= hi {
+				continue
+			}
+			var sum float64
+			var n int
+			if i > 0 {
+				sum += orig[i-1].Loss
+				n++
+			}
+			if i+1 < len(orig) {
+				sum += orig[i+1].Loss
+				n++
+			}
+			if n > 0 {
+				cleaned[i].Loss = sum / float64(n)
+			}
+		}
+	}
+
+	var maxLoss float64
+	for _, p := range cleaned {
+		if p.Loss > maxLoss {
+			maxLoss = p.Loss
+		}
+	}
+	if maxLoss <= 0 {
+		maxLoss = 1
+	}
+	for i := range cleaned {
+		cleaned[i].Loss /= maxLoss
+	}
+	return cleaned, maxLoss
+}
+
 // fitWithAsymptote solves the linear subproblem for a fixed β2 and evaluates
-// the residual in loss space.
-func fitWithAsymptote(cleaned []Point, b2 float64) (Model, bool) {
-	rows := make([][]float64, 0, len(cleaned))
-	rhs := make([]float64, 0, len(cleaned))
+// the residual in loss space. The design matrix and rhs are assembled in the
+// scratch buffers and solved with the scratch workspace, which warm-starts
+// from the previous candidate's (or previous refit's) active set.
+func (s *fitScratch) fitWithAsymptote(cleaned []Point, b2 float64) (Model, bool) {
+	data := s.mat.Data[:0]
+	rhs := s.rhs[:0]
 	for _, p := range cleaned {
 		d := p.Loss - b2
 		if d <= 1e-9 {
 			continue // point at/below asymptote: cannot transform
 		}
-		rows = append(rows, []float64{p.K, 1})
+		data = append(data, p.K, 1)
 		rhs = append(rhs, 1/d)
 	}
-	if len(rows) < 3 {
+	s.mat.Data, s.rhs = data, rhs
+	s.mat.Rows, s.mat.Cols = len(rhs), 2
+	if s.mat.Rows < 3 {
 		return Model{}, false
 	}
-	a, err := nnls.FromRows(rows)
-	if err != nil {
-		return Model{}, false
-	}
-	x, _, err := nnls.Solve(a, rhs)
+	x, _, err := s.ws.Solve(&s.mat, rhs)
 	if err != nil {
 		return Model{}, false
 	}

@@ -41,5 +41,47 @@ func FuzzSolve(f *testing.F) {
 		if math.IsNaN(res) || res > Norm2(b)+1e-6*(1+Norm2(b)) {
 			t.Fatalf("residual %v worse than zero vector %v", res, Norm2(b))
 		}
+
+		// A warm-started resolve of a perturbed problem (the online-refit
+		// pattern, including a row count change: new observations arrived) must
+		// obey the same invariants and match its own cold solve to within the
+		// optimizer's tolerance. Warm-starting may pick a different vertex only
+		// when the problem is degenerate, so compare residuals, not coordinates.
+		var ws Workspace
+		if _, _, err := ws.Solve(a, b); err != nil {
+			return
+		}
+		rows2 := rows + r.Intn(3)
+		a2 := NewMatrix(rows2, cols)
+		copy(a2.Data, a.Data)
+		for i := rows * cols; i < len(a2.Data); i++ {
+			a2.Data[i] = r.NormFloat64()
+		}
+		b2 := make([]float64, rows2)
+		for i := range b2 {
+			if i < rows {
+				b2[i] = b[i] * (1 + 0.01*r.NormFloat64())
+			} else {
+				b2[i] = r.NormFloat64()
+			}
+		}
+		wx, wres, werr := ws.Solve(a2, b2)
+		cx, cres, cerr := Solve(a2, b2)
+		if (werr == nil) != (cerr == nil) {
+			t.Fatalf("warm err %v, cold err %v", werr, cerr)
+		}
+		if werr != nil {
+			return
+		}
+		for i, v := range wx {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("warm x[%d] = %v", i, v)
+			}
+		}
+		tol := 1e-6 * (1 + Norm2(b2))
+		if math.Abs(wres-cres) > tol {
+			t.Fatalf("warm residual %v vs cold %v (tol %v)\nwarm x %v\ncold x %v",
+				wres, cres, tol, wx, cx)
+		}
 	})
 }

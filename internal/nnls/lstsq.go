@@ -12,16 +12,32 @@ var ErrRankDeficient = errors.New("nnls: matrix is rank deficient")
 // LeastSquares solves min‖A·x − b‖₂ for a full-column-rank A (Rows ≥ Cols)
 // using Householder QR factorization. A and b are not modified.
 func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
-	if a.Rows < a.Cols {
-		return nil, errors.New("nnls: underdetermined system (rows < cols)")
-	}
 	if len(b) != a.Rows {
 		return nil, errors.New("nnls: rhs length mismatch")
 	}
 	qr := a.Clone()
 	rhs := make([]float64, len(b))
 	copy(rhs, b)
+	diag := make([]float64, a.Cols)
+	x := make([]float64, a.Cols)
+	if err := lstsqInPlace(qr, diag, rhs, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
 
+// lstsqInPlace is the allocation-free core of LeastSquares: it factorizes qr
+// in place (reflector vectors in the lower triangle, R diagonal in diag),
+// destroys rhs, and writes the solution into x (length qr.Cols). The
+// operation sequence is bit-identical to the historical implementation that
+// stashed the diagonal in a shadow segment of the Data slice.
+func lstsqInPlace(qr *Matrix, diag, rhs, x []float64) error {
+	if qr.Rows < qr.Cols {
+		return errors.New("nnls: underdetermined system (rows < cols)")
+	}
+	if len(rhs) != qr.Rows {
+		return errors.New("nnls: rhs length mismatch")
+	}
 	m, n := qr.Rows, qr.Cols
 
 	// Relative tolerance for declaring a pivot column numerically zero.
@@ -40,7 +56,7 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 			norm = math.Hypot(norm, qr.At(i, k))
 		}
 		if norm <= rankTol {
-			return nil, ErrRankDeficient
+			return ErrRankDeficient
 		}
 		if qr.At(k, k) < 0 {
 			norm = -norm
@@ -70,43 +86,22 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 		for i := k; i < m; i++ {
 			rhs[i] += s * qr.At(i, k)
 		}
-		// Store -norm as R[k][k] implicitly via the diagonal sign trick:
-		// we keep the reflector in the lower triangle; the R diagonal is -norm.
-		// Record it by negating later during back substitution.
-		qrDiagSet(qr, k, -norm)
+		// The reflector occupies the lower triangle including the diagonal
+		// position, so R's diagonal (-norm) lives in a separate slice.
+		diag[k] = -norm
 	}
 
-	// Back substitution on R (upper triangle of qr with diagonal in rdiag).
-	x := make([]float64, n)
+	// Back substitution on R (upper triangle of qr with diagonal in diag).
 	for k := n - 1; k >= 0; k-- {
 		s := rhs[k]
 		for j := k + 1; j < n; j++ {
 			s -= qr.At(k, j) * x[j]
 		}
-		d := qrDiag(qr, k)
+		d := diag[k]
 		if d == 0 || math.Abs(d) < 1e-300 {
-			return nil, ErrRankDeficient
+			return ErrRankDeficient
 		}
 		x[k] = s / d
 	}
-	return x, nil
-}
-
-// The QR loop needs to stash the R diagonal somewhere without disturbing the
-// reflector vectors stored in the lower triangle (which include the diagonal
-// position). We append a shadow diagonal to the matrix's Data slice.
-func qrDiagSet(m *Matrix, k int, v float64) {
-	need := m.Rows*m.Cols + m.Cols
-	if cap(m.Data) < need {
-		data := make([]float64, need)
-		copy(data, m.Data)
-		m.Data = data
-	} else {
-		m.Data = m.Data[:need]
-	}
-	m.Data[m.Rows*m.Cols+k] = v
-}
-
-func qrDiag(m *Matrix, k int) float64 {
-	return m.Data[m.Rows*m.Cols+k]
+	return nil
 }

@@ -1,10 +1,5 @@
 package nnls
 
-import (
-	"errors"
-	"math"
-)
-
 // Options configures the NNLS solver.
 type Options struct {
 	// Tol is the dual-feasibility tolerance. Zero means an automatic value
@@ -16,133 +11,19 @@ type Options struct {
 
 // Solve finds x ≥ 0 minimizing ‖A·x − b‖₂ using the Lawson–Hanson active-set
 // algorithm. It returns the solution and its residual norm.
+//
+// Solve is the convenience entry point: each call runs cold on a fresh
+// Workspace, so the returned slice is caller-owned. Hot paths that solve
+// related problems repeatedly should hold a Workspace and use its methods to
+// reuse scratch buffers and warm-start from the previous active set.
 func Solve(a *Matrix, b []float64) ([]float64, float64, error) {
 	return SolveWith(a, b, Options{})
 }
 
 // SolveWith is Solve with explicit options.
 func SolveWith(a *Matrix, b []float64, opt Options) ([]float64, float64, error) {
-	if len(b) != a.Rows {
-		return nil, 0, errors.New("nnls: rhs length mismatch")
-	}
-	n := a.Cols
-	if n == 0 {
-		return nil, Norm2(b), errors.New("nnls: empty matrix")
-	}
-
-	tol := opt.Tol
-	if tol == 0 {
-		// Scale-aware tolerance, mirroring the classical implementation.
-		var amax float64
-		for _, v := range a.Data[:a.Rows*a.Cols] {
-			if av := math.Abs(v); av > amax {
-				amax = av
-			}
-		}
-		tol = 10 * 2.2e-16 * amax * float64(maxInt(a.Rows, a.Cols))
-		if tol == 0 {
-			tol = 1e-12
-		}
-	}
-	maxIter := opt.MaxIter
-	if maxIter == 0 {
-		maxIter = 3*n + 30
-	}
-
-	x := make([]float64, n)
-	passive := make([]bool, n) // true → index in passive (free) set P
-
-	for iter := 0; iter < maxIter; iter++ {
-		// Dual vector w = Aᵀ(b − A·x).
-		w := a.TransMulVec(a.Residual(x, b))
-
-		// Pick the most violated constraint among the active set.
-		j, wmax := -1, tol
-		for k := 0; k < n; k++ {
-			if !passive[k] && w[k] > wmax {
-				j, wmax = k, w[k]
-			}
-		}
-		if j < 0 {
-			break // KKT conditions satisfied
-		}
-		passive[j] = true
-
-		// Inner loop: solve the unconstrained problem on the passive set and
-		// back off along the segment to x until feasibility is restored.
-		for {
-			z, ok := solvePassive(a, b, passive)
-			if !ok {
-				// The passive column set became rank deficient; drop the
-				// newest column and give up on it this round.
-				passive[j] = false
-				break
-			}
-			if allPositive(z, passive, tol) {
-				copyPassive(x, z, passive)
-				break
-			}
-			alpha := math.Inf(1)
-			for k := 0; k < n; k++ {
-				if passive[k] && z[k] <= tol {
-					if r := x[k] / (x[k] - z[k]); r < alpha {
-						alpha = r
-					}
-				}
-			}
-			if math.IsInf(alpha, 1) {
-				// Should not happen; guard against a stall.
-				copyPassive(x, z, passive)
-				break
-			}
-			for k := 0; k < n; k++ {
-				if passive[k] {
-					x[k] += alpha * (z[k] - x[k])
-					if x[k] <= tol {
-						x[k] = 0
-						passive[k] = false
-					}
-				}
-			}
-		}
-	}
-
-	// Clamp numerical dust.
-	for k := range x {
-		if x[k] < 0 {
-			x[k] = 0
-		}
-	}
-	return x, a.ResidualNorm(x, b), nil
-}
-
-// solvePassive solves the unconstrained least-squares problem restricted to
-// the passive columns, returning a full-length vector with zeros elsewhere.
-func solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, bool) {
-	var cols []int
-	for k, p := range passive {
-		if p {
-			cols = append(cols, k)
-		}
-	}
-	if len(cols) == 0 {
-		return make([]float64, a.Cols), true
-	}
-	sub := NewMatrix(a.Rows, len(cols))
-	for i := 0; i < a.Rows; i++ {
-		for jj, c := range cols {
-			sub.Set(i, jj, a.At(i, c))
-		}
-	}
-	sol, err := LeastSquares(sub, b)
-	if err != nil {
-		return nil, false
-	}
-	z := make([]float64, a.Cols)
-	for jj, c := range cols {
-		z[c] = sol[jj]
-	}
-	return z, true
+	var ws Workspace
+	return ws.SolveWith(a, b, opt)
 }
 
 func allPositive(z []float64, passive []bool, tol float64) bool {

@@ -1,0 +1,285 @@
+package nnls
+
+import (
+	"errors"
+	"math"
+)
+
+// Workspace holds every scratch buffer one NNLS solve needs, so repeated
+// solves — the steady state of the Optimus control loop, which refits the
+// same loss and speed models every scheduling interval — allocate nothing
+// after the first call.
+//
+// Beyond buffer reuse, a workspace warm-starts Lawson–Hanson from the
+// previous solve's passive (free) set whenever the column count matches.
+// The common caller pattern is "same problem plus one new observation row"
+// (lossfit/speedfit refits after one Observe/Add), where the active set
+// rarely changes: the warm path solves a single least-squares problem on the
+// remembered passive set and, when that solution is strictly feasible,
+// resumes the outer loop from it — usually terminating immediately with the
+// KKT check instead of rebuilding the passive set one column at a time.
+//
+// A Workspace is not safe for concurrent use. The zero value is ready to use.
+type Workspace struct {
+	// solver state
+	x       []float64
+	resid   []float64
+	dual    []float64
+	z       []float64
+	passive []bool
+
+	// passive-subproblem scratch
+	cols   []int
+	sub    Matrix
+	subRhs []float64
+	subSol []float64
+	diag   []float64
+
+	// warm-start memory: the passive set of the previous successful solve.
+	warm     []bool
+	warmCols int
+	hasWarm  bool
+}
+
+// NewWorkspace returns an empty workspace. The zero value works too; the
+// constructor exists for symmetry with the rest of the package.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset drops the warm-start memory. Buffers are kept. Call it when the next
+// problem is unrelated to the previous one (different model family, reused
+// workspace across jobs) and a cold start is wanted.
+func (ws *Workspace) Reset() { ws.hasWarm = false }
+
+// Solve is SolveWith with default options.
+func (ws *Workspace) Solve(a *Matrix, b []float64) ([]float64, float64, error) {
+	return ws.SolveWith(a, b, Options{})
+}
+
+// SolveWith finds x ≥ 0 minimizing ‖A·x − b‖₂, reusing the workspace's
+// buffers and warm-starting from the previous solve's passive set when the
+// column counts match (row counts may differ — the passive set is a column
+// property). The returned solution slice is owned by the workspace and is
+// only valid until the next solve; callers that retain it must copy.
+func (ws *Workspace) SolveWith(a *Matrix, b []float64, opt Options) ([]float64, float64, error) {
+	if len(b) != a.Rows {
+		return nil, 0, errors.New("nnls: rhs length mismatch")
+	}
+	n := a.Cols
+	if n == 0 {
+		return nil, Norm2(b), errors.New("nnls: empty matrix")
+	}
+	ws.ensure(a.Rows, n)
+
+	tol := opt.Tol
+	if tol == 0 {
+		// Scale-aware tolerance, mirroring the classical implementation.
+		var amax float64
+		for _, v := range a.Data[:a.Rows*a.Cols] {
+			if av := math.Abs(v); av > amax {
+				amax = av
+			}
+		}
+		tol = 10 * 2.2e-16 * amax * float64(maxInt(a.Rows, a.Cols))
+		if tol == 0 {
+			tol = 1e-12
+		}
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 3*n + 30
+	}
+
+	x := ws.x[:n]
+	passive := ws.passive[:n]
+	for i := range x {
+		x[i] = 0
+		passive[i] = false
+	}
+
+	// Warm start: re-solve on the remembered passive set. Only a strictly
+	// feasible solution is accepted; anything else falls back to a cold
+	// start, so the warm path can never hurt correctness.
+	if ws.hasWarm && ws.warmCols == n {
+		any := false
+		for k, p := range ws.warm[:n] {
+			if p {
+				passive[k] = true
+				any = true
+			}
+		}
+		if any {
+			z, ok := ws.solvePassive(a, b, passive)
+			if ok && allPositive(z, passive, tol) {
+				copyPassive(x, z, passive)
+			} else {
+				for i := range passive {
+					passive[i] = false
+				}
+			}
+		}
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Dual vector w = Aᵀ(b − A·x).
+		w := ws.dualInto(a, x, b)
+
+		// Pick the most violated constraint among the active set.
+		j, wmax := -1, tol
+		for k := 0; k < n; k++ {
+			if !passive[k] && w[k] > wmax {
+				j, wmax = k, w[k]
+			}
+		}
+		if j < 0 {
+			break // KKT conditions satisfied
+		}
+		passive[j] = true
+
+		// Inner loop: solve the unconstrained problem on the passive set and
+		// back off along the segment to x until feasibility is restored.
+		for {
+			z, ok := ws.solvePassive(a, b, passive)
+			if !ok {
+				// The passive column set became rank deficient; drop the
+				// newest column and give up on it this round.
+				passive[j] = false
+				break
+			}
+			if allPositive(z, passive, tol) {
+				copyPassive(x, z, passive)
+				break
+			}
+			alpha := math.Inf(1)
+			for k := 0; k < n; k++ {
+				if passive[k] && z[k] <= tol {
+					if r := x[k] / (x[k] - z[k]); r < alpha {
+						alpha = r
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				// Should not happen; guard against a stall.
+				copyPassive(x, z, passive)
+				break
+			}
+			for k := 0; k < n; k++ {
+				if passive[k] {
+					x[k] += alpha * (z[k] - x[k])
+					if x[k] <= tol {
+						x[k] = 0
+						passive[k] = false
+					}
+				}
+			}
+		}
+	}
+
+	// Clamp numerical dust.
+	for k := range x {
+		if x[k] < 0 {
+			x[k] = 0
+		}
+	}
+
+	// Remember the passive set for the next solve.
+	copy(ws.warm[:n], passive)
+	ws.warmCols = n
+	ws.hasWarm = true
+
+	return x, Norm2(ws.residInto(a, x, b)), nil
+}
+
+// ensure sizes every buffer for an m×n problem, growing only when needed.
+func (ws *Workspace) ensure(m, n int) {
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+		ws.dual = make([]float64, n)
+		ws.z = make([]float64, n)
+		ws.subSol = make([]float64, n)
+		ws.diag = make([]float64, n)
+		ws.cols = make([]int, 0, n)
+		ws.passive = make([]bool, n)
+		w := make([]bool, n)
+		copy(w, ws.warm)
+		ws.warm = w
+	}
+	if cap(ws.resid) < m {
+		ws.resid = make([]float64, m)
+		ws.subRhs = make([]float64, m)
+	}
+	if cap(ws.sub.Data) < m*n {
+		ws.sub.Data = make([]float64, m*n)
+	}
+}
+
+// residInto computes b − a·x into the workspace residual buffer.
+func (ws *Workspace) residInto(a *Matrix, x, b []float64) []float64 {
+	out := ws.resid[:a.Rows]
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = b[i] - s
+	}
+	return out
+}
+
+// dualInto computes aᵀ·(b − a·x) into the workspace dual buffer.
+func (ws *Workspace) dualInto(a *Matrix, x, b []float64) []float64 {
+	r := ws.residInto(a, x, b)
+	out := ws.dual[:a.Cols]
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		ri := r[i]
+		for j, v := range row {
+			out[j] += v * ri
+		}
+	}
+	return out
+}
+
+// solvePassive solves the unconstrained least-squares problem restricted to
+// the passive columns, returning a full-length workspace-owned vector with
+// zeros elsewhere.
+func (ws *Workspace) solvePassive(a *Matrix, b []float64, passive []bool) ([]float64, bool) {
+	n := a.Cols
+	cols := ws.cols[:0]
+	for k := 0; k < n; k++ {
+		if passive[k] {
+			cols = append(cols, k)
+		}
+	}
+	ws.cols = cols
+	z := ws.z[:n]
+	for i := range z {
+		z[i] = 0
+	}
+	if len(cols) == 0 {
+		return z, true
+	}
+	m, nc := a.Rows, len(cols)
+	ws.sub.Rows, ws.sub.Cols = m, nc
+	ws.sub.Data = ws.sub.Data[:m*nc]
+	for i := 0; i < m; i++ {
+		src := a.Data[i*n : (i+1)*n]
+		dst := ws.sub.Data[i*nc : (i+1)*nc]
+		for jj, c := range cols {
+			dst[jj] = src[c]
+		}
+	}
+	rhs := ws.subRhs[:m]
+	copy(rhs, b)
+	sol := ws.subSol[:nc]
+	if err := lstsqInPlace(&ws.sub, ws.diag[:nc], rhs, sol); err != nil {
+		return nil, false
+	}
+	for jj, c := range cols {
+		z[c] = sol[jj]
+	}
+	return z, true
+}

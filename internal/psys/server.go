@@ -174,19 +174,27 @@ func (s *Server) Push(blockID int, grad []float64) error {
 // minVersion (the sync barrier; pass 0 to read immediately). It unblocks
 // with ErrClosed when the server stops.
 func (s *Server) Pull(blockID int, minVersion int) ([]float64, int, error) {
+	return s.PullInto(blockID, minVersion, nil)
+}
+
+// PullInto is Pull with a caller-provided buffer: the parameters are appended
+// into dst's backing array (dst may be nil), so a steady-state caller that
+// feeds the previous result back in pulls without allocating. The returned
+// slice is caller-owned until the next reuse of the same buffer.
+func (s *Server) PullInto(blockID, minVersion int, dst []float64) ([]float64, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.blocks[blockID]
 	if !ok {
-		return nil, 0, fmt.Errorf("psys: block %d not hosted here", blockID)
+		return dst, 0, fmt.Errorf("psys: block %d not hosted here", blockID)
 	}
 	for b.version < minVersion && !s.closed {
 		s.cond.Wait()
 	}
 	if s.closed {
-		return nil, 0, ErrClosed
+		return dst, 0, ErrClosed
 	}
-	return append([]float64(nil), b.params...), b.version, nil
+	return append(dst[:0], b.params...), b.version, nil
 }
 
 // SetMomentum sets the SGD momentum coefficient in [0, 1). It must be

@@ -1,29 +1,118 @@
 package psys
 
 import (
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"sync"
 )
 
-// The TCP transport serializes push/pull as gob-encoded request/response
-// pairs over a persistent connection — the shape of a real PS data plane
-// (one connection per worker-server pair, §3.2's "handling TCP connections"
+// The TCP transport serializes push/pull as length-prefixed binary frames
+// over a persistent connection — the shape of a real PS data plane (one
+// connection per worker-server pair, §3.2's "handling TCP connections"
 // overhead made concrete).
+//
+// Wire format (all integers little-endian):
+//
+//	frame    = uint32 payload length | payload
+//	request  = op byte | uvarint block | uvarint minVersion | floats
+//	response = uvarint errLen | errLen error bytes | uvarint version | floats
+//	floats   = uvarint count | count × uint64 (IEEE-754 bits)
+//
+// Each connection owns a frame (encode/decode byte buffer plus a float
+// scratch slice) drawn from a sync.Pool, so steady-state RPCs reuse the same
+// buffers and the pool absorbs connection churn (worker replacement during
+// elastic scaling re-dials every server).
 
-type wireRequest struct {
-	Op         byte // 'p' = push, 'g' = pull (get)
-	Block      int
-	MinVersion int
-	Grad       []float64
+const (
+	opPush = 'p'
+	opGet  = 'g'
+
+	// maxFrameSize bounds a frame so a corrupt length prefix cannot make a
+	// peer allocate unbounded memory.
+	maxFrameSize = 1 << 30
+)
+
+var errFrameCorrupt = errors.New("psys: corrupt frame")
+
+// frame is the reusable per-connection buffer pair.
+type frame struct {
+	buf  []byte
+	vals []float64
 }
 
-type wireResponse struct {
-	Params  []float64
-	Version int
-	Err     string
+var framePool = sync.Pool{New: func() interface{} { return new(frame) }}
+
+// beginFrame resets buf to a 4-byte length placeholder.
+func beginFrame(buf []byte) []byte {
+	return append(buf[:0], 0, 0, 0, 0)
+}
+
+// finishFrame patches the length prefix once the payload is complete.
+func finishFrame(buf []byte) []byte {
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf
+}
+
+func appendFloats(b []byte, vals []float64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vals)))
+	for _, v := range vals {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+func parseUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errFrameCorrupt
+	}
+	return v, b[n:], nil
+}
+
+// parseFloats decodes a float vector, appending into dst's backing array
+// (dst may be nil, in which case a fresh slice is allocated).
+func parseFloats(b []byte, dst []float64) ([]float64, []byte, error) {
+	n, b, err := parseUvarint(b)
+	if err != nil {
+		return dst, nil, err
+	}
+	if uint64(len(b)) < 8*n {
+		return dst, nil, errFrameCorrupt
+	}
+	out := dst[:0]
+	for i := uint64(0); i < n; i++ {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return out, b[8*n:], nil
+}
+
+// readFrame reads one length-prefixed frame into buf (grown as needed) and
+// returns the payload slice, which aliases buf.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return buf[:0], err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n > maxFrameSize {
+		return buf[:0], fmt.Errorf("psys: frame of %d bytes exceeds limit", n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf[:0], err
+	}
+	return buf, nil
 }
 
 // TCPServer exposes a Server over a TCP listener.
@@ -82,31 +171,61 @@ func (t *TCPServer) handle(conn net.Conn) {
 		t.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	f := framePool.Get().(*frame)
+	defer framePool.Put(f)
 	for {
-		var req wireRequest
-		if err := dec.Decode(&req); err != nil {
+		payload, err := readFrame(conn, f.buf)
+		f.buf = payload
+		if err != nil {
 			return // client went away
 		}
-		var resp wireResponse
-		switch req.Op {
-		case 'p':
-			if err := t.srv.Push(req.Block, req.Grad); err != nil {
-				resp.Err = err.Error()
+		if len(payload) < 1 {
+			return
+		}
+		op := payload[0]
+		rest := payload[1:]
+		block, rest, perr := parseUvarint(rest)
+		if perr != nil {
+			return
+		}
+		minVersion, rest, perr := parseUvarint(rest)
+		if perr != nil {
+			return
+		}
+
+		var errStr string
+		var version int
+		var params []float64
+		switch op {
+		case opPush:
+			grad, _, perr := parseFloats(rest, f.vals)
+			f.vals = grad
+			if perr != nil {
+				return
 			}
-		case 'g':
-			params, version, err := t.srv.Pull(req.Block, req.MinVersion)
+			if err := t.srv.Push(int(block), grad); err != nil {
+				errStr = err.Error()
+			}
+		case opGet:
+			p, v, err := t.srv.PullInto(int(block), int(minVersion), f.vals)
 			if err != nil {
-				resp.Err = err.Error()
+				errStr = err.Error()
 			} else {
-				resp.Params = params
-				resp.Version = version
+				params, version = p, v
+				f.vals = p
 			}
 		default:
-			resp.Err = fmt.Sprintf("psys: unknown op %q", req.Op)
+			errStr = fmt.Sprintf("psys: unknown op %q", op)
 		}
-		if err := enc.Encode(&resp); err != nil {
+
+		out := beginFrame(f.buf)
+		out = binary.AppendUvarint(out, uint64(len(errStr)))
+		out = append(out, errStr...)
+		out = binary.AppendUvarint(out, uint64(version))
+		out = appendFloats(out, params)
+		out = finishFrame(out)
+		f.buf = out
+		if _, err := conn.Write(out); err != nil {
 			return
 		}
 	}
@@ -131,8 +250,7 @@ func (t *TCPServer) Close() error {
 type tcpConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	f    *frame // nil after Close
 }
 
 // DialServer connects to a TCPServer.
@@ -141,40 +259,96 @@ func DialServer(addr string) (ServerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("psys: dial %s: %w", addr, err)
 	}
-	return &tcpConn{
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
-	}, nil
+	return &tcpConn{conn: conn, f: framePool.Get().(*frame)}, nil
 }
 
-func (c *tcpConn) roundTrip(req wireRequest) (wireResponse, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(&req); err != nil {
-		return wireResponse{}, fmt.Errorf("psys: send: %w", err)
+// roundTrip sends one request and returns the response payload, which is
+// only valid until the next call. Caller holds c.mu.
+func (c *tcpConn) roundTrip(op byte, block, minVersion int, grad []float64) ([]byte, error) {
+	if c.f == nil {
+		return nil, ErrClosed
 	}
-	var resp wireResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		return wireResponse{}, fmt.Errorf("psys: recv: %w", err)
+	out := beginFrame(c.f.buf)
+	out = append(out, op)
+	out = binary.AppendUvarint(out, uint64(block))
+	out = binary.AppendUvarint(out, uint64(minVersion))
+	out = appendFloats(out, grad)
+	out = finishFrame(out)
+	c.f.buf = out
+	if _, err := c.conn.Write(out); err != nil {
+		return nil, fmt.Errorf("psys: send: %w", err)
 	}
-	if resp.Err != "" {
-		return wireResponse{}, errors.New(resp.Err)
+	payload, err := readFrame(c.conn, c.f.buf)
+	c.f.buf = payload
+	if err != nil {
+		return nil, fmt.Errorf("psys: recv: %w", err)
 	}
-	return resp, nil
+	return payload, nil
+}
+
+// parseResponse decodes a response payload; params are appended into dst's
+// backing array (nil dst allocates fresh).
+func parseResponse(b []byte, dst []float64) ([]float64, int, error) {
+	elen, b, err := parseUvarint(b)
+	if err != nil {
+		return dst, 0, err
+	}
+	if uint64(len(b)) < elen {
+		return dst, 0, errFrameCorrupt
+	}
+	if elen > 0 {
+		return dst, 0, errors.New(string(b[:elen]))
+	}
+	version, b, err := parseUvarint(b)
+	if err != nil {
+		return dst, 0, err
+	}
+	params, _, err := parseFloats(b, dst)
+	if err != nil {
+		return dst, 0, err
+	}
+	return params, int(version), nil
 }
 
 func (c *tcpConn) Push(blockID int, grad []float64) error {
-	_, err := c.roundTrip(wireRequest{Op: 'p', Block: blockID, Grad: grad})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	payload, err := c.roundTrip(opPush, blockID, 0, grad)
+	if err != nil {
+		return err
+	}
+	_, _, err = parseResponse(payload, nil)
 	return err
 }
 
 func (c *tcpConn) Pull(blockID int, minVersion int) ([]float64, int, error) {
-	resp, err := c.roundTrip(wireRequest{Op: 'g', Block: blockID, MinVersion: minVersion})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	payload, err := c.roundTrip(opGet, blockID, minVersion, nil)
 	if err != nil {
 		return nil, 0, err
 	}
-	return resp.Params, resp.Version, nil
+	return parseResponse(payload, nil)
 }
 
-func (c *tcpConn) Close() error { return c.conn.Close() }
+// PullInto implements the blockPuller fast path: parameters land in dst's
+// backing array instead of a fresh allocation.
+func (c *tcpConn) PullInto(blockID, minVersion int, dst []float64) ([]float64, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	payload, err := c.roundTrip(opGet, blockID, minVersion, nil)
+	if err != nil {
+		return dst, 0, err
+	}
+	return parseResponse(payload, dst)
+}
+
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		framePool.Put(c.f)
+		c.f = nil
+	}
+	return c.conn.Close()
+}

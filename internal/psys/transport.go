@@ -1,7 +1,7 @@
 package psys
 
 // ServerConn is a worker's connection to one parameter server. The two
-// implementations are the zero-cost in-process conn and the TCP/gob conn —
+// implementations are the zero-cost in-process conn and the framed TCP conn —
 // both expose identical push/pull semantics so engines and workers are
 // transport-agnostic.
 type ServerConn interface {
@@ -11,6 +11,14 @@ type ServerConn interface {
 	Pull(blockID int, minVersion int) (params []float64, version int, err error)
 	// Close releases the connection.
 	Close() error
+}
+
+// blockPuller is the optional zero-allocation fast path of a ServerConn:
+// Pull with a caller-provided buffer. Both built-in transports implement it;
+// workers type-assert for it and fall back to Pull otherwise, so external
+// ServerConn implementations keep working unchanged.
+type blockPuller interface {
+	PullInto(blockID, minVersion int, dst []float64) (params []float64, version int, err error)
 }
 
 // localConn is the in-process transport: direct method calls on the server.
@@ -25,6 +33,10 @@ func (c *localConn) Push(blockID int, grad []float64) error { return c.s.Push(bl
 
 func (c *localConn) Pull(blockID int, minVersion int) ([]float64, int, error) {
 	return c.s.Pull(blockID, minVersion)
+}
+
+func (c *localConn) PullInto(blockID, minVersion int, dst []float64) ([]float64, int, error) {
+	return c.s.PullInto(blockID, minVersion, dst)
 }
 
 func (c *localConn) Close() error { return nil }

@@ -25,8 +25,9 @@ type Worker struct {
 	// degrade a worker while RunSteps is in flight.
 	delayNS atomic.Int64
 
-	params []float64
-	grad   []float64
+	params  []float64
+	grad    []float64
+	pullBuf []float64 // reused by the blockPuller fast path in Step
 
 	lastCompute time.Duration // gradient-production time of the last step
 }
@@ -67,9 +68,20 @@ func (w *Worker) Step() (float64, error) {
 	if w.sync {
 		minVersion = w.round
 	}
-	// Pull all blocks into the local parameter copy.
+	// Pull all blocks into the local parameter copy, reusing one pull buffer
+	// across blocks and steps when the transport supports it.
 	for b, off := range w.layout.Offsets {
-		params, _, err := w.conns[w.owner[b]].Pull(b, minVersion)
+		conn := w.conns[w.owner[b]]
+		var params []float64
+		var err error
+		if bp, ok := conn.(blockPuller); ok {
+			params, _, err = bp.PullInto(b, minVersion, w.pullBuf)
+			if err == nil {
+				w.pullBuf = params
+			}
+		} else {
+			params, _, err = conn.Pull(b, minVersion)
+		}
 		if err != nil {
 			return 0, fmt.Errorf("psys: worker %d pull block %d: %w", w.ID, b, err)
 		}

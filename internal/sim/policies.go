@@ -7,13 +7,23 @@ import (
 )
 
 // OptimusPolicy is the full §4 scheduler: marginal-gain allocation plus
-// Theorem-1 placement.
+// Theorem-1 placement. Each simulation run gets its own allocator and placer
+// state (via the Session hook), so the per-interval re-optimization reuses
+// scratch buffers instead of re-allocating them — without sharing mutable
+// state across the parallel runs of an experiment sweep.
 func OptimusPolicy() Policy {
-	return Policy{
-		Name:     "optimus",
-		Allocate: core.Allocate,
-		Place:    core.Place,
+	session := func() Policy {
+		alloc := core.NewAllocState()
+		place := core.NewPlaceState()
+		return Policy{
+			Name:     "optimus",
+			Allocate: alloc.Allocate,
+			Place:    place.Place,
+		}
 	}
+	p := session()
+	p.Session = session
+	return p
 }
 
 // DRFPolicy is the fairness baseline: DRF progressive filling with

@@ -31,6 +31,14 @@ type Policy struct {
 	Name     string
 	Allocate func(jobs []*core.JobInfo, capacity cluster.Resources) map[int]core.Allocation
 	Place    func(reqs []core.PlacementRequest, c *cluster.Cluster) (map[int]core.Placement, []int)
+
+	// Session, when set, returns a private instance of the policy for one
+	// simulation run. Policies whose Allocate/Place closures carry reusable
+	// scratch state (core.AllocState / core.PlaceState) need one instance per
+	// run: experiment sweeps build a []Policy once and execute runs in
+	// parallel, so sharing the closures would race on the scratch buffers.
+	// Run calls Session once at startup; stateless policies leave it nil.
+	Session func() Policy
 }
 
 // Config parameterizes one simulation run.
@@ -193,6 +201,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if len(cfg.Jobs) == 0 {
 		return nil, fmt.Errorf("sim: no jobs")
+	}
+	if cfg.Policy.Session != nil {
+		// Materialize a run-private policy instance (per-run scheduler
+		// scratch state); cfg is a copy, so the caller's Policy is untouched.
+		cfg.Policy = cfg.Policy.Session()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rec := metrics.NewRecorder()

@@ -96,6 +96,21 @@ func (m Model) Speed(p, w int) float64 {
 // positive; it is ignored for Async. At least numCoefficients+1 distinct
 // samples are required.
 func Fit(mode Mode, samples []Sample, batchSize float64) (Model, error) {
+	var s fitScratch
+	return s.fit(mode, samples, batchSize)
+}
+
+// fitScratch bundles the design matrix, right-hand side, and NNLS workspace
+// one Fit needs, so an Estimator's periodic refits reuse the buffers and
+// warm-start the solver from the previous refit's active set.
+type fitScratch struct {
+	ws  nnls.Workspace
+	mat nnls.Matrix
+	rhs []float64
+}
+
+// fit is Fit running on a reusable scratch.
+func (s *fitScratch) fit(mode Mode, samples []Sample, batchSize float64) (Model, error) {
 	ncoef := 4
 	if mode == Sync {
 		ncoef = 5
@@ -103,40 +118,39 @@ func Fit(mode Mode, samples []Sample, batchSize float64) (Model, error) {
 			return Model{}, errors.New("speedfit: sync fitting requires a positive batch size")
 		}
 	}
-	rows := make([][]float64, 0, len(samples))
-	rhs := make([]float64, 0, len(samples))
-	for _, s := range samples {
-		if s.P <= 0 || s.W <= 0 || s.Speed <= 0 ||
-			math.IsNaN(s.Speed) || math.IsInf(s.Speed, 0) {
+	data := s.mat.Data[:0]
+	rhs := s.rhs[:0]
+	for _, smp := range samples {
+		if smp.P <= 0 || smp.W <= 0 || smp.Speed <= 0 ||
+			math.IsNaN(smp.Speed) || math.IsInf(smp.Speed, 0) {
 			continue
 		}
-		pf, wf := float64(s.P), float64(s.W)
+		pf, wf := float64(smp.P), float64(smp.W)
 		switch mode {
 		case Async:
 			// w/f = θ0 + θ1·w/p + θ2·w + θ3·p
-			rows = append(rows, []float64{1, wf / pf, wf, pf})
-			rhs = append(rhs, wf/s.Speed)
+			data = append(data, 1, wf/pf, wf, pf)
+			rhs = append(rhs, wf/smp.Speed)
 		case Sync:
 			// 1/f = θ0·M/w + θ1 + θ2·w/p + θ3·w + θ4·p
-			rows = append(rows, []float64{batchSize / wf, 1, wf / pf, wf, pf})
-			rhs = append(rhs, 1/s.Speed)
+			data = append(data, batchSize/wf, 1, wf/pf, wf, pf)
+			rhs = append(rhs, 1/smp.Speed)
 		}
 	}
+	s.mat.Data, s.rhs = data, rhs
+	s.mat.Rows, s.mat.Cols = len(rhs), ncoef
 	// An exactly-determined system is acceptable: the paper initializes the
 	// sync model (5 coefficients) from exactly 5 pre-run samples.
-	if len(rows) < ncoef {
+	if s.mat.Rows < ncoef {
 		return Model{}, fmt.Errorf("speedfit: need at least %d valid samples, have %d",
-			ncoef, len(rows))
+			ncoef, s.mat.Rows)
 	}
-	a, err := nnls.FromRows(rows)
-	if err != nil {
-		return Model{}, err
-	}
-	theta, res, err := nnls.Solve(a, rhs)
+	theta, res, err := s.ws.Solve(&s.mat, rhs)
 	if err != nil {
 		return Model{}, fmt.Errorf("speedfit: NNLS failed: %w", err)
 	}
-	m := Model{Mode: mode, Theta: theta, M: batchSize, Residual: res * res}
+	// The workspace owns theta; Model retains Theta, so copy it out.
+	m := Model{Mode: mode, Theta: append([]float64(nil), theta...), M: batchSize, Residual: res * res}
 	if m.Speed(1, 1) <= 0 {
 		return Model{}, errors.New("speedfit: degenerate fit (zero speed at p=w=1)")
 	}
@@ -167,6 +181,15 @@ type Estimator struct {
 	fitted    bool
 	cached    Model
 	cachedErr error
+
+	// scratch holds the sorted-sample buffer and NNLS workspace reused
+	// across refits; allocated on first Fit.
+	scratch *estScratch
+}
+
+type estScratch struct {
+	samples []Sample
+	fit     fitScratch
 }
 
 type accum struct {
@@ -213,7 +236,13 @@ func (e *Estimator) Configurations() int { return len(e.acc) }
 // floating point, so map-iteration order would leak run-to-run jitter into
 // the fitted coefficients and break the simulator's reproducibility.
 func (e *Estimator) Samples() []Sample {
-	out := make([]Sample, 0, len(e.acc))
+	return e.samplesInto(make([]Sample, 0, len(e.acc)))
+}
+
+// samplesInto appends the averaged observations to dst (reusing its backing
+// array) and sorts them by (p, w).
+func (e *Estimator) samplesInto(dst []Sample) []Sample {
+	out := dst
 	for key, a := range e.acc {
 		out = append(out, Sample{P: key[0], W: key[1], Speed: a.sum / a.n})
 	}
@@ -233,7 +262,11 @@ func (e *Estimator) Fit() (Model, error) {
 	if e.fitted && !e.dirty {
 		return e.cached, e.cachedErr
 	}
-	e.cached, e.cachedErr = Fit(e.Mode, e.Samples(), e.BatchSize)
+	if e.scratch == nil {
+		e.scratch = new(estScratch)
+	}
+	e.scratch.samples = e.samplesInto(e.scratch.samples[:0])
+	e.cached, e.cachedErr = e.scratch.fit.fit(e.Mode, e.scratch.samples, e.BatchSize)
 	e.fitted, e.dirty = true, false
 	return e.cached, e.cachedErr
 }
