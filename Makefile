@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-diff bench-all quick full fuzz clean
+.PHONY: all build vet test race bench bench-diff bench-all quick full fuzz serve load smoke clean
 
 all: build vet test
 
@@ -15,16 +15,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# internal/experiments runs its parallel worker pool under the detector.
+# internal/experiments runs its parallel worker pool under the detector;
+# internal/serve includes the 1000-submission daemon load test.
 race:
-	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/
+	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/ ./internal/serve/
 
 # Micro-benchmarks of the core algorithms, recorded as the repo's perf
 # trajectory: BENCH_1.json is the first point; bump N for later snapshots
 # and compare ns/op and allocs/op against the committed history.
 BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkNNLS|BenchmarkPAA|BenchmarkPSStep)$$
-BENCH_OUT ?= BENCH_2.json
-BENCH_BASE ?= BENCH_1.json
+BENCH_OUT ?= BENCH_3.json
+BENCH_BASE ?= BENCH_2.json
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
@@ -52,6 +53,20 @@ fuzz:
 	$(GO) test -fuzz FuzzPAA -fuzztime 15s ./internal/psassign/
 	$(GO) test -fuzz FuzzReadJobs -fuzztime 15s ./internal/trace/
 	$(GO) test -fuzz FuzzParseSchedule -fuzztime 15s ./internal/chaos/
+	$(GO) test -fuzz FuzzDecodeSubmit -fuzztime 15s ./internal/serve/
+
+# Run the online scheduler daemon on the paper testbed (600x scaled time).
+serve:
+	$(GO) run ./cmd/optimusd -addr :8080 -tick 1s
+
+# Fire 1000 concurrent submissions at a daemon started with `make serve`.
+load:
+	$(GO) run ./cmd/optimusd-load -url http://localhost:8080 -n 1000 -c 64
+
+# End-to-end daemon smoke: boot on a random port, submit, poll, snapshot,
+# restore. Used by CI.
+smoke:
+	./scripts/smoke_optimusd.sh
 
 clean:
 	rm -rf internal/*/testdata/fuzz

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"time"
 
 	"optimus/internal/cluster"
@@ -29,7 +30,9 @@ func main() {
 		jobs     = flag.Int("jobs", 3, "jobs to submit")
 		interval = flag.Duration("interval", 300*time.Millisecond,
 			"scheduling interval (paper: 10 minutes; shrunk for the demo)")
-		maxCycles = flag.Int("max-cycles", 200, "stop after this many intervals")
+		maxCycles   = flag.Int("max-cycles", 200, "stop after this many intervals")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve Prometheus metrics on this address (e.g. :9090); empty disables")
 	)
 	flag.Parse()
 
@@ -47,6 +50,22 @@ func main() {
 	}
 	op := operator.New(api, "/tmp")
 	defer op.Shutdown()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := op.WritePrometheus(w); err != nil {
+				log.Printf("metrics export: %v", err)
+			}
+		})
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	specs := []string{"linreg:24", "mlp:8x12", "logreg:16"}
 	for id := 0; id < *jobs; id++ {

@@ -1,0 +1,108 @@
+// Command optimusd-load is a load generator for optimusd: it fires N
+// concurrent job submissions at a running daemon, polls a sample of the
+// created jobs, and reports submission latency percentiles. It exits
+// non-zero if any submission fails, making it usable as a CI smoke gate.
+//
+// Usage:
+//
+//	optimusd-load -url http://localhost:8080 -n 1000 -c 64
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimusd-load: ")
+	var (
+		url     = flag.String("url", "http://localhost:8080", "optimusd base URL")
+		n       = flag.Int("n", 1000, "total submissions")
+		c       = flag.Int("c", 64, "concurrent clients")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	if err := run(*url, *n, *c, *timeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(url string, n, conc int, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+
+	models := []string{"resnext-110", "resnet-50", "seq2seq"}
+	jobs := make(chan int)
+	latencies := make([]time.Duration, n)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				body := fmt.Sprintf(
+					`{"model":%q,"mode":"async","threshold":0.05,"downscale":0.2}`,
+					models[i%len(models)])
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/jobs", "application/json",
+					bytes.NewReader([]byte(body)))
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	ok := int64(n) - failed.Load()
+	fmt.Printf("submissions: %d ok, %d failed in %s (%.0f/s)\n",
+		ok, failed.Load(), elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
+	fmt.Printf("latency: p50 %s  p95 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(1.0).Round(time.Microsecond))
+
+	// Spot-check that the daemon actually registered the jobs.
+	resp, err := client.Get(url + "/v1/jobs/1")
+	if err != nil {
+		return fmt.Errorf("poll job 1: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("poll job 1: status %d", resp.StatusCode)
+	}
+
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

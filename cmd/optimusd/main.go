@@ -1,0 +1,163 @@
+// Command optimusd runs the Optimus scheduler as a long-lived daemon: jobs
+// are submitted over HTTP, rescheduled every interval by the §4
+// allocator/placer driven by §3 online-fitted models, and observable via a
+// streaming event feed and Prometheus metrics.
+//
+// Usage:
+//
+//	optimusd -addr :8080                         # paper testbed cluster
+//	optimusd -nodes 20 -interval 600 -tick 1s    # 20 uniform nodes, 600x time
+//	optimusd -snapshot state.json -restore       # resume a previous run
+//
+// A graceful shutdown (SIGINT/SIGTERM) drains in-flight requests and, when
+// -snapshot is set, writes the full job state so a later -restore resumes
+// every job with its fitted model state and progress intact.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimusd: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+		portfile = flag.String("portfile", "", "write the bound address to this file (for scripts using -addr :0)")
+		nodes    = flag.Int("nodes", 0, "uniform cluster size; 0 uses the paper's 13-node testbed")
+		interval = flag.Float64("interval", 600, "simulated seconds of training per scheduling round")
+		tick     = flag.Duration("tick", time.Second, "wall-clock period between rounds (tick < interval·1s runs faster than real time)")
+		seed     = flag.Int64("seed", 1, "PRNG seed for observation noise and stragglers")
+		maxJobs  = flag.Int("max-jobs", 4096, "admission-control cap on live jobs")
+		snapshot = flag.String("snapshot", "", "write a JSON state snapshot here on shutdown")
+		restore  = flag.Bool("restore", false, "resume from the -snapshot file at startup")
+
+		stragglerProb = flag.Float64("straggler-prob", 0, "per-job per-round straggler probability (§5.2)")
+		speedNoise    = flag.Float64("speed-noise", 0.03, "relative speed observation noise")
+		lossNoise     = flag.Float64("loss-noise", 0.03, "relative loss observation noise")
+		scalingBase   = flag.Float64("scaling-base", 0, "fixed scaling pause in simulated seconds (§5.4)")
+	)
+	flag.Parse()
+	if err := run(*addr, *portfile, *nodes, *interval, *tick, *seed, *maxJobs,
+		*snapshot, *restore, *stragglerProb, *speedNoise, *lossNoise, *scalingBase); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, portfile string, nodes int, interval float64, tick time.Duration,
+	seed int64, maxJobs int, snapshot string, restore bool,
+	stragglerProb, speedNoise, lossNoise, scalingBase float64) error {
+
+	var c *cluster.Cluster
+	if nodes > 0 {
+		c = cluster.Uniform(nodes, cluster.Resources{
+			cluster.CPU: 32, cluster.Memory: 128,
+			cluster.GPU: 4, cluster.Bandwidth: 10,
+		})
+	} else {
+		c = cluster.Testbed()
+	}
+
+	d, err := serve.New(serve.Config{
+		Cluster:       c,
+		Interval:      interval,
+		Tick:          tick,
+		Seed:          seed,
+		MaxJobs:       maxJobs,
+		StragglerProb: stragglerProb,
+		SpeedNoise:    speedNoise,
+		LossNoise:     lossNoise,
+		ScalingBase:   scalingBase,
+	})
+	if err != nil {
+		return err
+	}
+
+	if restore {
+		if snapshot == "" {
+			return errors.New("-restore requires -snapshot")
+		}
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return fmt.Errorf("opening snapshot: %w", err)
+		}
+		err = d.Restore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("restored state from %s (sim time %.0fs, %d rounds)",
+			snapshot, d.Now(), d.Rounds())
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if portfile != "" {
+		if err := os.WriteFile(portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing portfile: %w", err)
+		}
+	}
+	log.Printf("listening on %s (%d nodes, interval %gs, tick %s)",
+		ln.Addr(), c.Len(), interval, tick)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Scheduler event loop.
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		d.Run(ctx)
+	}()
+
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	<-loopDone
+
+	if snapshot != "" {
+		f, err := os.Create(snapshot)
+		if err != nil {
+			return fmt.Errorf("creating snapshot: %w", err)
+		}
+		if err := d.WriteSnapshot(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing snapshot: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("state saved to %s (sim time %.0fs, %d rounds)",
+			snapshot, d.Now(), d.Rounds())
+	}
+	return nil
+}

@@ -33,10 +33,12 @@ type JobInfo struct {
 	MaxWorkers, MaxPS int
 }
 
-// Allocation is the number of parameter servers and workers granted to a job.
+// Allocation is the number of parameter servers and workers granted to a
+// job. The JSON tags fix the wire shape used by the optimusd API and its
+// state snapshots.
 type Allocation struct {
-	PS      int
-	Workers int
+	PS      int `json:"ps"`
+	Workers int `json:"workers"`
 }
 
 // Tasks returns the total number of tasks in the allocation.

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text-format export (version 0.0.4). The daemon's /metrics
+// endpoint, the operator's -metrics-addr server and any future scraper share
+// these helpers so every component emits the same metric families in the
+// same shape.
+
+// writeMetric emits one metric with its HELP/TYPE preamble.
+func writeMetric(w io.Writer, name, help, typ string, v float64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, typ, name, strconv.FormatFloat(v, 'g', -1, 64))
+	return err
+}
+
+// WriteCounter writes one counter metric in Prometheus text format.
+func WriteCounter(w io.Writer, name, help string, v float64) error {
+	return writeMetric(w, name, help, "counter", v)
+}
+
+// WriteGauge writes one gauge metric in Prometheus text format.
+func WriteGauge(w io.Writer, name, help string, v float64) error {
+	return writeMetric(w, name, help, "gauge", v)
+}
+
+// WritePrometheus exports the recorder's counters and the latest interval
+// snapshot in Prometheus text format. The recorder is not synchronized;
+// callers that mutate it concurrently (the optimusd event loop) must hold
+// their own lock around both the mutations and this export.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	type metric struct {
+		name, help, typ string
+		v               float64
+	}
+	ms := []metric{
+		{"optimus_jobs_arrived_total", "Jobs submitted to the scheduler.", "counter", float64(len(r.arrivals))},
+		{"optimus_jobs_completed_total", "Jobs that reached convergence.", "counter", float64(len(r.completions))},
+		{"optimus_intervals_total", "Scheduling intervals recorded.", "counter", float64(len(r.timeline))},
+		{"optimus_scaling_time_seconds_total", "Job-seconds spent in checkpoint/restart rescaling pauses.", "counter", r.scalingTime},
+		{"optimus_faults_injected_total", "Faults injected into the run.", "counter", float64(r.faults)},
+		{"optimus_tasks_restarted_total", "Tasks restarted by fault recovery.", "counter", float64(r.restarts)},
+		{"optimus_wasted_work_seconds_total", "Job-seconds of progress lost to failures and recomputed.", "counter", r.wastedWork},
+		{"optimus_recovery_time_seconds_total", "Job-seconds paused in checkpoint-restore recovery.", "counter", r.recoveryTime},
+	}
+	if n := len(r.timeline); n > 0 {
+		last := r.timeline[n-1]
+		ms = append(ms,
+			metric{"optimus_running_jobs", "Jobs with tasks deployed in the last interval.", "gauge", float64(last.RunningJobs)},
+			metric{"optimus_waiting_jobs", "Admitted jobs without a deployment in the last interval.", "gauge", float64(last.WaitingJobs)},
+			metric{"optimus_running_tasks", "PS + worker tasks deployed in the last interval.", "gauge", float64(last.RunningTasks)},
+			metric{"optimus_worker_utilization", "Mean normalized worker CPU utilization in the last interval.", "gauge", last.WorkerUtil},
+			metric{"optimus_ps_utilization", "Mean normalized PS CPU utilization in the last interval.", "gauge", last.PSUtil},
+			metric{"optimus_cluster_share", "Fraction of total cluster CPU allocated in the last interval.", "gauge", last.ClusterShare},
+		)
+	}
+	for _, m := range ms {
+		if err := writeMetric(w, m.name, m.help, m.typ, m.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

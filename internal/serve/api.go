@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/metrics"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+// Admission / lookup errors, mapped onto HTTP statuses by the handlers.
+var (
+	// ErrFull rejects a submission when MaxJobs live jobs already exist.
+	ErrFull = errors.New("serve: registry full, try again later")
+	// ErrNotFound names an unknown job ID.
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrTerminal rejects operations on done/cancelled jobs.
+	ErrTerminal = errors.New("serve: job already finished")
+)
+
+// maxBodyBytes bounds a submission request body.
+const maxBodyBytes = 1 << 20
+
+// SubmitRequest is the POST /v1/jobs body: the job owner picks a Table-1
+// model, a training mode and a convergence threshold (§2.3 — the owner
+// fixes what one task looks like, Optimus decides how many tasks).
+type SubmitRequest struct {
+	// Model is a workload zoo name, e.g. "resnext-110" (see workload.Zoo).
+	Model string `json:"model"`
+	// Mode is "async" or "sync".
+	Mode string `json:"mode"`
+	// Threshold is the convergence threshold on the normalized per-epoch
+	// loss decrease, in (0, 0.5]. Defaults to 0.02.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Downscale shrinks the dataset by this factor in (0, 1] (§6.1 uses it
+	// so one run takes hours, not weeks). Defaults to 1.
+	Downscale float64 `json:"downscale,omitempty"`
+}
+
+// DecodeSubmit parses and validates a submission body. It is strict: the
+// body must be a single JSON object with no unknown fields. Exported (and
+// fuzzed) because it is the daemon's untrusted-input boundary.
+func DecodeSubmit(data []byte) (SubmitRequest, error) {
+	var req SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return SubmitRequest{}, fmt.Errorf("serve: bad submit body: %w", err)
+	}
+	if dec.More() {
+		return SubmitRequest{}, errors.New("serve: bad submit body: trailing data")
+	}
+	if _, err := req.spec(); err != nil {
+		return SubmitRequest{}, err
+	}
+	return req, nil
+}
+
+// spec validates the request and converts it to a workload JobSpec (ID and
+// Arrival are assigned at admission).
+func (r SubmitRequest) spec() (workload.JobSpec, error) {
+	model := workload.ZooByName(r.Model)
+	if model == nil {
+		return workload.JobSpec{}, fmt.Errorf("serve: unknown model %q", r.Model)
+	}
+	var mode speedfit.Mode
+	switch r.Mode {
+	case "async":
+		mode = speedfit.Async
+	case "sync":
+		mode = speedfit.Sync
+	default:
+		return workload.JobSpec{}, fmt.Errorf("serve: mode must be \"async\" or \"sync\", got %q", r.Mode)
+	}
+	th := r.Threshold
+	if th == 0 {
+		th = 0.02
+	}
+	if math.IsNaN(th) || th <= 0 || th > 0.5 {
+		return workload.JobSpec{}, fmt.Errorf("serve: threshold must be in (0, 0.5], got %g", r.Threshold)
+	}
+	ds := r.Downscale
+	if ds == 0 {
+		ds = 1
+	}
+	if math.IsNaN(ds) || ds <= 0 || ds > 1 {
+		return workload.JobSpec{}, fmt.Errorf("serve: downscale must be in (0, 1], got %g", r.Downscale)
+	}
+	return workload.JobSpec{
+		Model: model, Mode: mode, Threshold: th, Downscale: ds,
+	}, nil
+}
+
+// LossFitStatus is the job's fitted §3.1 convergence curve as reported by
+// GET /v1/jobs/{id}.
+type LossFitStatus struct {
+	B0       float64 `json:"b0"`
+	B1       float64 `json:"b1"`
+	B2       float64 `json:"b2"`
+	MaxLoss  float64 `json:"maxLoss"`
+	Residual float64 `json:"residual"`
+	Samples  int     `json:"samples"`
+}
+
+// JobStatus is the API's view of one job.
+type JobStatus struct {
+	ID        int       `json:"id"`
+	State     JobState  `json:"state"`
+	Model     string    `json:"model"`
+	Mode      string    `json:"mode"`
+	Threshold float64   `json:"threshold"`
+	Downscale float64   `json:"downscale,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	// ArrivalSim / DoneAtSim / JCT are on the simulated clock, seconds.
+	ArrivalSim float64 `json:"arrivalSim"`
+	DoneAtSim  float64 `json:"doneAtSim,omitempty"`
+	JCT        float64 `json:"jctSeconds,omitempty"`
+	// ProgressEpochs is true progress; the Est* fields are the scheduler's
+	// online estimates (they converge to truth as observations accumulate).
+	ProgressEpochs     float64         `json:"progressEpochs"`
+	EstTotalEpochs     float64         `json:"estTotalEpochs"`
+	EstRemainingEpochs float64         `json:"estRemainingEpochs"`
+	LossFit            *LossFitStatus  `json:"lossFit,omitempty"`
+	SpeedConfigs       int             `json:"speedConfigs"`
+	Alloc              core.Allocation `json:"alloc"`
+	Nodes              []string        `json:"nodes,omitempty"`
+	Straggling         bool            `json:"straggling,omitempty"`
+}
+
+// statusLocked renders one job; callers hold d.mu.
+func (d *Daemon) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:             j.spec.ID,
+		State:          j.state,
+		Model:          j.spec.Model.Name,
+		Mode:           j.spec.Mode.String(),
+		Threshold:      j.spec.Threshold,
+		Downscale:      j.spec.Downscale,
+		Submitted:      j.submittedWall,
+		ArrivalSim:     j.spec.Arrival,
+		ProgressEpochs: j.progress,
+		SpeedConfigs:   j.speedEst.Configurations(),
+		Alloc:          j.alloc,
+		Nodes:          j.nodes,
+		Straggling:     j.straggling,
+	}
+	if j.spec.Downscale == 1 {
+		st.Downscale = 0 // omitempty: default downscale is noise
+	}
+	if j.state == StateDone {
+		st.DoneAtSim = j.doneAt
+		st.JCT = j.doneAt - j.spec.Arrival
+	}
+	// The scheduler's remaining-work estimate, exactly as the allocator
+	// sees it (§3.1 fit with the beginning-state prior as fallback).
+	est := d.cfg.PriorEpochs
+	if j.lossFit.Len() >= 5 {
+		if m, err := j.lossFit.Fit(); err == nil {
+			st.LossFit = &LossFitStatus{
+				B0: m.B0, B1: m.B1, B2: m.B2,
+				MaxLoss: m.MaxLoss, Residual: m.Residual,
+				Samples: j.lossFit.Len(),
+			}
+			if steps, err := m.StepsToConverge(j.spec.Threshold, 1, 3); err == nil {
+				est = steps
+			}
+		}
+	}
+	st.EstTotalEpochs = est
+	if rem := est - j.progress; rem > 0 {
+		st.EstRemainingEpochs = rem
+	}
+	return st
+}
+
+// Status returns one job's status.
+func (d *Daemon) Status(id int) (JobStatus, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return d.statusLocked(j), nil
+}
+
+// List returns every job's status in submission order.
+func (d *Daemon) List() []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]JobStatus, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.statusLocked(d.jobs[id]))
+	}
+	return out
+}
+
+// NodeStatus is one node's utilization in GET /v1/cluster.
+type NodeStatus struct {
+	ID       string             `json:"id"`
+	Capacity map[string]float64 `json:"capacity"`
+	Used     map[string]float64 `json:"used"`
+}
+
+// ClusterStatus is the GET /v1/cluster response.
+type ClusterStatus struct {
+	SimTime      float64      `json:"simTime"`
+	Rounds       int          `json:"rounds"`
+	Jobs         int          `json:"jobs"`
+	LiveJobs     int          `json:"liveJobs"`
+	ClusterShare float64      `json:"clusterShare"`
+	Nodes        []NodeStatus `json:"nodes"`
+}
+
+func resourceMap(r cluster.Resources) map[string]float64 {
+	out := make(map[string]float64, cluster.NumResourceTypes)
+	for i := cluster.ResourceType(0); i < cluster.NumResourceTypes; i++ {
+		if r[i] != 0 {
+			out[i.String()] = r[i]
+		}
+	}
+	return out
+}
+
+// Cluster reports per-node utilization as of the last scheduling round.
+func (d *Daemon) Cluster() ClusterStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := ClusterStatus{
+		SimTime:  d.now,
+		Rounds:   d.rounds,
+		Jobs:     len(d.jobs),
+		LiveJobs: d.live,
+	}
+	var used, capacity cluster.Resources
+	for _, n := range d.cfg.Cluster.Nodes() {
+		st.Nodes = append(st.Nodes, NodeStatus{
+			ID:       n.ID,
+			Capacity: resourceMap(n.Capacity),
+			Used:     resourceMap(n.Used()),
+		})
+		used = used.Add(n.Used())
+		capacity = capacity.Add(n.Capacity)
+	}
+	if capacity[cluster.CPU] > 0 {
+		st.ClusterShare = used[cluster.CPU] / capacity[cluster.CPU]
+	}
+	return st
+}
+
+// Handler returns the daemon's HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobStatus `json:"jobs"`
+		}{d.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Cluster())
+	})
+	mux.HandleFunc("GET /v1/events", d.handleEvents)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			errors.New("serve: submit body too large"))
+		return
+	}
+	req, err := DecodeSubmit(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := d.Submit(req)
+	if errors.Is(err, ErrFull) {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, _ := d.Status(id)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job id %q", r.PathValue("id")))
+		return
+	}
+	st, err := d.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job id %q", r.PathValue("id")))
+		return
+	}
+	switch err := d.Cancel(id); {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrTerminal):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		st, _ := d.Status(id)
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// handleMetrics exports the recorder counters plus daemon-level gauges in
+// Prometheus text format.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := d.rec.WritePrometheus(w); err != nil {
+		return
+	}
+	byState := map[JobState]int{}
+	for _, j := range d.jobs {
+		byState[j.state]++
+	}
+	_ = metrics.WriteCounter(w, "optimusd_rounds_total",
+		"Scheduling rounds executed by the event loop.", float64(d.rounds))
+	_ = metrics.WriteCounter(w, "optimusd_jobs_rejected_total",
+		"Submissions rejected by admission control.", float64(d.rejected))
+	_ = metrics.WriteCounter(w, "optimusd_jobs_cancelled_total",
+		"Jobs cancelled by their owners.", float64(d.cancelled))
+	_ = metrics.WriteGauge(w, "optimusd_sim_time_seconds",
+		"Simulated clock of the event loop.", d.now)
+	_ = metrics.WriteGauge(w, "optimusd_uptime_seconds",
+		"Wall-clock seconds since daemon start.", time.Since(d.startWall).Seconds())
+	for _, s := range []JobState{StatePending, StateWaiting, StateRunning, StateDone, StateCancelled} {
+		_ = metrics.WriteGauge(w, "optimusd_jobs_"+string(s),
+			"Jobs currently in state "+string(s)+".", float64(byState[s]))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

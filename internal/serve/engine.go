@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"fmt"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/metrics"
+	"optimus/internal/sim"
+	"optimus/internal/workload"
+)
+
+// Step executes one scheduling round: profile newly admitted jobs, rebuild
+// the scheduler's estimated views, re-run §4.1 allocation and §4.2
+// placement against the whole cluster, advance every deployed job by one
+// interval of the ground-truth physics, and feed the resulting noisy
+// observations back into the estimators. It is the live equivalent of one
+// iteration of sim.Run's interval loop and is safe to call concurrently
+// with the HTTP handlers.
+func (d *Daemon) Step() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stepLocked()
+}
+
+// active returns the schedulable jobs in submission order. Callers hold d.mu.
+func (d *Daemon) active() []*job {
+	out := make([]*job, 0, d.live)
+	for _, id := range d.order {
+		j := d.jobs[id]
+		if !j.state.terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (d *Daemon) stepLocked() {
+	active := d.active()
+	if len(active) == 0 {
+		// Still release whatever the previous round deployed: the last
+		// live job may have been cancelled since.
+		d.cfg.Cluster.ResetAll()
+		d.now += d.cfg.Interval
+		d.rounds++
+		return
+	}
+	d.rounds++
+	intervalEnd := d.now + d.cfg.Interval
+
+	// §3.2 pre-run profiling for jobs on their first round.
+	for _, j := range active {
+		if !j.profiled {
+			sim.PreRunProfile(j.speedEst, j.spec, d.cfg.PreRunSamples,
+				d.cfg.SpeedNoise, d.rng)
+			j.profiled = true
+		}
+	}
+
+	// Build the scheduler's estimated views and allocate against the
+	// cluster's aggregate capacity.
+	infos := make([]*core.JobInfo, len(active))
+	for i, j := range active {
+		infos[i] = sim.EstimatedView(d.cfg.Cluster, j.spec, j.progress,
+			j.lossFit, j.speedEst, d.cfg.PriorEpochs, d.cfg.PriorityFactor)
+	}
+	alloc := d.policy.Allocate(infos, d.cfg.Cluster.Capacity())
+
+	// Place. The cluster is rebuilt from scratch each round, so cancelled
+	// jobs' resources are implicitly released here.
+	d.cfg.Cluster.ResetAll()
+	reqs := make([]core.PlacementRequest, 0, len(active))
+	for _, info := range infos {
+		a := alloc[info.ID]
+		if a.PS > 0 && a.Workers > 0 {
+			reqs = append(reqs, core.PlacementRequest{
+				JobID: info.ID, Alloc: a,
+				WorkerRes: info.WorkerRes, PSRes: info.PSRes,
+			})
+		}
+	}
+	placements, unplacedIDs := d.policy.Place(reqs, d.cfg.Cluster)
+
+	// Fragmentation escape hatch (§4.2): shrink an unpackable allocation
+	// until it fits rather than leaving the job idle for a round.
+	infoByID := make(map[int]*core.JobInfo, len(infos))
+	for _, in := range infos {
+		infoByID[in.ID] = in
+	}
+	for _, id := range unplacedIDs {
+		a, info := alloc[id], infoByID[id]
+		if info == nil || a.PS < 1 || a.Workers < 1 {
+			continue
+		}
+		for a.PS+a.Workers > 2 {
+			if a.Workers >= a.PS {
+				a.Workers--
+			} else {
+				a.PS--
+			}
+			retry := []core.PlacementRequest{{
+				JobID: id, Alloc: a,
+				WorkerRes: info.WorkerRes, PSRes: info.PSRes,
+			}}
+			pls, unp := d.policy.Place(retry, d.cfg.Cluster)
+			if len(unp) == 0 {
+				placements[id] = pls[id]
+				alloc[id] = a
+				break
+			}
+		}
+	}
+
+	// Apply the round's deployments, emitting decision events and charging
+	// §5.4 scaling pauses for changed configurations.
+	pauses := make(map[int]float64)
+	for _, j := range active {
+		id := j.spec.ID
+		pl, ok := placements[id]
+		if !ok {
+			if j.placed {
+				d.publish(Event{Type: EventUnplaced, Job: id})
+			}
+			j.placed = false
+			j.alloc = core.Allocation{}
+			j.nodes = nil
+			j.state = StateWaiting
+			continue
+		}
+		ps, w := pl.Counts()
+		newAlloc := core.Allocation{PS: ps, Workers: w}
+		changed := j.placed && newAlloc != j.alloc
+		fresh := !j.placed
+		old := j.alloc
+		j.alloc = newAlloc
+		j.spread = workload.TaskSpread{
+			PSOnNode:      pl.PSOnNode,
+			WorkersOnNode: pl.WorkersOnNode,
+		}
+		j.nodes = pl.NodeIDs
+		j.placed = true
+		j.state = StateRunning
+		switch {
+		case fresh:
+			d.publish(Event{Type: EventPlaced, Job: id, Alloc: &newAlloc,
+				Nodes: pl.NodeIDs})
+		case changed:
+			d.publish(Event{Type: EventScaled, Job: id, Alloc: &newAlloc,
+				Nodes: pl.NodeIDs,
+				Detail: fmt.Sprintf("%dps/%dw -> %dps/%dw",
+					old.PS, old.Workers, newAlloc.PS, newAlloc.Workers)})
+		}
+		if fresh || changed {
+			pause := d.cfg.ScalingBase + d.cfg.ScalingPerTask*float64(newAlloc.Tasks())
+			if pause > d.cfg.Interval {
+				pause = d.cfg.Interval
+			}
+			pauses[id] = pause
+			if changed { // §6.2 counts reconfiguration, not first launch
+				d.rec.AddScalingTime(pause)
+			}
+		}
+
+		// Straggler lifecycle (§5.2): the Optimus policy replaces the slow
+		// worker after one detection round.
+		if j.straggling {
+			j.straggling = false
+			d.rec.AddRestarts(1)
+			d.publish(Event{Type: EventRecovered, Job: id,
+				Detail: "straggler replaced"})
+		}
+		if d.cfg.StragglerProb > 0 && d.rng.Float64() < d.cfg.StragglerProb {
+			j.straggling = true
+			d.rec.AddFault()
+			d.publish(Event{Type: EventFault, Job: id,
+				Detail: fmt.Sprintf("straggler x%.2f", d.cfg.StragglerSlowdown)})
+		}
+	}
+
+	// Advance one interval of ground-truth training physics.
+	for _, j := range active {
+		if !j.placed || j.state.terminal() {
+			continue
+		}
+		stepsPerSec := j.spec.Model.PlacedSpeed(j.spec.Mode, j.spread)
+		if j.straggling {
+			stepsPerSec *= d.cfg.StragglerSlowdown
+		}
+		rate := sim.EpochsPerSecond(j.spec, stepsPerSec)
+		start := d.now + pauses[j.spec.ID]
+		if start >= intervalEnd || rate <= 0 {
+			continue
+		}
+		remaining := j.totalEpochs - j.progress
+		if gained := rate * (intervalEnd - start); gained < remaining {
+			j.progress += gained
+			d.observe(j, stepsPerSec)
+		} else {
+			j.progress = j.totalEpochs
+			j.state = StateDone
+			j.doneAt = start + remaining/rate
+			j.placed = false
+			j.alloc = core.Allocation{}
+			j.nodes = nil
+			d.live--
+			d.rec.Complete(j.spec.ID, j.doneAt)
+			d.publish(Event{Type: EventCompleted, Job: j.spec.ID,
+				Detail: fmt.Sprintf("jct=%.0fs", j.doneAt-j.spec.Arrival)})
+		}
+	}
+
+	d.rec.Snapshot(d.intervalStats())
+	d.now = intervalEnd
+}
+
+// observe feeds the running job's interval measurements to its estimators,
+// retaining the loss points for snapshot/restore.
+func (d *Daemon) observe(j *job, stepsPerSec float64) {
+	if stepsPerSec > 0 {
+		obs := stepsPerSec * (1 + d.cfg.SpeedNoise*d.rng.NormFloat64())
+		if obs > 0 {
+			_ = j.speedEst.Observe(j.alloc.PS, j.alloc.Workers, obs)
+		}
+	}
+	if j.progress > 0 {
+		loss := j.spec.Model.TrueLoss(j.progress) * (1 + d.cfg.LossNoise*d.rng.NormFloat64())
+		if loss > 0 && j.lossFit.Add(j.progress, loss) == nil {
+			j.lossObs = append(j.lossObs, lossfit.Point{K: j.progress, Loss: loss})
+			if len(j.lossObs) > maxLossObs {
+				j.lossObs = j.lossObs[len(j.lossObs)-maxLossObs:]
+			}
+		}
+	}
+}
+
+// intervalStats digests the round for the metrics timeline. Callers hold d.mu.
+func (d *Daemon) intervalStats() metrics.IntervalStats {
+	s := metrics.IntervalStats{Time: d.now}
+	var usedCPU float64
+	for _, id := range d.order {
+		j := d.jobs[id]
+		switch j.state {
+		case StateRunning:
+			s.RunningJobs++
+			s.RunningTasks += j.alloc.Tasks()
+			usedCPU += j.spec.Model.WorkerRes[cluster.CPU]*float64(j.alloc.Workers) +
+				j.spec.Model.PSRes[cluster.CPU]*float64(j.alloc.PS)
+		case StatePending, StateWaiting:
+			s.WaitingJobs++
+		}
+	}
+	if total := d.cfg.Cluster.Capacity()[cluster.CPU]; total > 0 {
+		s.ClusterShare = usedCPU / total
+	}
+	return s
+}

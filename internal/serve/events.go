@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"optimus/internal/core"
+)
+
+// EventType enumerates the scheduler decisions streamed on /v1/events.
+type EventType string
+
+const (
+	EventSubmitted EventType = "submitted" // job admitted into the registry
+	EventPlaced    EventType = "placed"    // first deployment of a job
+	EventScaled    EventType = "scaled"    // running job's (PS, workers) changed
+	EventUnplaced  EventType = "unplaced"  // running job lost its deployment
+	EventCompleted EventType = "completed" // job converged
+	EventCancelled EventType = "cancelled" // owner cancelled the job
+	EventFault     EventType = "fault"     // injected degradation (straggler)
+	EventRecovered EventType = "recovered" // fault repaired (§5.2 replacement)
+)
+
+// Event is one scheduler decision. Seq is a strictly increasing stream
+// position usable as an SSE Last-Event-ID for resumption.
+type Event struct {
+	Seq     int64            `json:"seq"`
+	Wall    time.Time        `json:"wall"`
+	SimTime float64          `json:"simTime"`
+	Type    EventType        `json:"type"`
+	Job     int              `json:"job,omitempty"`
+	Alloc   *core.Allocation `json:"alloc,omitempty"`
+	Nodes   []string         `json:"nodes,omitempty"`
+	Detail  string           `json:"detail,omitempty"`
+}
+
+// eventBus fans scheduler events out to SSE subscribers. A fixed ring
+// buffer lets late or resuming subscribers replay recent history; a
+// subscriber that cannot drain its channel is disconnected rather than
+// allowed to backpressure the scheduling loop.
+type eventBus struct {
+	mu      sync.Mutex
+	ring    []Event // ring[seq % len(ring)] when seq > 0
+	nextSeq int64
+	subs    map[int]chan Event
+	nextSub int
+}
+
+func newEventBus(size int) *eventBus {
+	return &eventBus{
+		ring: make([]Event, size),
+		subs: make(map[int]chan Event),
+	}
+}
+
+// publish assigns the next sequence number, records the event in the ring
+// and delivers it to every subscriber that has room.
+func (b *eventBus) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextSeq++
+	ev.Seq = b.nextSeq
+	b.ring[int(ev.Seq)%len(b.ring)] = ev
+	for id, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: cut it loose, it can resume via Last-Event-ID
+			close(ch)
+			delete(b.subs, id)
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns its id, live channel and
+// the replay of ring events with Seq > after (in order).
+func (b *eventBus) subscribe(after int64) (int, chan Event, []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var replay []Event
+	lo := b.nextSeq - int64(len(b.ring)) + 1
+	if lo < 1 {
+		lo = 1
+	}
+	if after+1 > lo {
+		lo = after + 1
+	}
+	for seq := lo; seq <= b.nextSeq; seq++ {
+		replay = append(replay, b.ring[int(seq)%len(b.ring)])
+	}
+	id := b.nextSub
+	b.nextSub++
+	ch := make(chan Event, 256)
+	b.subs[id] = ch
+	return id, ch, replay
+}
+
+// unsubscribe removes a subscriber; idempotent with publish's eviction.
+func (b *eventBus) unsubscribe(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ch, ok := b.subs[id]; ok {
+		close(ch)
+		delete(b.subs, id)
+	}
+}
+
+// handleEvents streams the decision log as Server-Sent Events. `?since=N`
+// or a Last-Event-ID header resumes after sequence N.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var after int64
+	if s := r.URL.Query().Get("since"); s != "" {
+		after, _ = strconv.ParseInt(s, 10, 64)
+	} else if s := r.Header.Get("Last-Event-ID"); s != "" {
+		after, _ = strconv.ParseInt(s, 10, 64)
+	}
+	id, ch, replay := d.bus.subscribe(after)
+	defer d.bus.unsubscribe(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range replay {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok { // evicted as a slow consumer
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE renders one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}

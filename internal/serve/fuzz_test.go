@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSubmit fuzzes the job-submission request decoder: it must never
+// panic, and anything it accepts must satisfy the documented invariants
+// (known model, valid mode, threshold/downscale in range).
+func FuzzDecodeSubmit(f *testing.F) {
+	for _, seed := range []string{
+		`{"model":"resnet-50","mode":"async"}`,
+		`{"model":"resnext-110","mode":"sync","threshold":0.02,"downscale":0.5}`,
+		`{"model":"seq2seq","mode":"sync","threshold":0.5}`,
+		`{"model":"","mode":""}`,
+		`{"model":"resnet-50","mode":"async","threshold":-1}`,
+		`{"model":"resnet-50","mode":"async","unknown":true}`,
+		`{}`,
+		`[]`,
+		`null`,
+		``,
+		`{"model":"resnet-50","mode":"async"}{"model":"x"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSubmit(data)
+		if err != nil {
+			return
+		}
+		spec, specErr := req.spec()
+		if specErr != nil {
+			t.Fatalf("DecodeSubmit accepted %q but spec() rejects: %v", data, specErr)
+		}
+		if spec.Model == nil {
+			t.Fatalf("accepted request %q has nil model", data)
+		}
+		if spec.Threshold <= 0 || spec.Threshold > 0.5 {
+			t.Fatalf("accepted threshold %g out of range (%q)", spec.Threshold, data)
+		}
+		if spec.Downscale <= 0 || spec.Downscale > 1 {
+			t.Fatalf("accepted downscale %g out of range (%q)", spec.Downscale, data)
+		}
+	})
+}

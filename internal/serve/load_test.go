@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optimus/internal/cluster"
+)
+
+// TestConcurrentSubmissions is the acceptance load test: ≥1000 concurrent
+// HTTP submissions racing against the scheduler loop and an SSE consumer,
+// with every job accounted for exactly once. Run under -race (make race).
+func TestConcurrentSubmissions(t *testing.T) {
+	const n = 1000
+	d, err := New(Config{Cluster: cluster.Testbed(), Seed: 11, MaxJobs: 2 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	// Scheduler loop racing with the submissions.
+	stop := make(chan struct{})
+	var wgStep sync.WaitGroup
+	wgStep.Add(1)
+	go func() {
+		defer wgStep.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Step()
+			}
+		}
+	}()
+
+	// SSE consumer racing with both.
+	ctx, cancelSSE := context.WithCancel(context.Background())
+	defer cancelSSE()
+	sseDone := make(chan struct{})
+	go func() {
+		defer close(sseDone)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/events", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+	}()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var created, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			model := "resnext-110"
+			if i%3 == 0 {
+				model = "resnet-50"
+			}
+			body := fmt.Sprintf(`{"model":%q,"mode":"async","threshold":0.05,"downscale":0.2}`, model)
+			resp, err := client.Post(srv.URL+"/v1/jobs", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusCreated {
+				created.Add(1)
+			} else {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	wgStep.Wait()
+	cancelSSE()
+	<-sseDone
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d of %d submissions failed", failed.Load(), n)
+	}
+	if created.Load() != n {
+		t.Fatalf("created %d jobs, want %d", created.Load(), n)
+	}
+
+	// Every submission got a unique ID and landed in the registry.
+	d.mu.Lock()
+	jobs, order := len(d.jobs), len(d.order)
+	d.mu.Unlock()
+	if jobs != n || order != n {
+		t.Fatalf("registry holds %d jobs / %d order entries, want %d", jobs, order, n)
+	}
+	// One more round must schedule without incident at full occupancy.
+	d.Step()
+	cs := d.Cluster()
+	if cs.LiveJobs > n {
+		t.Fatalf("live jobs %d exceeds submissions", cs.LiveJobs)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers every endpoint at once: submissions,
+// status polls, cancellations, cluster and metrics scrapes against a running
+// scheduler loop.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	d, err := New(Config{Cluster: cluster.Testbed(), Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wgStep sync.WaitGroup
+	wgStep.Add(1)
+	go func() {
+		defer wgStep.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Step()
+			}
+		}
+	}()
+
+	get := func(path string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := `{"model":"resnext-110","mode":"async","downscale":0.2}`
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			id := i + 1 // not necessarily ours, but always a plausible ID
+			get(fmt.Sprintf("/v1/jobs/%d", id))
+			get("/v1/jobs")
+			get("/v1/cluster")
+			get("/metrics")
+			if i%4 == 0 {
+				req, _ := http.NewRequest(http.MethodDelete,
+					fmt.Sprintf("%s/v1/jobs/%d", srv.URL, id), nil)
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	wgStep.Wait()
+}

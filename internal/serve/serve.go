@@ -1,0 +1,305 @@
+// Package serve is the online scheduler daemon behind cmd/optimusd: the
+// paper's Optimus run as a long-lived service rather than a batch replay.
+// Jobs arrive over HTTP, are admitted into a concurrency-safe registry,
+// profiled (§3.2 pre-run sampling), and rescheduled every interval by the
+// same §4 allocator/placer kernels and §3 lossfit/speedfit estimators the
+// simulator drives — but on a real-or-scaled wall-clock tick instead of a
+// replayed trace. Execution physics are the workload package's ground-truth
+// models, so the daemon is a live cluster emulator: submissions, allocation,
+// placement, progress, convergence and cancellation all happen while the
+// process serves traffic.
+//
+// The HTTP surface (see api.go):
+//
+//	POST   /v1/jobs      submit (admission-controlled)
+//	GET    /v1/jobs      list
+//	GET    /v1/jobs/{id} status: fitted loss curve, remaining-epoch
+//	                     estimate, current (PS, workers) allocation
+//	DELETE /v1/jobs/{id} cancel with resource release
+//	GET    /v1/cluster   per-node utilization
+//	GET    /v1/events    SSE stream of scheduler decisions
+//	GET    /metrics      Prometheus text format
+//	GET    /healthz      liveness
+//
+// Graceful shutdown writes a JSON snapshot of all job state (snapshot.go);
+// a daemon started with -restore resumes every job with its fitted model
+// state and progress intact.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/metrics"
+	"optimus/internal/sim"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+// Config parameterizes the daemon. The zero value of every field has a
+// sensible default filled in by New.
+type Config struct {
+	Cluster *cluster.Cluster // required
+
+	// Interval is the simulated seconds of training each scheduling round
+	// advances (the paper's 10-minute interval). Default 600.
+	Interval float64
+	// Tick is the wall-clock period between scheduling rounds in Run.
+	// Tick == Interval·time.Second is real time; smaller is scaled time.
+	// Default 1s (600× speedup at the default Interval).
+	Tick time.Duration
+
+	Seed int64 // default 1
+
+	// Estimation behaviour, mirroring sim.Config.
+	PreRunSamples         int     // §3.2 profiling runs per job (default 5)
+	SpeedNoise, LossNoise float64 // relative observation noise (default 0.03)
+	PriorEpochs           float64 // beginning-state convergence prior (default 80)
+	PriorityFactor        float64 // §4.1 damping (default 0.95)
+
+	// Scaling overhead charged when a running job's configuration changes
+	// (§5.4): a fixed pause plus a per-task term, in simulated seconds.
+	ScalingBase, ScalingPerTask float64
+
+	// Stragglers: per running job per round, probability that one worker
+	// degrades to StragglerSlowdown speed (§5.2). The Optimus policy
+	// replaces the straggler after one detection round. Zero disables.
+	StragglerProb     float64
+	StragglerSlowdown float64 // default 0.5
+
+	// MaxJobs is the admission-control cap on live (non-terminal) jobs;
+	// submissions beyond it are rejected with 429. Default 4096.
+	MaxJobs int
+
+	// EventBuffer is the SSE ring size: how many past scheduler decisions a
+	// late subscriber can replay. Default 4096.
+	EventBuffer int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 600
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PreRunSamples <= 0 {
+		c.PreRunSamples = 5
+	}
+	if c.SpeedNoise == 0 {
+		c.SpeedNoise = 0.03
+	}
+	if c.LossNoise == 0 {
+		c.LossNoise = 0.03
+	}
+	if c.PriorEpochs <= 0 {
+		c.PriorEpochs = 80
+	}
+	if c.PriorityFactor <= 0 {
+		c.PriorityFactor = 0.95
+	}
+	if c.StragglerSlowdown <= 0 || c.StragglerSlowdown > 1 {
+		c.StragglerSlowdown = 0.5
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 4096
+	}
+}
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+const (
+	// StatePending: admitted, not yet seen by a scheduling round.
+	StatePending JobState = "pending"
+	// StateWaiting: seen by the scheduler but currently without tasks
+	// (allocation starved or placement failed).
+	StateWaiting JobState = "waiting"
+	// StateRunning: tasks deployed, training in progress.
+	StateRunning JobState = "running"
+	// StateDone: converged.
+	StateDone JobState = "done"
+	// StateCancelled: cancelled by the owner; resources released.
+	StateCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state can never change again.
+func (s JobState) terminal() bool { return s == StateDone || s == StateCancelled }
+
+// job is the daemon's full view of one submitted job. All fields are
+// guarded by the Daemon mutex.
+type job struct {
+	spec          workload.JobSpec
+	submittedWall time.Time
+	state         JobState
+
+	totalEpochs float64 // ground-truth epochs to convergence (physics)
+	progress    float64 // epochs completed
+	doneAt      float64 // simulated completion time
+
+	// current deployment
+	alloc  core.Allocation
+	spread workload.TaskSpread
+	nodes  []string
+	placed bool
+
+	// estimation state (§3): the scheduler's view, never the ground truth
+	profiled bool
+	lossFit  *lossfit.Fitter
+	speedEst *speedfit.Estimator
+	// lossObs retains the observations fed to lossFit so snapshots can
+	// rebuild the fitter exactly; capped at maxLossObs.
+	lossObs []lossfit.Point
+
+	straggling bool
+}
+
+const maxLossObs = 512
+
+// Daemon owns the job registry, the cluster state and the scheduling loop.
+// All methods are safe for concurrent use.
+type Daemon struct {
+	cfg    Config
+	policy sim.Policy
+	bus    *eventBus
+
+	mu        sync.Mutex
+	jobs      map[int]*job
+	order     []int // submission order, for deterministic scheduling
+	nextID    int
+	now       float64 // simulated time
+	rounds    int
+	live      int // non-terminal jobs, for admission control
+	rejected  int
+	cancelled int
+	rec       *metrics.Recorder
+	rng       *rand.Rand
+	startWall time.Time
+}
+
+// New builds a daemon over the given cluster. It does not start the
+// scheduling loop; call Run (or Step from tests).
+func New(cfg Config) (*Daemon, error) {
+	cfg.fillDefaults()
+	if cfg.Cluster == nil || cfg.Cluster.Len() == 0 {
+		return nil, fmt.Errorf("serve: config needs a non-empty cluster")
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		policy:    sim.OptimusPolicy().Session(),
+		bus:       newEventBus(cfg.EventBuffer),
+		jobs:      make(map[int]*job),
+		nextID:    1,
+		rec:       metrics.NewRecorder(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		startWall: time.Now(),
+	}
+	return d, nil
+}
+
+// Now returns the daemon's simulated clock.
+func (d *Daemon) Now() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.now
+}
+
+// Rounds returns the number of scheduling rounds executed.
+func (d *Daemon) Rounds() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rounds
+}
+
+// Submit admits one job into the registry. It returns the assigned ID, or
+// an admission error (ErrFull, or validation failure).
+func (d *Daemon) Submit(req SubmitRequest) (int, error) {
+	spec, err := req.spec()
+	if err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.live >= d.cfg.MaxJobs {
+		d.rejected++
+		return 0, ErrFull
+	}
+	id := d.nextID
+	d.nextID++
+	spec.ID = id
+	spec.Arrival = d.now
+	j := &job{
+		spec:          spec,
+		submittedWall: time.Now(),
+		state:         StatePending,
+		totalEpochs:   spec.TotalEpochs(),
+		lossFit:       lossfit.NewFitter(),
+		speedEst: speedfit.NewEstimator(spec.Mode,
+			float64(spec.Model.GlobalBatch)),
+	}
+	d.jobs[id] = j
+	d.order = append(d.order, id)
+	d.live++
+	d.rec.Arrive(id, d.now)
+	d.publish(Event{Type: EventSubmitted, Job: id,
+		Detail: fmt.Sprintf("%s %s th=%g", spec.Model.Name, spec.Mode, spec.Threshold)})
+	return id, nil
+}
+
+// Cancel transitions a job to StateCancelled. Its resources are released at
+// the next scheduling round (the cluster is rebuilt from live placements
+// every round). Terminal jobs cannot be cancelled.
+func (d *Daemon) Cancel(id int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if j.state.terminal() {
+		return ErrTerminal
+	}
+	j.state = StateCancelled
+	j.placed = false
+	j.alloc = core.Allocation{}
+	j.nodes = nil
+	d.live--
+	d.cancelled++
+	d.publish(Event{Type: EventCancelled, Job: id})
+	return nil
+}
+
+// Run drives the scheduling loop until ctx is cancelled: one Step every
+// cfg.Tick of wall time.
+func (d *Daemon) Run(ctx context.Context) {
+	t := time.NewTicker(d.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			d.Step()
+		}
+	}
+}
+
+// publish stamps and emits one event. Callers must hold d.mu (the sequence
+// of events must match the sequence of state changes).
+func (d *Daemon) publish(ev Event) {
+	ev.Wall = time.Now()
+	ev.SimTime = d.now
+	d.bus.publish(ev)
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"optimus/internal/cluster"
+)
+
+// testDaemon builds a daemon over the paper's testbed cluster with noise
+// small enough for deterministic-ish assertions.
+func testDaemon(t *testing.T) *Daemon {
+	t.Helper()
+	d, err := New(Config{Cluster: cluster.Testbed(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func submit(t *testing.T, d *Daemon, req SubmitRequest) int {
+	t.Helper()
+	id, err := d.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit(%+v): %v", req, err)
+	}
+	return id
+}
+
+func TestJobLifecycle(t *testing.T) {
+	d := testDaemon(t)
+	id := submit(t, d, SubmitRequest{Model: "resnet-50", Mode: "async",
+		Threshold: 0.01, Downscale: 1})
+
+	st, err := d.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StatePending {
+		t.Fatalf("state before first round = %s, want pending", st.State)
+	}
+
+	d.Step()
+	st, _ = d.Status(id)
+	if st.State != StateRunning {
+		t.Fatalf("state after first round = %s, want running", st.State)
+	}
+	if st.Alloc.PS < 1 || st.Alloc.Workers < 1 {
+		t.Fatalf("running job has empty allocation %+v", st.Alloc)
+	}
+	if len(st.Nodes) == 0 {
+		t.Fatal("running job reports no nodes")
+	}
+	if st.ProgressEpochs <= 0 {
+		t.Fatal("no progress after a round")
+	}
+
+	for i := 0; i < 500 && st.State != StateDone; i++ {
+		d.Step()
+		st, _ = d.Status(id)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job never converged; final state %s progress %.1f", st.State, st.ProgressEpochs)
+	}
+	if st.JCT <= 0 || st.DoneAtSim <= st.ArrivalSim {
+		t.Fatalf("bad completion accounting: %+v", st)
+	}
+	if st.Alloc.Tasks() != 0 {
+		t.Fatalf("done job still holds allocation %+v", st.Alloc)
+	}
+
+	// Online estimation state must have accumulated while running.
+	if st.SpeedConfigs < 5 {
+		t.Fatalf("speed estimator saw %d configurations, want ≥ 5 (pre-run profiling)", st.SpeedConfigs)
+	}
+}
+
+func TestLossFitSurfacesInStatus(t *testing.T) {
+	d := testDaemon(t)
+	// Slow job: plenty of rounds to accumulate loss observations.
+	id := submit(t, d, SubmitRequest{Model: "resnet-50", Mode: "async",
+		Threshold: 0.01, Downscale: 0.5})
+	var fitted bool
+	for i := 0; i < 120; i++ {
+		d.Step()
+		st, _ := d.Status(id)
+		if st.LossFit != nil {
+			if st.LossFit.Samples < 5 {
+				t.Fatalf("fit reported from %d samples", st.LossFit.Samples)
+			}
+			if st.LossFit.MaxLoss <= 0 {
+				t.Fatalf("fitted curve has MaxLoss %g", st.LossFit.MaxLoss)
+			}
+			if st.EstRemainingEpochs <= 0 && st.State == StateRunning {
+				t.Fatalf("running job with fit reports no remaining epochs: %+v", st)
+			}
+			fitted = true
+			break
+		}
+		if st.State == StateDone {
+			break
+		}
+	}
+	if !fitted {
+		t.Fatal("loss fit never surfaced in status")
+	}
+}
+
+func TestCancelReleasesResources(t *testing.T) {
+	d := testDaemon(t)
+	id := submit(t, d, SubmitRequest{Model: "resnet-50", Mode: "async",
+		Threshold: 0.01, Downscale: 1})
+	d.Step()
+	if st, _ := d.Status(id); st.State != StateRunning {
+		t.Fatalf("precondition: job not running, got %s", st.State)
+	}
+	if err := d.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Status(id)
+	if st.State != StateCancelled || st.Alloc.Tasks() != 0 {
+		t.Fatalf("after cancel: %+v", st)
+	}
+	// Cancelling again is a conflict.
+	if err := d.Cancel(id); err != ErrTerminal {
+		t.Fatalf("second cancel: %v, want ErrTerminal", err)
+	}
+	// The next round rebuilds the cluster without the job.
+	d.Step()
+	cs := d.Cluster()
+	if cs.ClusterShare != 0 {
+		t.Fatalf("cluster share %.3f after cancelling the only job", cs.ClusterShare)
+	}
+	if cs.LiveJobs != 0 {
+		t.Fatalf("live jobs %d after cancel", cs.LiveJobs)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	d, err := New(Config{Cluster: cluster.Testbed(), MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SubmitRequest{Model: "resnext-110", Mode: "async"}
+	submit(t, d, req)
+	submit(t, d, req)
+	if _, err := d.Submit(req); err != ErrFull {
+		t.Fatalf("third submit: %v, want ErrFull", err)
+	}
+	// Cancelling frees an admission slot.
+	if err := d.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(req); err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	bad := []string{
+		``,
+		`not json`,
+		`{"model":"no-such-model","mode":"async"}`,
+		`{"model":"resnext-110","mode":"batch"}`,
+		`{"model":"resnext-110","mode":"async","threshold":-1}`,
+		`{"model":"resnext-110","mode":"async","threshold":0.9}`,
+		`{"model":"resnext-110","mode":"async","downscale":1.5}`,
+		`{"model":"resnext-110","mode":"async","unknown":1}`,
+		`{"model":"resnext-110","mode":"async"}{"again":true}`,
+	}
+	for _, body := range bad {
+		if _, err := DecodeSubmit([]byte(body)); err == nil {
+			t.Errorf("DecodeSubmit(%q) accepted", body)
+		}
+	}
+	good := `{"model":"resnext-110","mode":"sync","threshold":0.05,"downscale":0.25}`
+	req, err := DecodeSubmit([]byte(good))
+	if err != nil {
+		t.Fatalf("DecodeSubmit(%q): %v", good, err)
+	}
+	if req.Model != "resnext-110" || req.Mode != "sync" {
+		t.Fatalf("decoded %+v", req)
+	}
+}
+
+func TestSchedulerEventsEmitted(t *testing.T) {
+	d := testDaemon(t)
+	_, ch, _ := d.bus.subscribe(0)
+	id := submit(t, d, SubmitRequest{Model: "resnext-110", Mode: "async",
+		Threshold: 0.02, Downscale: 1})
+	for i := 0; i < 200; i++ {
+		d.Step()
+		if st, _ := d.Status(id); st.State == StateDone {
+			break
+		}
+	}
+	var kinds []string
+drain:
+	for {
+		select {
+		case ev := <-ch:
+			kinds = append(kinds, string(ev.Type))
+		default:
+			break drain
+		}
+	}
+	joined := strings.Join(kinds, ",")
+	for _, want := range []EventType{EventSubmitted, EventPlaced, EventCompleted} {
+		if !strings.Contains(joined, string(want)) {
+			t.Errorf("event stream missing %q: %s", want, joined)
+		}
+	}
+	// Sequence numbers must be strictly increasing from 1.
+	_, _, replay := d.bus.subscribe(0)
+	for i, ev := range replay {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("replay[%d].Seq = %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestStragglerFaultEvents(t *testing.T) {
+	d, err := New(Config{Cluster: cluster.Testbed(), Seed: 3,
+		StragglerProb: 1.0}) // every running job degrades every round
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := submit(t, d, SubmitRequest{Model: "resnet-50", Mode: "async",
+		Threshold: 0.01, Downscale: 1})
+	d.Step()
+	st, _ := d.Status(id)
+	if !st.Straggling {
+		t.Fatal("job not straggling with StragglerProb=1")
+	}
+	d.Step() // Optimus replaces the straggler after one detection round
+	_, _, replay := d.bus.subscribe(0)
+	var faults, recoveries int
+	for _, ev := range replay {
+		switch ev.Type {
+		case EventFault:
+			faults++
+		case EventRecovered:
+			recoveries++
+		}
+	}
+	if faults == 0 || recoveries == 0 {
+		t.Fatalf("faults=%d recoveries=%d, want both > 0", faults, recoveries)
+	}
+}
+
+func TestEmptyRegistryTicksAdvanceClock(t *testing.T) {
+	d := testDaemon(t)
+	d.Step()
+	d.Step()
+	if got := d.Now(); got != 1200 {
+		t.Fatalf("Now() = %g after two idle rounds, want 1200", got)
+	}
+	if d.Rounds() != 2 {
+		t.Fatalf("Rounds() = %d, want 2", d.Rounds())
+	}
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+// SnapshotVersion is the format version of the daemon's state snapshot.
+const SnapshotVersion = 1
+
+// Snapshot is the daemon's durable state: everything needed to resume every
+// job with its progress, fitted model state and last allocation intact. The
+// cluster's node-level bookkeeping is deliberately absent — it is rebuilt
+// from live placements on the first scheduling round after restore, exactly
+// as it is on every ordinary round.
+type Snapshot struct {
+	Version   int           `json:"version"`
+	SavedWall time.Time     `json:"savedWall"`
+	SimTime   float64       `json:"simTime"`
+	Rounds    int           `json:"rounds"`
+	NextID    int           `json:"nextId"`
+	Rejected  int           `json:"rejected,omitempty"`
+	Cancelled int           `json:"cancelled,omitempty"`
+	Jobs      []JobSnapshot `json:"jobs"`
+}
+
+// JobSnapshot is one job's durable state. The estimators are persisted as
+// their raw observations (loss points and averaged speed samples) and
+// replayed into fresh fitters on restore, so the fitted models after
+// restore are identical to the fitted models before shutdown.
+type JobSnapshot struct {
+	ID            int               `json:"id"`
+	Model         string            `json:"model"`
+	Mode          string            `json:"mode"`
+	Threshold     float64           `json:"threshold"`
+	Downscale     float64           `json:"downscale,omitempty"`
+	ArrivalSim    float64           `json:"arrivalSim"`
+	SubmittedWall time.Time         `json:"submittedWall"`
+	State         JobState          `json:"state"`
+	Progress      float64           `json:"progressEpochs"`
+	DoneAtSim     float64           `json:"doneAtSim,omitempty"`
+	Alloc         core.Allocation   `json:"alloc"`
+	Profiled      bool              `json:"profiled,omitempty"`
+	Straggling    bool              `json:"straggling,omitempty"`
+	LossObs       [][2]float64      `json:"lossObs,omitempty"`
+	SpeedObs      []speedfit.Sample `json:"speedObs,omitempty"`
+}
+
+// WriteSnapshot serializes the daemon's state as indented JSON.
+func (d *Daemon) WriteSnapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := Snapshot{
+		Version:   SnapshotVersion,
+		SavedWall: time.Now(),
+		SimTime:   d.now,
+		Rounds:    d.rounds,
+		NextID:    d.nextID,
+		Rejected:  d.rejected,
+		Cancelled: d.cancelled,
+	}
+	for _, id := range d.order {
+		j := d.jobs[id]
+		js := JobSnapshot{
+			ID:            id,
+			Model:         j.spec.Model.Name,
+			Mode:          j.spec.Mode.String(),
+			Threshold:     j.spec.Threshold,
+			Downscale:     j.spec.Downscale,
+			ArrivalSim:    j.spec.Arrival,
+			SubmittedWall: j.submittedWall,
+			State:         j.state,
+			Progress:      j.progress,
+			DoneAtSim:     j.doneAt,
+			Alloc:         j.alloc,
+			Profiled:      j.profiled,
+			Straggling:    j.straggling,
+		}
+		for _, p := range j.lossObs {
+			js.LossObs = append(js.LossObs, [2]float64{p.K, p.Loss})
+		}
+		if j.profiled {
+			js.SpeedObs = j.speedEst.Samples()
+		}
+		snap.Jobs = append(snap.Jobs, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Restore loads a snapshot into a freshly constructed daemon. It must be
+// called before the first Step/Submit; restoring over live state is an
+// error.
+func (d *Daemon) Restore(r io.Reader) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) != 0 || d.rounds != 0 {
+		return fmt.Errorf("serve: cannot restore over live state")
+	}
+	for _, js := range snap.Jobs {
+		j, err := restoreJob(js)
+		if err != nil {
+			return err
+		}
+		d.jobs[js.ID] = j
+		d.order = append(d.order, js.ID)
+		d.rec.Arrive(js.ID, js.ArrivalSim)
+		if !j.state.terminal() {
+			d.live++
+		}
+		if j.state == StateDone {
+			d.rec.Complete(js.ID, js.DoneAtSim)
+		}
+	}
+	d.now = snap.SimTime
+	d.rounds = snap.Rounds
+	d.nextID = snap.NextID
+	d.rejected = snap.Rejected
+	d.cancelled = snap.Cancelled
+	if d.nextID <= 0 {
+		d.nextID = 1
+	}
+	return nil
+}
+
+// restoreJob rebuilds one job, replaying the persisted observations into
+// fresh estimators.
+func restoreJob(js JobSnapshot) (*job, error) {
+	model := workload.ZooByName(js.Model)
+	if model == nil {
+		return nil, fmt.Errorf("serve: snapshot job %d: unknown model %q", js.ID, js.Model)
+	}
+	var mode speedfit.Mode
+	switch js.Mode {
+	case "async":
+		mode = speedfit.Async
+	case "sync":
+		mode = speedfit.Sync
+	default:
+		return nil, fmt.Errorf("serve: snapshot job %d: bad mode %q", js.ID, js.Mode)
+	}
+	switch js.State {
+	case StatePending, StateWaiting, StateRunning, StateDone, StateCancelled:
+	default:
+		return nil, fmt.Errorf("serve: snapshot job %d: bad state %q", js.ID, js.State)
+	}
+	spec := workload.JobSpec{
+		ID: js.ID, Model: model, Mode: mode,
+		Threshold: js.Threshold, Arrival: js.ArrivalSim, Downscale: js.Downscale,
+	}
+	j := &job{
+		spec:          spec,
+		submittedWall: js.SubmittedWall,
+		state:         js.State,
+		totalEpochs:   spec.TotalEpochs(),
+		progress:      js.Progress,
+		doneAt:        js.DoneAtSim,
+		alloc:         js.Alloc,
+		profiled:      js.Profiled,
+		straggling:    js.Straggling,
+		lossFit:       lossfit.NewFitter(),
+		speedEst: speedfit.NewEstimator(mode,
+			float64(model.GlobalBatch)),
+	}
+	// A restored running job has no deployment yet: the first round after
+	// restore re-places it (a fresh "placed" event), mirroring a §5.4
+	// checkpoint restore of the whole cluster.
+	if j.state == StateRunning {
+		j.state = StateWaiting
+		j.alloc = core.Allocation{}
+	}
+	for _, p := range js.LossObs {
+		if err := j.lossFit.Add(p[0], p[1]); err == nil {
+			j.lossObs = append(j.lossObs, lossfit.Point{K: p[0], Loss: p[1]})
+		}
+	}
+	for _, s := range js.SpeedObs {
+		_ = j.speedEst.Observe(s.P, s.W, s.Speed)
+	}
+	return j, nil
+}

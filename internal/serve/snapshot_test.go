@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optimus/internal/cluster"
+)
+
+// TestSnapshotRestoreMidRun is the crash-recovery contract: kill the daemon
+// while jobs are mid-training, start a fresh daemon from the snapshot, and
+// the jobs resume with their progress, fitted loss model and speed samples
+// intact, get re-placed on the first round, and run to completion.
+func TestSnapshotRestoreMidRun(t *testing.T) {
+	d1 := testDaemon(t)
+	slow := submit(t, d1, SubmitRequest{Model: "resnet-50", Mode: "async",
+		Threshold: 0.01, Downscale: 1})
+	fast := submit(t, d1, SubmitRequest{Model: "resnext-110", Mode: "async",
+		Threshold: 0.02, Downscale: 1})
+	// Run far enough for the fast job to finish and the slow one to have a
+	// fitted loss curve.
+	for i := 0; i < 40; i++ {
+		d1.Step()
+	}
+	before, err := d1.Status(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.State != StateRunning || before.LossFit == nil {
+		t.Fatalf("precondition: slow job %+v", before)
+	}
+	fastBefore, _ := d1.Status(fast)
+	if fastBefore.State != StateDone {
+		t.Fatalf("precondition: fast job state %s", fastBefore.State)
+	}
+
+	var buf bytes.Buffer
+	if err := d1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// d1 is now "killed": everything below uses a fresh daemon and cluster.
+
+	d2, err := New(Config{Cluster: cluster.Testbed(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Now() != d1.Now() || d2.Rounds() != d1.Rounds() {
+		t.Fatalf("clock not restored: now %g/%g rounds %d/%d",
+			d2.Now(), d1.Now(), d2.Rounds(), d1.Rounds())
+	}
+
+	after, err := d2.Status(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fitted model state survives the restart byte-for-byte: same
+	// observations → same NNLS fit.
+	if after.ProgressEpochs != before.ProgressEpochs {
+		t.Fatalf("progress %.4f != %.4f", after.ProgressEpochs, before.ProgressEpochs)
+	}
+	if after.LossFit == nil {
+		t.Fatal("loss fit lost in restore")
+	}
+	if *after.LossFit != *before.LossFit {
+		t.Fatalf("loss fit drifted: %+v != %+v", *after.LossFit, *before.LossFit)
+	}
+	if after.SpeedConfigs != before.SpeedConfigs {
+		t.Fatalf("speed configs %d != %d", after.SpeedConfigs, before.SpeedConfigs)
+	}
+	if after.EstTotalEpochs != before.EstTotalEpochs {
+		t.Fatalf("estimated epochs %.2f != %.2f", after.EstTotalEpochs, before.EstTotalEpochs)
+	}
+	// Running jobs come back as waiting (no deployment yet) ...
+	if after.State != StateWaiting || after.Alloc.Tasks() != 0 {
+		t.Fatalf("restored job should await re-placement, got %+v", after)
+	}
+	// ... and the completed job keeps its completion record.
+	fastAfter, _ := d2.Status(fast)
+	if fastAfter.State != StateDone || fastAfter.JCT != fastBefore.JCT {
+		t.Fatalf("done job corrupted by restore: %+v vs %+v", fastAfter, fastBefore)
+	}
+
+	// First round after restore re-places the job with a full-size
+	// allocation and emits a fresh "placed" event.
+	_, ch, _ := d2.bus.subscribe(0)
+	d2.Step()
+	after, _ = d2.Status(slow)
+	if after.State != StateRunning || after.Alloc.Tasks() == 0 {
+		t.Fatalf("job not re-placed after restore: %+v", after)
+	}
+	var placed bool
+	for len(ch) > 0 {
+		if ev := <-ch; ev.Type == EventPlaced && ev.Job == slow {
+			placed = true
+		}
+	}
+	if !placed {
+		t.Fatal("no placed event for restored job")
+	}
+
+	// And it runs to completion on the restored daemon.
+	for i := 0; i < 500 && after.State != StateDone; i++ {
+		d2.Step()
+		after, _ = d2.Status(slow)
+	}
+	if after.State != StateDone {
+		t.Fatalf("restored job never converged: %+v", after)
+	}
+	// New submissions don't collide with restored IDs.
+	id := submit(t, d2, SubmitRequest{Model: "resnext-110", Mode: "async"})
+	if id != 3 {
+		t.Fatalf("post-restore ID = %d, want 3", id)
+	}
+}
+
+func TestRestoreRejectsLiveState(t *testing.T) {
+	d1 := testDaemon(t)
+	submit(t, d1, SubmitRequest{Model: "resnext-110", Mode: "async"})
+	var buf bytes.Buffer
+	if err := d1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	live := testDaemon(t)
+	live.Step()
+	if err := live.Restore(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "live state") {
+		t.Fatalf("restore over live state: %v", err)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"version":99,"jobs":[]}`,
+		"not json":      `nope`,
+		"unknown model": `{"version":1,"jobs":[{"id":1,"model":"no-such","mode":"async"}]}`,
+		"bad mode":      `{"version":1,"jobs":[{"id":1,"model":"resnet-50","mode":"batch"}]}`,
+		"bad state":     `{"version":1,"jobs":[{"id":1,"model":"resnet-50","mode":"async","state":"exploded"}]}`,
+	}
+	for name, body := range cases {
+		d := testDaemon(t)
+		if err := d.Restore(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: restore accepted %q", name, body)
+		}
+	}
+}

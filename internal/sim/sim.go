@@ -172,10 +172,11 @@ type jobState struct {
 	restoreDelay float64  // extra one-shot recovery delay (chaos)
 }
 
-// epochsPerSecond converts a steps/s speed into epochs/s for the job: each
+// EpochsPerSecond converts a steps/s speed into epochs/s for the job: each
 // aggregate step covers `batch` examples (m per worker-step for async, M per
-// synchronized step for sync).
-func epochsPerSecond(spec workload.JobSpec, stepsPerSec float64) float64 {
+// synchronized step for sync). Exported for the optimusd daemon, which runs
+// the same job physics live instead of in a batch replay.
+func EpochsPerSecond(spec workload.JobSpec, stepsPerSec float64) float64 {
 	m := spec.Model
 	examples := float64(m.DatasetSize)
 	if spec.Downscale > 0 && spec.Downscale <= 1 {
@@ -486,7 +487,7 @@ func Run(cfg Config) (*Result, error) {
 			if faults != nil {
 				stepsPerSec *= faults.netFactor(now)
 			}
-			rate := epochsPerSecond(js.spec, stepsPerSec)
+			rate := EpochsPerSecond(js.spec, stepsPerSec)
 			start := now + pauses[js.spec.ID]
 			if start < end && rate > 0 {
 				remaining := js.totalEpochs - js.progress
@@ -581,20 +582,7 @@ func nextArrival(states []*jobState, now, interval float64) float64 {
 // preRunProfile simulates the §3.2 sample runs on a small dataset: a handful
 // of (p,w) configurations measured with noise.
 func preRunProfile(js *jobState, cfg Config, rng *rand.Rand) {
-	plan := speedfit.SamplingPlan(cfg.PreRunSamples, 24)
-	for _, c := range plan {
-		truth := js.spec.Model.TrueSpeed(js.spec.Mode, c[0], c[1])
-		if truth <= 0 {
-			continue
-		}
-		obs := truth * (1 + cfg.SpeedNoise*rng.NormFloat64())
-		if obs <= 0 {
-			obs = truth
-		}
-		// Ignore the impossible: Observe only rejects invalid inputs, which
-		// cannot occur here by construction.
-		_ = js.speedEst.Observe(c[0], c[1], obs)
-	}
+	PreRunProfile(js.speedEst, js.spec, cfg.PreRunSamples, cfg.SpeedNoise, rng)
 }
 
 // observe feeds the running job's interval measurements to its estimators.
@@ -613,25 +601,9 @@ func observe(js *jobState, stepsPerSec float64, cfg Config, rng *rand.Rand) {
 	}
 }
 
-// approxPlacedSpeed predicts the speed of configuration (p, w) including the
-// cross-server transfer cost of spreading the job evenly over the fewest
-// servers that can host it. This is what a measured speed model would have
-// learned — the paper's fitted f(p,w) is calibrated from placed deployments,
-// not from an ideal single-switch abstraction.
+// approxPlacedSpeed is the Config-bound form of ApproxPlacedSpeed (view.go).
 func approxPlacedSpeed(cfg Config, spec workload.JobSpec, p, w int) float64 {
-	if p < 1 || w < 1 {
-		return 0
-	}
-	taskCPU := (spec.Model.WorkerRes[cluster.CPU] + spec.Model.PSRes[cluster.CPU]) / 2
-	nodeCPU := cfg.Cluster.Capacity()[cluster.CPU] / float64(cfg.Cluster.Len())
-	perNode := 1.0
-	if taskCPU > 0 {
-		perNode = math.Floor(nodeCPU / taskCPU)
-		if perNode < 1 {
-			perNode = 1
-		}
-	}
-	return spec.Model.SmoothPlacedSpeed(spec.Mode, p, w, perNode)
+	return ApproxPlacedSpeed(cfg.Cluster, spec, p, w)
 }
 
 // trueFitted builds the "perfect estimation" speed model for a job: an
@@ -717,40 +689,15 @@ func schedulerView(js *jobState, cfg Config, rng *rand.Rand, fitCache map[string
 		}
 		base := truePredictor(cfg, fitCache, spec)
 		info.Speed = func(p, w int) float64 {
-			return epochsPerSecond(spec, base(p, w)) * factor
+			return EpochsPerSecond(spec, base(p, w)) * factor
 		}
 	case cfg.UseTrueModels:
 		base := truePredictor(cfg, fitCache, spec)
 		info.Speed = func(p, w int) float64 {
-			return epochsPerSecond(spec, base(p, w))
+			return EpochsPerSecond(spec, base(p, w))
 		}
 	default:
-		// Trust the fitted model only once it is over-determined; an
-		// exactly-determined fit (5 sync samples for 5 coefficients) can be
-		// arbitrarily biased off the sampled points.
-		minSamples := 5
-		if spec.Mode == speedfit.Sync {
-			minSamples = 6
-		}
-		var model speedfit.Model
-		fitOK := false
-		if js.speedEst.Configurations() >= minSamples {
-			if m, err := js.speedEst.Fit(); err == nil {
-				model, fitOK = m, true
-			}
-		}
-		if fitOK {
-			info.Speed = func(p, w int) float64 {
-				return epochsPerSecond(spec, model.Speed(p, w))
-			}
-		} else {
-			// Not enough samples yet: fall back to a placement-aware truth
-			// with a pessimistic haircut so the job is schedulable but not
-			// favoured.
-			info.Speed = func(p, w int) float64 {
-				return epochsPerSecond(spec, approxPlacedSpeed(cfg, spec, p, w)) * 0.8
-			}
-		}
+		info.Speed = estimatedSpeed(cfg.Cluster, spec, js.speedEst)
 		// Beginning-state priority damping (§4.1).
 		if progressFrac < 0.1 {
 			info.Priority = cfg.PriorityFactor
@@ -767,14 +714,7 @@ func schedulerView(js *jobState, cfg Config, rng *rand.Rand, fitCache map[string
 // estimateEpochs runs the online loss fit and converts it to a total-epoch
 // estimate, falling back to the prior when the fit is not ready.
 func estimateEpochs(js *jobState, cfg Config) float64 {
-	if js.lossFit.Len() >= 5 {
-		if m, err := js.lossFit.Fit(); err == nil {
-			if steps, err := m.StepsToConverge(js.spec.Threshold, 1, 3); err == nil {
-				return steps
-			}
-		}
-	}
-	return cfg.PriorEpochs
+	return estimatedEpochs(js.lossFit, js.spec.Threshold, cfg.PriorEpochs)
 }
 
 // policyHandlesStragglers reports whether the policy performs §5.2 straggler

@@ -260,13 +260,13 @@ func TestEpochsPerSecond(t *testing.T) {
 		Downscale: 1,
 	}
 	// 1 step/s sync covers 512 examples/s; 60000-example epoch → 512/60000.
-	got := epochsPerSecond(spec, 1)
+	got := EpochsPerSecond(spec, 1)
 	want := 512.0 / 60000
 	if math.Abs(got-want) > 1e-12 {
 		t.Errorf("epochsPerSecond = %g, want %g", got, want)
 	}
 	spec.Mode = speedfit.Async
-	got = epochsPerSecond(spec, 1) // aggregate steps cover m=128 examples
+	got = EpochsPerSecond(spec, 1) // aggregate steps cover m=128 examples
 	want = 128.0 / 60000
 	if math.Abs(got-want) > 1e-12 {
 		t.Errorf("async epochsPerSecond = %g, want %g", got, want)

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/speedfit"
+	"optimus/internal/workload"
+)
+
+// This file is the estimation machinery shared between the batch simulator
+// and the optimusd daemon: pre-run speed profiling, the placement-aware
+// fallback speed surface, and the construction of the scheduler's JobInfo
+// from a live job's online estimators. sim.Run drives it per replayed
+// interval; serve.Daemon drives it per wall-clock tick.
+
+// ApproxPlacedSpeed predicts the speed of configuration (p, w) including the
+// cross-server transfer cost of spreading the job evenly over the fewest
+// servers that can host it. This is what a measured speed model would have
+// learned — the paper's fitted f(p,w) is calibrated from placed deployments,
+// not from an ideal single-switch abstraction.
+func ApproxPlacedSpeed(c *cluster.Cluster, spec workload.JobSpec, p, w int) float64 {
+	if p < 1 || w < 1 {
+		return 0
+	}
+	taskCPU := (spec.Model.WorkerRes[cluster.CPU] + spec.Model.PSRes[cluster.CPU]) / 2
+	nodeCPU := c.Capacity()[cluster.CPU] / float64(c.Len())
+	perNode := 1.0
+	if taskCPU > 0 {
+		perNode = math.Floor(nodeCPU / taskCPU)
+		if perNode < 1 {
+			perNode = 1
+		}
+	}
+	return spec.Model.SmoothPlacedSpeed(spec.Mode, p, w, perNode)
+}
+
+// PreRunProfile simulates the §3.2 sample runs on a small dataset: n (p, w)
+// configurations measured against the job's ground-truth physics with
+// relative observation noise, fed into the job's speed estimator.
+func PreRunProfile(est *speedfit.Estimator, spec workload.JobSpec, n int, noise float64, rng *rand.Rand) {
+	plan := speedfit.SamplingPlan(n, 24)
+	for _, c := range plan {
+		truth := spec.Model.TrueSpeed(spec.Mode, c[0], c[1])
+		if truth <= 0 {
+			continue
+		}
+		obs := truth * (1 + noise*rng.NormFloat64())
+		if obs <= 0 {
+			obs = truth
+		}
+		// Ignore the impossible: Observe only rejects invalid inputs, which
+		// cannot occur here by construction.
+		_ = est.Observe(c[0], c[1], obs)
+	}
+}
+
+// estimatedEpochs runs the online loss fit and converts it to a total-epoch
+// estimate, falling back to the prior when the fit is not ready.
+func estimatedEpochs(fit *lossfit.Fitter, threshold, priorEpochs float64) float64 {
+	if fit.Len() >= 5 {
+		if m, err := fit.Fit(); err == nil {
+			if steps, err := m.StepsToConverge(threshold, 1, 3); err == nil {
+				return steps
+			}
+		}
+	}
+	return priorEpochs
+}
+
+// estimatedSpeed returns the scheduler's epochs/s predictor for a live job:
+// the fitted §3.2 model once it is over-determined, otherwise a pessimistic
+// placement-aware fallback so the job stays schedulable but unfavoured.
+func estimatedSpeed(c *cluster.Cluster, spec workload.JobSpec, est *speedfit.Estimator) func(p, w int) float64 {
+	// Trust the fitted model only once it is over-determined; an
+	// exactly-determined fit (5 sync samples for 5 coefficients) can be
+	// arbitrarily biased off the sampled points.
+	minSamples := 5
+	if spec.Mode == speedfit.Sync {
+		minSamples = 6
+	}
+	if est.Configurations() >= minSamples {
+		if m, err := est.Fit(); err == nil {
+			return func(p, w int) float64 {
+				return EpochsPerSecond(spec, m.Speed(p, w))
+			}
+		}
+	}
+	return func(p, w int) float64 {
+		return EpochsPerSecond(spec, ApproxPlacedSpeed(c, spec, p, w)) * 0.8
+	}
+}
+
+// EstimatedView builds the scheduler's JobInfo for one live job from its
+// online estimators — the default (estimation-driven) path of the
+// simulator's schedulerView, shared with the optimusd daemon. progress is
+// the job's completed epochs; priorEpochs and priorityFactor mirror the
+// same-named Config fields. The returned Speed closure is memoized and must
+// be rebuilt each scheduling interval.
+func EstimatedView(c *cluster.Cluster, spec workload.JobSpec, progress float64,
+	fit *lossfit.Fitter, est *speedfit.Estimator,
+	priorEpochs, priorityFactor float64) *core.JobInfo {
+
+	info := &core.JobInfo{
+		ID:        spec.ID,
+		WorkerRes: spec.Model.WorkerRes,
+		PSRes:     spec.Model.PSRes,
+	}
+	if spec.Mode == speedfit.Sync {
+		info.MaxWorkers = spec.Model.GlobalBatch // m = M/w must stay ≥ 1
+	}
+	totalEst := estimatedEpochs(fit, spec.Threshold, priorEpochs)
+	remaining := totalEst - progress
+	if remaining < 0.1 {
+		remaining = 0.1
+	}
+	info.RemainingWork = remaining
+	info.Speed = estimatedSpeed(c, spec, est)
+	// Beginning-state priority damping (§4.1).
+	if totalEst > 0 && progress/totalEst < 0.1 {
+		info.Priority = priorityFactor
+	}
+	info.Speed = core.MemoizeSpeed(info.Speed)
+	return info
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the optimusd daemon: boot on a random port,
+# submit a job over HTTP, poll it to a running allocation, take a graceful
+# shutdown snapshot, restart with -restore, and verify the job survived.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'kill $pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/optimusd" ./cmd/optimusd
+go build -o "$workdir/optimusd-load" ./cmd/optimusd-load
+
+"$workdir/optimusd" -addr 127.0.0.1:0 -portfile "$workdir/port" \
+    -tick 100ms -snapshot "$workdir/state.json" >"$workdir/d1.log" 2>&1 &
+pid=$!
+
+for i in $(seq 1 50); do
+    [ -s "$workdir/port" ] && break
+    sleep 0.1
+done
+addr=$(cat "$workdir/port")
+echo "daemon on $addr"
+
+code=$(curl -s -o "$workdir/submit.json" -w '%{http_code}' \
+    -X POST "http://$addr/v1/jobs" \
+    -d '{"model":"resnet-50","mode":"async","threshold":0.01}')
+[ "$code" = 201 ] || { echo "submit returned $code"; cat "$workdir/submit.json"; exit 1; }
+grep -q '"id":1' "$workdir/submit.json" || { echo "no job id in response"; exit 1; }
+
+# Poll until the scheduler places the job.
+for i in $(seq 1 50); do
+    curl -s "http://$addr/v1/jobs/1" >"$workdir/status.json"
+    grep -q '"state":"running"' "$workdir/status.json" && break
+    sleep 0.1
+done
+grep -q '"state":"running"' "$workdir/status.json" || {
+    echo "job never ran:"; cat "$workdir/status.json"; exit 1; }
+grep -q '"workers":' "$workdir/status.json" || { echo "no allocation"; exit 1; }
+
+curl -s "http://$addr/metrics" | grep -q '^optimus_jobs_arrived_total 1' ||
+    { echo "metrics missing arrival counter"; exit 1; }
+# The SSE stream never terminates on its own; let curl time out after the
+# ring replay and inspect what it captured.
+curl -s --max-time 2 "http://$addr/v1/events?since=0" >"$workdir/events.txt" || true
+grep -q 'event: placed' "$workdir/events.txt" ||
+    { echo "event stream missing placed event"; cat "$workdir/events.txt"; exit 1; }
+
+"$workdir/optimusd-load" -url "http://$addr" -n 200 -c 32
+
+# Graceful shutdown writes the snapshot.
+kill -TERM $pid
+wait $pid
+[ -s "$workdir/state.json" ] || { echo "no snapshot written"; exit 1; }
+
+# Restart from the snapshot: the job must come back with its progress.
+"$workdir/optimusd" -addr 127.0.0.1:0 -portfile "$workdir/port2" \
+    -tick 100ms -snapshot "$workdir/state.json" -restore >"$workdir/d2.log" 2>&1 &
+pid=$!
+for i in $(seq 1 50); do
+    [ -s "$workdir/port2" ] && break
+    sleep 0.1
+done
+addr2=$(cat "$workdir/port2")
+curl -s "http://$addr2/v1/jobs/1" >"$workdir/restored.json"
+grep -Eq '"state":"(running|waiting|done)"' "$workdir/restored.json" ||
+    { echo "job lost in restore:"; cat "$workdir/restored.json"; exit 1; }
+grep -q '"progressEpochs":0,' "$workdir/restored.json" &&
+    { echo "restored job lost its progress:"; cat "$workdir/restored.json"; exit 1; }
+kill -TERM $pid
+wait $pid
+
+echo "optimusd smoke OK"
