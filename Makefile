@@ -18,7 +18,7 @@ test:
 # internal/experiments runs its parallel worker pool under the detector;
 # internal/serve includes the 1000-submission daemon load test.
 race:
-	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/ ./internal/serve/
+	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/ ./internal/serve/ ./internal/obs/
 
 # Micro-benchmarks of the core algorithms, recorded as the repo's perf
 # trajectory: BENCH_1.json is the first point; bump N for later snapshots
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadJobs -fuzztime 15s ./internal/trace/
 	$(GO) test -fuzz FuzzParseSchedule -fuzztime 15s ./internal/chaos/
 	$(GO) test -fuzz FuzzDecodeSubmit -fuzztime 15s ./internal/serve/
+	$(GO) test -fuzz FuzzChromeTrace -fuzztime 15s ./internal/obs/
 
 # Run the online scheduler daemon on the paper testbed (600x scaled time).
 serve:

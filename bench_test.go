@@ -21,8 +21,10 @@ import (
 	"optimus/internal/experiments"
 	"optimus/internal/lossfit"
 	"optimus/internal/nnls"
+	"optimus/internal/obs"
 	"optimus/internal/psassign"
 	"optimus/internal/psys"
+	"optimus/internal/sim"
 	"optimus/internal/speedfit"
 	"optimus/internal/workload"
 )
@@ -223,6 +225,47 @@ func BenchmarkNNLS(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracedInterval runs the same full simulation with the internal/obs
+// layer off and on; the ns/op delta between the subbenchmarks is the whole
+// cost of span recording, grant auditing and latency histograms (budgeted at
+// <5% in DESIGN.md §13). One op is an entire multi-interval run, so the
+// measurement covers every traced code path, not a microbenchmark of one.
+func BenchmarkTracedInterval(b *testing.B) {
+	jobs := workload.Generate(workload.GenConfig{
+		N: 9, Horizon: 8000, Seed: 101,
+		Downscale: 0.03, Arrivals: workload.UniformArrivals,
+	})
+	// The sinks live across iterations exactly as in a daemon, whose rings
+	// wrap in place for the life of the process; constructing (or zeroing)
+	// multi-megabyte rings per run would measure setup, not tracing.
+	tr := obs.NewTracer(obs.DefaultSpanBuffer)
+	au := obs.NewAuditLog(obs.DefaultAuditBuffer)
+	run := func(b *testing.B, traced bool) {
+		for i := 0; i < b.N; i++ {
+			cfg := sim.Config{
+				Cluster:        cluster.Testbed(),
+				Jobs:           jobs,
+				Policy:         sim.OptimusPolicy(),
+				Interval:       600,
+				Seed:           1,
+				PreRunSamples:  6,
+				SpeedNoise:     0.03,
+				LossNoise:      0.01,
+				PriorityFactor: 0.95,
+			}
+			if traced {
+				cfg.Trace = tr
+				cfg.Audit = au
+			}
+			if _, err := sim.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkPAA measures the §5.3 parameter-assignment algorithm on

@@ -10,6 +10,12 @@
 // and allocs/op deltas, the review artifact for performance PRs:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_2.json -diff BENCH_1.json
+//
+// -warn-over N prints a WARNING line for every diffed benchmark whose ns/op
+// regressed by more than N percent (optionally restricted to names matching
+// -warn-match). Warnings never change the exit status — they are a review
+// signal for CI logs, not a gate; micro-benchmarks on shared runners are too
+// noisy to fail a build on.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -44,7 +51,18 @@ type Record struct {
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout only)")
 	diff := flag.String("diff", "", "previous record to print ns/op and allocs/op deltas against")
+	warnOver := flag.Float64("warn-over", 0, "with -diff: print WARNING lines for ns/op regressions above this percent (0 disables)")
+	warnMatch := flag.String("warn-match", "", "with -warn-over: regexp limiting which benchmarks are checked (default all)")
 	flag.Parse()
+	var warnRe *regexp.Regexp
+	if *warnMatch != "" {
+		re, err := regexp.Compile(*warnMatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -warn-match:", err)
+			os.Exit(1)
+		}
+		warnRe = re
+	}
 
 	var rec Record
 	sc := bufio.NewScanner(os.Stdin)
@@ -91,7 +109,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rec.Benchmarks), *out)
 	}
 	if *diff != "" {
-		if err := printDiff(*diff, rec); err != nil {
+		if err := printDiff(*diff, rec, *warnOver, warnRe); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -100,8 +118,10 @@ func main() {
 
 // printDiff compares the freshly parsed record against a previous JSON file,
 // matching benchmarks by name. New or vanished benchmarks are flagged rather
-// than silently dropped.
-func printDiff(oldPath string, rec Record) error {
+// than silently dropped. With warnOver > 0, benchmarks (filtered by warnRe
+// when non-nil) whose ns/op regressed beyond that percentage get a WARNING
+// line; warnings never affect the exit status.
+func printDiff(oldPath string, rec Record, warnOver float64, warnRe *regexp.Regexp) error {
 	raw, err := os.ReadFile(oldPath)
 	if err != nil {
 		return err
@@ -127,6 +147,12 @@ func printDiff(oldPath string, rec Record) error {
 		fmt.Printf("%-36s %14.0f %11s %14.0f %11s\n",
 			e.Name, e.NsPerOp, pctDelta(o.NsPerOp, e.NsPerOp),
 			e.AllocsPerOp, pctDelta(o.AllocsPerOp, e.AllocsPerOp))
+		if warnOver > 0 && o.NsPerOp > 0 && (warnRe == nil || warnRe.MatchString(e.Name)) {
+			if pct := 100 * (e.NsPerOp - o.NsPerOp) / o.NsPerOp; pct > warnOver {
+				fmt.Printf("WARNING: %s ns/op regressed %+.1f%% vs %s (budget %g%%)\n",
+					e.Name, pct, oldPath, warnOver)
+			}
+		}
 	}
 	for _, o := range old.Benchmarks {
 		if !seen[o.Name] {

@@ -1,0 +1,41 @@
+// Command jsonok asserts that stdin is well-formed, non-empty JSON: it must
+// parse, and a top-level object or array must have at least one member. Exit
+// status 0 on success, 1 (with the reason on stderr) otherwise. Shell test
+// scripts (scripts/smoke_optimusd.sh) pipe API responses through it instead
+// of grepping for brace fragments.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fail("reading stdin: %v", err)
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		fail("invalid JSON: %v", err)
+	}
+	switch t := v.(type) {
+	case nil:
+		fail("JSON is null")
+	case map[string]any:
+		if len(t) == 0 {
+			fail("JSON object is empty")
+		}
+	case []any:
+		if len(t) == 0 {
+			fail("JSON array is empty")
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jsonok: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,11 +2,18 @@
 //
 // Usage:
 //
-//	optimus-trace gen    -n 30 -arrivals poisson -o trace.csv
-//	optimus-trace info   trace.csv
-//	optimus-trace run    trace.csv -policy optimus -timeline tl.csv -jcts jcts.csv
-//	optimus-trace faults -trace trace.csv -mtbf 50000 -o faults.txt
-//	optimus-trace run    trace.csv -faults faults.txt
+//	optimus-trace gen     -n 30 -arrivals poisson -o trace.csv
+//	optimus-trace info    trace.csv
+//	optimus-trace run     trace.csv -policy optimus -timeline tl.csv -jcts jcts.csv
+//	optimus-trace faults  -trace trace.csv -mtbf 50000 -o faults.txt
+//	optimus-trace run     trace.csv -faults faults.txt
+//	optimus-trace spans   trace.csv -o spans.json
+//	optimus-trace explain trace.csv -job 3
+//
+// `spans` replays a trace with scheduler tracing on and emits the span tree
+// as Chrome trace-event JSON (load in Perfetto); `explain` renders one job's
+// full decision audit — every marginal-gain grant and placement. Both run on
+// a built-in demo workload when FILE is omitted (see internal/obs).
 //
 // Traces are plain CSV (see internal/trace), so a run is fully replayable
 // and its outputs feed standard plotting tools. Fault schedules are plain
@@ -43,6 +50,10 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "faults":
 		cmdFaults(os.Args[2:])
+	case "spans":
+		cmdSpans(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
 	default:
 		usage()
 	}
@@ -53,7 +64,9 @@ func usage() {
   optimus-trace gen    [-n N] [-horizon S] [-seed N] [-downscale F] [-arrivals uniform|poisson|google] -o FILE
   optimus-trace info   FILE
   optimus-trace run    FILE [-policy optimus|drf|tetris] [-seed N] [-faults FILE] [-timeline FILE] [-jcts FILE]
-  optimus-trace faults [-trace FILE] [-seed N] [-horizon S] [-mtbf S] [-kill-rate R] [-straggler-rate R] -o FILE`)
+  optimus-trace faults [-trace FILE] [-seed N] [-horizon S] [-mtbf S] [-kill-rate R] [-straggler-rate R] -o FILE
+  optimus-trace spans   [FILE] [-policy optimus|drf|tetris] [-seed N] [-o FILE]
+  optimus-trace explain [FILE] -job N [-policy optimus|drf|tetris] [-seed N]`)
 	os.Exit(2)
 }
 
@@ -163,17 +176,7 @@ func cmdRun(args []string) {
 		}
 		faults = &sched
 	}
-	var policy sim.Policy
-	switch *policyName {
-	case "optimus":
-		policy = sim.OptimusPolicy()
-	case "drf":
-		policy = sim.DRFPolicy()
-	case "tetris":
-		policy = sim.TetrisPolicy()
-	default:
-		log.Fatalf("unknown policy %q", *policyName)
-	}
+	policy := policyByName(*policyName)
 	jobs := loadJobs(path)
 	res, err := sim.Run(sim.Config{
 		Cluster:           cluster.Testbed(),

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"optimus/internal/cluster"
+	"optimus/internal/obs"
+	"optimus/internal/sim"
+	"optimus/internal/workload"
+)
+
+// policyByName resolves a -policy flag value.
+func policyByName(name string) sim.Policy {
+	switch name {
+	case "optimus":
+		return sim.OptimusPolicy()
+	case "drf":
+		return sim.DRFPolicy()
+	case "tetris":
+		return sim.TetrisPolicy()
+	default:
+		log.Fatalf("unknown policy %q", name)
+		panic("unreachable")
+	}
+}
+
+// tracedSim runs one simulation with tracing and auditing attached. An empty
+// path runs the built-in demo mix (a Fig-11-style downscaled workload), so
+// `optimus-trace spans` works with no arguments.
+func tracedSim(path, policyName string, seed int64) (*obs.Tracer, *obs.AuditLog, *sim.Result) {
+	var jobs []workload.JobSpec
+	if path != "" {
+		jobs = loadJobs(path)
+	} else {
+		jobs = workload.Generate(workload.GenConfig{
+			N: 9, Horizon: 8000, Seed: seed + 100,
+			Downscale: 0.03, Arrivals: workload.UniformArrivals,
+		})
+	}
+	tr := obs.NewTracer(obs.DefaultSpanBuffer)
+	au := obs.NewAuditLog(obs.DefaultAuditBuffer)
+	res, err := sim.Run(sim.Config{
+		Cluster:           cluster.Testbed(),
+		Jobs:              jobs,
+		Policy:            policyByName(policyName),
+		Interval:          600,
+		Seed:              seed,
+		PreRunSamples:     6,
+		SpeedNoise:        0.03,
+		LossNoise:         0.01,
+		PriorityFactor:    0.95,
+		ScalingBase:       12,
+		ScalingPerTask:    0.3,
+		ReconfigThreshold: 0.15,
+		Trace:             tr,
+		Audit:             au,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr, au, res
+}
+
+// splitFileArg peels an optional leading FILE operand off a subcommand's
+// argument list (flags always start with '-').
+func splitFileArg(args []string) (string, []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+// cmdSpans replays a trace under full tracing and writes the span tree as
+// Chrome trace-event JSON — load it at https://ui.perfetto.dev or in
+// chrome://tracing. The run summary and hot-path latency digests go to
+// stderr so stdout stays pipeable.
+func cmdSpans(args []string) {
+	file, rest := splitFileArg(args)
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	policyName := fs.String("policy", "optimus", "scheduler: optimus|drf|tetris")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(rest); err != nil {
+		log.Fatal(err)
+	}
+	tr, _, res := tracedSim(file, *policyName, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	spans := tr.Spans()
+	if err := obs.WriteChromeTrace(w, spans); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d spans over %d intervals (%s)", len(spans), res.Intervals, res.Summary)
+	log.Printf("interval %s", res.Metrics.IntervalDuration().Summary())
+	log.Printf("refit    %s", res.Metrics.RefitDuration().Summary())
+	log.Printf("allocate %s", res.Metrics.AllocateDuration().Summary())
+	log.Printf("place    %s", res.Metrics.PlaceDuration().Summary())
+	if *out != "" {
+		log.Printf("trace → %s", *out)
+	}
+}
+
+// cmdExplain replays a trace under auditing and renders one job's complete
+// decision history: every §4.1 marginal-gain grant (with the gain, dominant
+// share, priority and heap depth behind it) and every §4.2 placement.
+func cmdExplain(args []string) {
+	file, rest := splitFileArg(args)
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	jobID := fs.Int("job", -1, "job ID to explain (required)")
+	policyName := fs.String("policy", "optimus", "scheduler: optimus|drf|tetris")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(rest); err != nil {
+		log.Fatal(err)
+	}
+	if *jobID < 0 {
+		log.Fatal("explain needs -job N")
+	}
+	_, au, res := tracedSim(file, *policyName, *seed)
+
+	grants := au.Grants(*jobID)
+	places := au.Places(*jobID)
+	if len(grants) == 0 && len(places) == 0 {
+		log.Fatalf("no decisions recorded for job %d (unknown job, or audit ring wrapped; ran %d intervals)",
+			*jobID, res.Intervals)
+	}
+	if jct, ok := res.JCTs[*jobID]; ok {
+		fmt.Printf("job %d: completed, jct=%.0fs\n", *jobID, jct)
+	} else {
+		fmt.Printf("job %d: did not complete in %d intervals\n", *jobID, res.Intervals)
+	}
+	fmt.Printf("\n%d grants:\n", len(grants))
+	fmt.Printf("%6s %9s %-7s %12s %9s %5s %5s %7s\n",
+		"round", "time", "kind", "gain", "domshare", "prio", "heap", "ps/w")
+	for _, g := range grants {
+		fmt.Printf("%6d %8.0fs %-7s %12.4g %9.4f %5.2f %5d %3d/%-3d\n",
+			g.Round, g.Time, g.Kind, g.Gain, g.DominantShare, g.Priority,
+			g.HeapDepth, g.PS, g.Workers)
+	}
+	fmt.Printf("\n%d placements:\n", len(places))
+	fmt.Printf("%6s %9s %7s %7s %6s %5s  %s\n",
+		"round", "time", "ps/w", "servers", "spread", "even", "nodes")
+	for _, p := range places {
+		fmt.Printf("%6d %8.0fs %3d/%-3d %7d %6d %5v  %s\n",
+			p.Round, p.Time, p.PS, p.Workers, p.Servers, p.Spread, p.Even,
+			strings.Join(p.Nodes, ","))
+	}
+}

@@ -8,6 +8,14 @@
 //	optimusd -addr :8080                         # paper testbed cluster
 //	optimusd -nodes 20 -interval 600 -tick 1s    # 20 uniform nodes, 600x time
 //	optimusd -snapshot state.json -restore       # resume a previous run
+//	optimusd -trace=false                        # disable decision tracing
+//	optimusd -pprof-addr localhost:6060          # expose net/http/pprof
+//
+// Tracing (-trace, on by default) records per-round scheduler spans and the
+// per-job decision audit, served at GET /v1/trace (Chrome trace-event JSON)
+// and GET /v1/jobs/{id}/explain. Profiling (-pprof-addr, off by default)
+// starts a second listener serving only the pprof handlers, so profiles
+// never share a port with the public API.
 //
 // A graceful shutdown (SIGINT/SIGTERM) drains in-flight requests and, when
 // -snapshot is set, writes the full job state so a later -restore resumes
@@ -22,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,44 +58,64 @@ func main() {
 		speedNoise    = flag.Float64("speed-noise", 0.03, "relative speed observation noise")
 		lossNoise     = flag.Float64("loss-noise", 0.03, "relative loss observation noise")
 		scalingBase   = flag.Float64("scaling-base", 0, "fixed scaling pause in simulated seconds (§5.4)")
+
+		traceOn     = flag.Bool("trace", true, "record scheduler spans and the decision audit (GET /v1/trace, /v1/jobs/{id}/explain)")
+		traceBuffer = flag.Int("trace-buffer", 0, "span ring size (0 uses the obs package default)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *portfile, *nodes, *interval, *tick, *seed, *maxJobs,
-		*snapshot, *restore, *stragglerProb, *speedNoise, *lossNoise, *scalingBase); err != nil {
+	opts := options{
+		addr: *addr, portfile: *portfile, snapshot: *snapshot, restore: *restore,
+		pprofAddr: *pprofAddr,
+		nodes:     *nodes,
+		cfg: serve.Config{
+			Interval:      *interval,
+			Tick:          *tick,
+			Seed:          *seed,
+			MaxJobs:       *maxJobs,
+			StragglerProb: *stragglerProb,
+			SpeedNoise:    *speedNoise,
+			LossNoise:     *lossNoise,
+			ScalingBase:   *scalingBase,
+			Trace:         *traceOn,
+			TraceBuffer:   *traceBuffer,
+		},
+	}
+	if err := run(opts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, portfile string, nodes int, interval float64, tick time.Duration,
-	seed int64, maxJobs int, snapshot string, restore bool,
-	stragglerProb, speedNoise, lossNoise, scalingBase float64) error {
+// options is everything main parses from flags: the daemon Config plus the
+// process-level concerns (listeners, snapshot files) that wrap it.
+type options struct {
+	addr, portfile string
+	snapshot       string
+	restore        bool
+	pprofAddr      string
+	nodes          int
+	cfg            serve.Config
+}
 
+func run(opts options) error {
 	var c *cluster.Cluster
-	if nodes > 0 {
-		c = cluster.Uniform(nodes, cluster.Resources{
+	if opts.nodes > 0 {
+		c = cluster.Uniform(opts.nodes, cluster.Resources{
 			cluster.CPU: 32, cluster.Memory: 128,
 			cluster.GPU: 4, cluster.Bandwidth: 10,
 		})
 	} else {
 		c = cluster.Testbed()
 	}
+	opts.cfg.Cluster = c
 
-	d, err := serve.New(serve.Config{
-		Cluster:       c,
-		Interval:      interval,
-		Tick:          tick,
-		Seed:          seed,
-		MaxJobs:       maxJobs,
-		StragglerProb: stragglerProb,
-		SpeedNoise:    speedNoise,
-		LossNoise:     lossNoise,
-		ScalingBase:   scalingBase,
-	})
+	d, err := serve.New(opts.cfg)
 	if err != nil {
 		return err
 	}
 
-	if restore {
+	snapshot := opts.snapshot
+	if opts.restore {
 		if snapshot == "" {
 			return errors.New("-restore requires -snapshot")
 		}
@@ -103,18 +132,41 @@ func run(addr, portfile string, nodes int, interval float64, tick time.Duration,
 			snapshot, d.Now(), d.Rounds())
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
-	if portfile != "" {
-		if err := os.WriteFile(portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+	if opts.portfile != "" {
+		if err := os.WriteFile(opts.portfile, []byte(ln.Addr().String()), 0o644); err != nil {
 			ln.Close()
 			return fmt.Errorf("writing portfile: %w", err)
 		}
 	}
 	log.Printf("listening on %s (%d nodes, interval %gs, tick %s)",
-		ln.Addr(), c.Len(), interval, tick)
+		ln.Addr(), c.Len(), opts.cfg.Interval, opts.cfg.Tick)
+
+	if opts.pprofAddr != "" {
+		pln, err := net.Listen("tcp", opts.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		// An explicit mux rather than http.DefaultServeMux: the profiling
+		// listener serves pprof and nothing else.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		defer pln.Close()
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"optimus/internal/cluster"
+	"optimus/internal/obs"
+	"optimus/internal/speedfit"
+)
+
+// TestAllocateAuditTrail checks the §4.1 decision audit log: every job gets
+// one seed grant, every extra task one worker/ps grant whose running totals
+// reconstruct the final allocation exactly.
+func TestAllocateAuditTrail(t *testing.T) {
+	jobs := []*JobInfo{
+		jobFromModel(0, "resnet-50", speedfit.Sync, 1e6),
+		jobFromModel(1, "cnn-rand", speedfit.Async, 1e5),
+	}
+	st := NewAllocState()
+	st.Audit = obs.NewAuditLog(256)
+	st.Trace = obs.NewTracer(16)
+	alloc := st.Allocate(jobs, capFor(30))
+
+	for _, j := range jobs {
+		evs := st.Audit.Grants(j.ID)
+		if len(evs) == 0 {
+			t.Fatalf("job %d: no grant events", j.ID)
+		}
+		if evs[0].Kind != obs.GrantSeed {
+			t.Errorf("job %d: first event %q, want seed", j.ID, evs[0].Kind)
+		}
+		last := evs[len(evs)-1]
+		if got := alloc[j.ID]; last.PS != got.PS || last.Workers != got.Workers {
+			t.Errorf("job %d: audit ends at %d/%d, allocation is %+v",
+				j.ID, last.PS, last.Workers, got)
+		}
+		for i, ev := range evs {
+			if ev.DominantShare <= 0 {
+				t.Errorf("job %d event %d: dominant share %g", j.ID, i, ev.DominantShare)
+			}
+			if ev.Priority != 1 {
+				t.Errorf("job %d event %d: priority %g, want 1", j.ID, i, ev.Priority)
+			}
+			if i == 0 {
+				continue
+			}
+			if ev.Kind != obs.GrantWorker && ev.Kind != obs.GrantPS {
+				t.Errorf("job %d event %d: kind %q", j.ID, i, ev.Kind)
+			}
+			if ev.Gain <= 0 {
+				t.Errorf("job %d event %d: non-positive gain %g granted", j.ID, i, ev.Gain)
+			}
+			grew := ev.PS == evs[i-1].PS && ev.Workers == evs[i-1].Workers+1 ||
+				ev.Workers == evs[i-1].Workers && ev.PS == evs[i-1].PS+1
+			if !grew {
+				t.Errorf("job %d event %d: totals %d/%d do not extend %d/%d by one task",
+					j.ID, i, ev.PS, ev.Workers, evs[i-1].PS, evs[i-1].Workers)
+			}
+		}
+	}
+
+	spans := st.Trace.Spans()
+	if len(spans) != 1 || spans[0].Name != "alloc-kernel" {
+		t.Errorf("spans = %+v, want one alloc-kernel", spans)
+	}
+}
+
+// TestPlaceAuditTrail checks the §4.2 placement audit: one PlaceEvent per
+// committed job carrying server count, spread, and the Theorem-1 flag.
+func TestPlaceAuditTrail(t *testing.T) {
+	c := cluster.Uniform(4, capFor(3))
+	st := NewPlaceState()
+	st.Audit = obs.NewAuditLog(64)
+	st.Trace = obs.NewTracer(16)
+	pls, unplaced := st.Place([]PlacementRequest{placeReq(0, 2, 4)}, c)
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced: %v", unplaced)
+	}
+	evs := st.Audit.Places(0)
+	if len(evs) != 1 {
+		t.Fatalf("place events = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.PS != 2 || ev.Workers != 4 {
+		t.Errorf("event totals %d/%d, want 2/4", ev.PS, ev.Workers)
+	}
+	if ev.Servers != pls[0].Servers() {
+		t.Errorf("event servers %d, placement used %d", ev.Servers, pls[0].Servers())
+	}
+	if !ev.Even {
+		t.Error("even split not flagged")
+	}
+	if ev.Spread != 0 {
+		t.Errorf("spread %d on a perfectly even split", ev.Spread)
+	}
+	if len(ev.Nodes) != len(pls[0].NodeIDs) {
+		t.Errorf("event nodes %v vs placement %v", ev.Nodes, pls[0].NodeIDs)
+	}
+	if sp := st.Trace.Spans(); len(sp) != 1 || sp[0].Name != "place-kernel" {
+		t.Errorf("spans = %+v, want one place-kernel", sp)
+	}
+}
+
+// TestPlacementSpread pins the audit evenness metric.
+func TestPlacementSpread(t *testing.T) {
+	if got := placementSpread(Placement{}); got != 0 {
+		t.Errorf("empty spread = %d", got)
+	}
+	pl := Placement{
+		NodeIDs:       []string{"a", "b", "c"},
+		PSOnNode:      []int{1, 0, 0},
+		WorkersOnNode: []int{3, 2, 1},
+	}
+	if got := placementSpread(pl); got != 3 {
+		t.Errorf("spread = %d, want 3 (max 4 − min 1)", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"optimus/internal/cluster"
+	"optimus/internal/obs"
 )
 
 // PlacementRequest asks the placer to deploy a job's granted allocation.
@@ -56,6 +57,13 @@ func (r PlacementRequest) demand() cluster.Resources {
 // each request sees exactly the ordering a full re-sort would produce at a
 // fraction of the cost.
 type PlaceState struct {
+	// Trace, when non-nil and enabled, receives one "place-kernel" span per
+	// Place call. Audit, when non-nil and enabled, receives one PlaceEvent
+	// per committed placement — the §4.2 decision audit log. Both default to
+	// nil; the disabled path performs no extra work.
+	Trace *obs.Tracer
+	Audit *obs.AuditLog
+
 	ordered []PlacementRequest
 	index   []*cluster.Node // sorted: available CPU desc, node ID asc
 	merged  []*cluster.Node // merge scratch, swapped with index after resift
@@ -92,6 +100,8 @@ func nodeLess(a, b *cluster.Node) bool {
 // The returned map, Placements, and unplaced slice are caller-owned; only
 // the state's internal scratch is reused between calls.
 func (st *PlaceState) Place(reqs []PlacementRequest, c *cluster.Cluster) (map[int]Placement, []int) {
+	sp := st.Trace.Begin("place-kernel")
+	defer st.Trace.End(sp)
 	placements := make(map[int]Placement, len(reqs))
 	var unplaced []int
 
@@ -120,7 +130,7 @@ func (st *PlaceState) Place(reqs []PlacementRequest, c *cluster.Cluster) (map[in
 			unplaced = append(unplaced, req.JobID)
 			continue
 		}
-		pl, ok := st.placeOne(req)
+		pl, even, ok := st.placeOne(req)
 		if !ok {
 			unplaced = append(unplaced, req.JobID)
 			continue
@@ -129,6 +139,16 @@ func (st *PlaceState) Place(reqs []PlacementRequest, c *cluster.Cluster) (map[in
 		// ordering for the nodes whose availability just changed.
 		commitPlacement(req, pl, c)
 		placements[req.JobID] = pl
+		if st.Audit.Enabled() {
+			st.Audit.Place(obs.PlaceEvent{
+				Job: req.JobID,
+				PS:  req.Alloc.PS, Workers: req.Alloc.Workers,
+				Servers: pl.Servers(),
+				Spread:  placementSpread(pl),
+				Even:    even,
+				Nodes:   append([]string(nil), pl.NodeIDs...),
+			})
+		}
 		clear(st.touched)
 		for _, id := range pl.NodeIDs {
 			st.touched[id] = struct{}{}
@@ -183,13 +203,35 @@ func (st *PlaceState) resift() {
 	st.index = merged
 }
 
+// placementSpread is the audit evenness metric: the difference between the
+// most- and least-loaded servers of the placement, counting both task kinds.
+// A Theorem-1 even split has spread ≤ 1 per task kind, so ≤ 2 total; large
+// values flag fragmented greedy placements.
+func placementSpread(pl Placement) int {
+	if len(pl.NodeIDs) == 0 {
+		return 0
+	}
+	min, max := -1, 0
+	for i := range pl.NodeIDs {
+		t := pl.PSOnNode[i] + pl.WorkersOnNode[i]
+		if t > max {
+			max = t
+		}
+		if min < 0 || t < min {
+			min = t
+		}
+	}
+	return max - min
+}
+
 // placeOne finds the smallest k such that the first k index nodes fit an
 // even split of the job. When no exact even split exists on any prefix
 // (per-node capacities may be too uneven), it falls back to a greedy
 // placement that keeps per-node counts as balanced as the capacities allow —
 // preserving Theorem 1's spirit while guaranteeing progress whenever the job
-// fits at all.
-func (st *PlaceState) placeOne(req PlacementRequest) (Placement, bool) {
+// fits at all. The second result reports whether the Theorem-1 even-split
+// path produced the placement (audit evenness flag).
+func (st *PlaceState) placeOne(req PlacementRequest) (Placement, bool, bool) {
 	p, w := req.Alloc.PS, req.Alloc.Workers
 	nodes := st.index
 	// Searching every prefix is O(N²) per job on a full cluster. Beyond
@@ -204,7 +246,7 @@ func (st *PlaceState) placeOne(req PlacementRequest) (Placement, bool) {
 	}
 	for k := 1; k <= bound; k++ {
 		if evenSplitFits(req, nodes[:k], p, w) {
-			return buildEvenSplit(nodes[:k], p, w), true
+			return buildEvenSplit(nodes[:k], p, w), true, true
 		}
 	}
 	top := nodes
@@ -212,14 +254,15 @@ func (st *PlaceState) placeOne(req PlacementRequest) (Placement, bool) {
 		top = top[:maxK]
 	}
 	if pl, ok := st.greedyBalanced(req, top, p, w); ok {
-		return pl, true
+		return pl, false, true
 	}
 	if len(top) < len(nodes) {
 		// The top-K slice may just have been unlucky with fragmentation; try
 		// the complete ordering before pausing the job.
-		return st.greedyBalanced(req, nodes, p, w)
+		pl, ok := st.greedyBalanced(req, nodes, p, w)
+		return pl, false, ok
 	}
-	return Placement{}, false
+	return Placement{}, false, false
 }
 
 // greedyBalanced assigns tasks one at a time to the fitting node currently

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"optimus/internal/obs"
 )
 
 // IntervalStats is one snapshot of cluster state, taken per scheduling
@@ -37,6 +39,16 @@ type Recorder struct {
 	restarts     int
 	wastedWork   float64
 	recoveryTime float64
+
+	// wall-clock latency histograms of the scheduler hot path (log-bucketed,
+	// see obs.BucketBound). Unlike the simulated-time counters above these
+	// measure real elapsed time, so they answer "how expensive is a
+	// scheduling decision", not "how long did the modeled cluster run".
+	durInterval obs.Histogram
+	durRefit    obs.Histogram
+	durAlloc    obs.Histogram
+	durPlace    obs.Histogram
+	durAPI      obs.Histogram
 }
 
 // NewRecorder returns an empty recorder.
@@ -74,6 +86,41 @@ func (r *Recorder) AddRecoveryTime(d float64) { r.recoveryTime += d }
 
 // Timeline returns the recorded snapshots.
 func (r *Recorder) Timeline() []IntervalStats { return r.timeline }
+
+// ObserveIntervalDuration records the wall-clock time of one full scheduling
+// interval (estimator refits + allocate + place + deployment bookkeeping).
+func (r *Recorder) ObserveIntervalDuration(seconds float64) { r.durInterval.Observe(seconds) }
+
+// ObserveRefitDuration records the wall-clock time of one job's estimator
+// refit (loss-curve NNLS + speed-model fit).
+func (r *Recorder) ObserveRefitDuration(seconds float64) { r.durRefit.Observe(seconds) }
+
+// ObserveAllocateDuration records the wall-clock time of one §4.1 allocation
+// kernel invocation.
+func (r *Recorder) ObserveAllocateDuration(seconds float64) { r.durAlloc.Observe(seconds) }
+
+// ObservePlaceDuration records the wall-clock time of one §4.2 placement
+// pass, including fragmentation retries.
+func (r *Recorder) ObservePlaceDuration(seconds float64) { r.durPlace.Observe(seconds) }
+
+// ObserveAPIDuration records the wall-clock latency of one optimusd API
+// request.
+func (r *Recorder) ObserveAPIDuration(seconds float64) { r.durAPI.Observe(seconds) }
+
+// IntervalDuration exposes the interval-latency histogram for summaries.
+func (r *Recorder) IntervalDuration() *obs.Histogram { return &r.durInterval }
+
+// RefitDuration exposes the refit-latency histogram for summaries.
+func (r *Recorder) RefitDuration() *obs.Histogram { return &r.durRefit }
+
+// AllocateDuration exposes the allocate-latency histogram for summaries.
+func (r *Recorder) AllocateDuration() *obs.Histogram { return &r.durAlloc }
+
+// PlaceDuration exposes the place-latency histogram for summaries.
+func (r *Recorder) PlaceDuration() *obs.Histogram { return &r.durPlace }
+
+// APIDuration exposes the API-latency histogram for summaries.
+func (r *Recorder) APIDuration() *obs.Histogram { return &r.durAPI }
 
 // Summary is the digest of one experiment run.
 type Summary struct {

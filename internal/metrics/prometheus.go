@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"optimus/internal/obs"
 )
 
 // Prometheus text-format export (version 0.0.4). The daemon's /metrics
@@ -11,10 +13,57 @@ import (
 // these helpers so every component emits the same metric families in the
 // same shape.
 
+// Exporter wraps an io.Writer and remembers which metric families have had
+// their # HELP/# TYPE preamble emitted. The text format allows each family
+// header at most once per exposition, so endpoints that compose several
+// Write* calls (or call WritePrometheus alongside their own gauges) route
+// them all through one Exporter and stay valid however often each family
+// recurs. The plain io.Writer path is unchanged: every call emits its own
+// preamble, exactly as before.
+type Exporter struct {
+	w    io.Writer
+	seen map[string]struct{}
+}
+
+// NewExporter wraps w for deduplicated export. Passing an *Exporter returns
+// it unchanged, so helpers can normalize their writer unconditionally.
+func NewExporter(w io.Writer) *Exporter {
+	if e, ok := w.(*Exporter); ok {
+		return e
+	}
+	return &Exporter{w: w, seen: make(map[string]struct{})}
+}
+
+// Write passes through to the underlying writer, making Exporter usable
+// anywhere an io.Writer is expected.
+func (e *Exporter) Write(p []byte) (int, error) { return e.w.Write(p) }
+
+// preamble emits the HELP/TYPE header for name once per Exporter lifetime.
+func (e *Exporter) preamble(name, help, typ string) error {
+	if _, ok := e.seen[name]; ok {
+		return nil
+	}
+	e.seen[name] = struct{}{}
+	_, err := fmt.Fprintf(e.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// writePreamble emits the family header, deduplicating when w is an
+// Exporter.
+func writePreamble(w io.Writer, name, help, typ string) error {
+	if e, ok := w.(*Exporter); ok {
+		return e.preamble(name, help, typ)
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
 // writeMetric emits one metric with its HELP/TYPE preamble.
 func writeMetric(w io.Writer, name, help, typ string, v float64) error {
-	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
-		name, help, name, typ, name, strconv.FormatFloat(v, 'g', -1, 64))
+	if err := writePreamble(w, name, help, typ); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
 	return err
 }
 
@@ -28,10 +77,35 @@ func WriteGauge(w io.Writer, name, help string, v float64) error {
 	return writeMetric(w, name, help, "gauge", v)
 }
 
-// WritePrometheus exports the recorder's counters and the latest interval
-// snapshot in Prometheus text format. The recorder is not synchronized;
-// callers that mutate it concurrently (the optimusd event loop) must hold
-// their own lock around both the mutations and this export.
+// WriteHistogram writes one obs.Histogram as a Prometheus histogram family:
+// cumulative _bucket{le="..."} samples for every log bucket, then _sum and
+// _count.
+func WriteHistogram(w io.Writer, name, help string, h *obs.Histogram) error {
+	if err := writePreamble(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	for i := 0; i <= obs.HistBuckets; i++ {
+		le := "+Inf"
+		if i < obs.HistBuckets {
+			le = strconv.FormatFloat(obs.BucketBound(i), 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, h.CumulativeCount(i)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name,
+		strconv.FormatFloat(h.Sum(), 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// WritePrometheus exports the recorder's counters, the latest interval
+// snapshot, and any non-empty latency histograms in Prometheus text format.
+// The recorder is not synchronized; callers that mutate it concurrently (the
+// optimusd event loop) must hold their own lock around both the mutations
+// and this export.
 func (r *Recorder) WritePrometheus(w io.Writer) error {
 	type metric struct {
 		name, help, typ string
@@ -60,6 +134,24 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	}
 	for _, m := range ms {
 		if err := writeMetric(w, m.name, m.help, m.typ, m.v); err != nil {
+			return err
+		}
+	}
+	hists := []struct {
+		name, help string
+		h          *obs.Histogram
+	}{
+		{"optimus_interval_duration_seconds", "Wall-clock time of one full scheduling interval.", &r.durInterval},
+		{"optimus_refit_duration_seconds", "Wall-clock time of one job's loss/speed estimator refit.", &r.durRefit},
+		{"optimus_allocate_duration_seconds", "Wall-clock time of the marginal-gain allocation kernel.", &r.durAlloc},
+		{"optimus_place_duration_seconds", "Wall-clock time of the placement pass, including retries.", &r.durPlace},
+		{"optimus_api_request_duration_seconds", "Wall-clock latency of optimusd API requests.", &r.durAPI},
+	}
+	for _, hm := range hists {
+		if hm.h.Count() == 0 {
+			continue
+		}
+		if err := WriteHistogram(w, hm.name, hm.help, hm.h); err != nil {
 			return err
 		}
 	}

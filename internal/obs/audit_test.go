@@ -1,0 +1,71 @@
+package obs
+
+import "testing"
+
+func TestAuditLogPerJobHistory(t *testing.T) {
+	a := NewAuditLog(64)
+	a.Stamp(1, 0)
+	a.Grant(GrantEvent{Job: 1, Kind: GrantSeed, PS: 1, Workers: 1})
+	a.Grant(GrantEvent{Job: 2, Kind: GrantSeed, PS: 1, Workers: 1})
+	a.Grant(GrantEvent{Job: 1, Kind: GrantWorker, Gain: 42, PS: 1, Workers: 2})
+	a.Stamp(2, 600)
+	a.Grant(GrantEvent{Job: 1, Kind: GrantPS, Gain: 7, PS: 2, Workers: 2})
+	a.Place(PlaceEvent{Job: 1, PS: 2, Workers: 2, Servers: 2, Even: true})
+
+	g1 := a.Grants(1)
+	if len(g1) != 3 {
+		t.Fatalf("job 1 grants = %d, want 3", len(g1))
+	}
+	if g1[0].Kind != GrantSeed || g1[1].Kind != GrantWorker || g1[2].Kind != GrantPS {
+		t.Errorf("wrong grant order: %+v", g1)
+	}
+	if g1[2].Round != 2 || g1[2].Time != 600 {
+		t.Errorf("stamp not applied: round=%d time=%g", g1[2].Round, g1[2].Time)
+	}
+	if g1[0].Round != 1 || g1[0].Time != 0 {
+		t.Errorf("first-round stamp wrong: %+v", g1[0])
+	}
+	if all := a.Grants(-1); len(all) != 4 {
+		t.Errorf("all grants = %d, want 4", len(all))
+	}
+	if p := a.Places(1); len(p) != 1 || !p[0].Even || p[0].Round != 2 {
+		t.Errorf("placements = %+v", p)
+	}
+	if p := a.Places(9); len(p) != 0 {
+		t.Errorf("unknown job has placements: %+v", p)
+	}
+}
+
+func TestAuditLogRingWrapAndDisabled(t *testing.T) {
+	a := NewAuditLog(4)
+	for i := 0; i < 10; i++ {
+		a.Grant(GrantEvent{Job: i})
+	}
+	got := a.Grants(-1)
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := 6 + i; ev.Job != want {
+			t.Errorf("event %d: job %d, want %d", i, ev.Job, want)
+		}
+	}
+
+	a.SetEnabled(false)
+	a.Grant(GrantEvent{Job: 99})
+	a.Place(PlaceEvent{Job: 99})
+	if evs := a.Grants(99); len(evs) != 0 {
+		t.Errorf("disabled log recorded %v", evs)
+	}
+
+	var nilA *AuditLog
+	if nilA.Enabled() {
+		t.Error("nil log reports enabled")
+	}
+	nilA.Grant(GrantEvent{}) // must not panic
+	nilA.Place(PlaceEvent{})
+	nilA.Stamp(1, 0)
+	if nilA.Grants(-1) != nil || nilA.Places(-1) != nil {
+		t.Error("nil log returned events")
+	}
+}

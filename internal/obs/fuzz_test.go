@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzChromeTrace drives arbitrary span contents through the hand-rolled
+// trace-event encoder and requires (a) the output is valid JSON and (b) the
+// encoding/json-based decoder recovers the spans exactly. Strings are
+// normalized to valid UTF-8 first, mirroring what the encoder itself does to
+// invalid bytes, so equality is exact.
+func FuzzChromeTrace(f *testing.F) {
+	f.Add(int64(1), int64(0), "interval", 0, int64(100), int64(50), "round=1")
+	f.Add(int64(2), int64(1), `with "quotes" and \slashes\`, 7, int64(0), int64(0), "x\ny\tz")
+	f.Add(int64(3), int64(2), "unicode ✓ 日本語", -1, int64(1<<40), int64(1), string([]byte{0x01, 0x1f}))
+	f.Fuzz(func(t *testing.T, id, parent int64, name string, job int, start, dur int64, detail string) {
+		if dur < 0 {
+			dur = -dur
+		}
+		if dur < 0 { // math.MinInt64
+			dur = 0
+		}
+		span := Span{
+			ID:     id,
+			Parent: parent,
+			Name:   strings.ToValidUTF8(name, "\uFFFD"),
+			Job:    job,
+			Start:  start,
+			Dur:    dur,
+			Detail: strings.ToValidUTF8(detail, "\uFFFD"),
+		}
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, []Span{span}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("encoder emitted invalid JSON for %+v:\n%s", span, buf.String())
+		}
+		back, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(back) != 1 {
+			t.Fatalf("decoded %d spans, want 1", len(back))
+		}
+		if back[0] != span {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back[0], span)
+		}
+	})
+}

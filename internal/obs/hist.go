@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+)
+
+// HistBuckets is the number of finite log-spaced buckets: upper bounds
+// 1µs·2^i for i = 0..HistBuckets-1, i.e. 1µs up to ~33.6s, plus an implicit
+// +Inf overflow bucket. Doubling buckets keep the relative quantile error
+// under 2× across the whole range — plenty for latency triage — while the
+// fixed array keeps Observe allocation-free.
+const HistBuckets = 26
+
+// BucketBound returns the upper bound (seconds, inclusive) of finite bucket
+// i, or +Inf for i >= HistBuckets.
+func BucketBound(i int) float64 {
+	if i >= HistBuckets {
+		return math.Inf(1)
+	}
+	return 1e-6 * float64(uint64(1)<<uint(i))
+}
+
+// Histogram is a log-bucketed latency histogram over seconds. The zero value
+// is ready to use. Like metrics.Recorder, it is not synchronized: the
+// scheduling loop owns writes, and concurrent readers must hold the same
+// lock the writer does (the optimusd event loop uses the daemon mutex).
+type Histogram struct {
+	counts [HistBuckets + 1]uint64 // +1 = overflow (+Inf) bucket
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// Observe records one duration in seconds. Negative and NaN observations are
+// dropped.
+func (h *Histogram) Observe(seconds float64) {
+	if math.IsNaN(seconds) || seconds < 0 {
+		return
+	}
+	i := 0
+	for i < HistBuckets && seconds > BucketBound(i) {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += seconds
+	if seconds > h.max {
+		h.max = seconds
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations in seconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the largest observation in seconds.
+func (h *Histogram) Max() float64 { return h.max }
+
+// CumulativeCount returns the number of observations <= BucketBound(i)
+// (Prometheus `le` semantics); i = HistBuckets is the +Inf bucket and equals
+// Count().
+func (h *Histogram) CumulativeCount(i int) uint64 {
+	if i > HistBuckets {
+		i = HistBuckets
+	}
+	var c uint64
+	for b := 0; b <= i; b++ {
+		c += h.counts[b]
+	}
+	return c
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) as the upper bound of the
+// bucket containing it, clamped to Max so the tail never over-reports. NaN
+// when empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	target := uint64(math.Ceil(p * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i <= HistBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= target {
+			b := BucketBound(i)
+			if b > h.max {
+				b = h.max
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+// Summary renders the standard latency digest.
+func (h *Histogram) Summary() string {
+	if h.count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%s p95=%s p99=%s max=%s",
+		h.count, fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.95)),
+		fmtDur(h.Quantile(0.99)), fmtDur(h.max))
+}
+
+// fmtDur renders seconds with a unit matched to magnitude.
+func fmtDur(sec float64) string {
+	switch {
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	h.Observe(0)          // lands in the first bucket
+	h.Observe(1e-6)       // exactly the first bound
+	h.Observe(3e-6)       // (2µs, 4µs]
+	h.Observe(1e-3)       // ~1ms
+	h.Observe(2.0)        // seconds range
+	h.Observe(1e9)        // overflow bucket
+	h.Observe(-1)         // dropped
+	h.Observe(math.NaN()) // dropped
+
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Max() != 1e9 {
+		t.Errorf("max = %g", h.Max())
+	}
+	if got := h.CumulativeCount(0); got != 2 {
+		t.Errorf("le=1µs cumulative = %d, want 2", got)
+	}
+	if got := h.CumulativeCount(HistBuckets); got != 6 {
+		t.Errorf("+Inf cumulative = %d, want count 6", got)
+	}
+	// p50 of 6 obs → 3rd: 3µs bucket, upper bound 4µs.
+	if got := h.Quantile(0.5); got != 4e-6 {
+		t.Errorf("p50 = %g, want 4e-6", got)
+	}
+	// Tail quantile is clamped to max.
+	if got := h.Quantile(1); got != 1e9 {
+		t.Errorf("p100 = %g, want clamp to max", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-5) // 10µs .. 10ms
+	}
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Errorf("quantile(%g) = %g < quantile before it %g", p, q, prev)
+		}
+		prev = q
+	}
+	// p50 of uniform 10µs..10ms is ~5ms; log buckets bound it within 2×.
+	if q := h.Quantile(0.5); q < 2.5e-3 || q > 1e-2 {
+		t.Errorf("p50 = %g, want within a bucket of 5ms", q)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	if got := h.Summary(); got != "n=0" {
+		t.Errorf("empty summary = %q", got)
+	}
+	h.Observe(5e-4)
+	s := h.Summary()
+	for _, want := range []string{"n=1", "p50=", "p95=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if BucketBound(0) != 1e-6 {
+		t.Errorf("bound(0) = %g", BucketBound(0))
+	}
+	if BucketBound(10) != 1e-6*1024 {
+		t.Errorf("bound(10) = %g", BucketBound(10))
+	}
+	if !math.IsInf(BucketBound(HistBuckets), 1) {
+		t.Errorf("bound(%d) should be +Inf", HistBuckets)
+	}
+}

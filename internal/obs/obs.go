@@ -1,0 +1,185 @@
+// Package obs is the scheduler's decision-tracing and explainability layer:
+// nestable spans over the fit → allocate → place → deploy pipeline, an audit
+// log of every §4.1 marginal-gain grant and §4.2 placement, and log-bucketed
+// latency histograms. It is zero-dependency (standard library only) so the
+// core kernels can carry optional obs hooks without import cycles, and it is
+// built to cost nothing when off: every entry point is nil-receiver safe, a
+// non-nil Tracer/AuditLog can be gated with SetEnabled, and the disabled
+// path performs no allocation (CI-guarded by alloc_guard_test.go).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of scheduler work. Start and Dur are nanoseconds
+// on the tracer's monotonic clock (Start is measured from the tracer's
+// creation), so spans order and nest exactly as they executed.
+type Span struct {
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"` // 0 = root span
+	Name   string `json:"name"`
+	Job    int    `json:"job,omitempty"` // -1/0 when not job-scoped
+	Start  int64  `json:"startNs"`
+	Dur    int64  `json:"durNs"` // -1 while the span is open
+	Detail string `json:"detail,omitempty"`
+}
+
+// SpanRef identifies an open span returned by Begin. The zero-cost disabled
+// path returns NoSpan, which End ignores.
+type SpanRef int64
+
+// NoSpan is the ref returned when tracing is off; safe to End.
+const NoSpan SpanRef = -1
+
+// Tracer records spans into a fixed ring buffer. Begin/End are intended for
+// one goroutine at a time (the scheduling loop); the internal mutex exists so
+// Spans/Reset can run concurrently from an HTTP handler without tearing a
+// slot. A nil *Tracer is a valid, permanently-disabled tracer.
+type Tracer struct {
+	on    atomic.Bool
+	mu    sync.Mutex
+	epoch time.Time
+	ring  []Span
+	next  int64   // last span ID issued (IDs are 1-based)
+	stack []int64 // open span IDs, innermost last
+}
+
+// DefaultSpanBuffer is the ring capacity NewTracer uses for size <= 0.
+const DefaultSpanBuffer = 8192
+
+// NewTracer returns an enabled tracer retaining the last `size` spans.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultSpanBuffer
+	}
+	t := &Tracer{
+		epoch: time.Now(),
+		ring:  make([]Span, size),
+		stack: make([]int64, 0, 16),
+	}
+	t.on.Store(true)
+	return t
+}
+
+// SetEnabled toggles recording. Disabled Begin/End are branch-and-return:
+// no lock, no clock read, no allocation.
+func (t *Tracer) SetEnabled(v bool) {
+	if t != nil {
+		t.on.Store(v)
+	}
+}
+
+// Enabled reports whether spans are being recorded. Nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil && t.on.Load() }
+
+// Begin opens a span nested under the innermost open span.
+func (t *Tracer) Begin(name string) SpanRef { return t.BeginJob(name, 0) }
+
+// BeginJob opens a job-scoped span.
+func (t *Tracer) BeginJob(name string, job int) SpanRef {
+	if t == nil || !t.on.Load() {
+		return NoSpan
+	}
+	now := int64(time.Since(t.epoch))
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	var parent int64
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	t.stack = append(t.stack, id)
+	t.ring[t.slot(id)] = Span{
+		ID: id, Parent: parent, Name: name, Job: job, Start: now, Dur: -1,
+	}
+	t.mu.Unlock()
+	return SpanRef(id)
+}
+
+// End closes the span, recording its duration. Ends of spans that have been
+// overwritten in the ring (or NoSpan) are ignored. Closing an outer span
+// implicitly discards any still-open inner spans, so a skipped End cannot
+// corrupt the nesting stack.
+func (t *Tracer) End(ref SpanRef) {
+	if t == nil || ref <= 0 || !t.on.Load() {
+		return
+	}
+	now := int64(time.Since(t.epoch))
+	t.mu.Lock()
+	for n := len(t.stack); n > 0; n = len(t.stack) {
+		top := t.stack[n-1]
+		t.stack = t.stack[:n-1]
+		if top == int64(ref) {
+			break
+		}
+	}
+	if s := &t.ring[t.slot(int64(ref))]; s.ID == int64(ref) {
+		s.Dur = now - s.Start
+	}
+	t.mu.Unlock()
+}
+
+// Annotate attaches a free-form detail string to an open or closed span
+// still in the ring.
+func (t *Tracer) Annotate(ref SpanRef, detail string) {
+	if t == nil || ref <= 0 || !t.on.Load() {
+		return
+	}
+	t.mu.Lock()
+	if s := &t.ring[t.slot(int64(ref))]; s.ID == int64(ref) {
+		s.Detail = detail
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) slot(id int64) int { return int((id - 1) % int64(len(t.ring))) }
+
+// Spans returns a snapshot of the completed spans still in the ring, oldest
+// first. Open spans are excluded. Nil-safe.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lo := t.next - int64(len(t.ring)) + 1
+	if lo < 1 {
+		lo = 1
+	}
+	out := make([]Span, 0, t.next-lo+1)
+	for id := lo; id <= t.next; id++ {
+		s := t.ring[t.slot(id)]
+		if s.ID == id && s.Dur >= 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len returns the number of spans ever begun. Nil-safe.
+func (t *Tracer) Len() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Reset drops all recorded spans and open-span state, keeping the clock
+// epoch so span timestamps remain monotone across resets.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.ring {
+		t.ring[i] = Span{}
+	}
+	t.next = 0
+	t.stack = t.stack[:0]
+}

@@ -268,7 +268,9 @@ func (d *Daemon) Handler() http.Handler {
 		}{d.List()})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", d.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/explain", d.handleExplain)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /v1/trace", d.handleTrace)
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Cluster())
 	})
@@ -278,7 +280,7 @@ func (d *Daemon) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return d.instrumented(mux)
 }
 
 func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"optimus/internal/cluster"
 	"optimus/internal/core"
@@ -48,8 +49,13 @@ func (d *Daemon) stepLocked() {
 	}
 	d.rounds++
 	intervalEnd := d.now + d.cfg.Interval
+	d.audit.Stamp(d.rounds, d.now)
+	ivSpan := d.tracer.Begin("interval")
+	ivStart := time.Now()
 
-	// §3.2 pre-run profiling for jobs on their first round.
+	// §3.2 pre-run profiling for jobs on their first round, then the
+	// scheduler's estimated views — the round's estimation phase.
+	fitSpan := d.tracer.Begin("fit")
 	for _, j := range active {
 		if !j.profiled {
 			sim.PreRunProfile(j.speedEst, j.spec, d.cfg.PreRunSamples,
@@ -57,18 +63,26 @@ func (d *Daemon) stepLocked() {
 			j.profiled = true
 		}
 	}
-
-	// Build the scheduler's estimated views and allocate against the
-	// cluster's aggregate capacity.
 	infos := make([]*core.JobInfo, len(active))
 	for i, j := range active {
+		refitStart := time.Now()
 		infos[i] = sim.EstimatedView(d.cfg.Cluster, j.spec, j.progress,
 			j.lossFit, j.speedEst, d.cfg.PriorEpochs, d.cfg.PriorityFactor)
+		d.rec.ObserveRefitDuration(time.Since(refitStart).Seconds())
 	}
+	d.tracer.End(fitSpan)
+
+	// Allocate against the cluster's aggregate capacity.
+	allocSpan := d.tracer.Begin("allocate")
+	allocStart := time.Now()
 	alloc := d.policy.Allocate(infos, d.cfg.Cluster.Capacity())
+	d.rec.ObserveAllocateDuration(time.Since(allocStart).Seconds())
+	d.tracer.End(allocSpan)
 
 	// Place. The cluster is rebuilt from scratch each round, so cancelled
 	// jobs' resources are implicitly released here.
+	placeSpan := d.tracer.Begin("place")
+	placeStart := time.Now()
 	d.cfg.Cluster.ResetAll()
 	reqs := make([]core.PlacementRequest, 0, len(active))
 	for _, info := range infos {
@@ -111,9 +125,12 @@ func (d *Daemon) stepLocked() {
 			}
 		}
 	}
+	d.rec.ObservePlaceDuration(time.Since(placeStart).Seconds())
+	d.tracer.End(placeSpan)
 
 	// Apply the round's deployments, emitting decision events and charging
 	// §5.4 scaling pauses for changed configurations.
+	deploySpan := d.tracer.Begin("deploy")
 	pauses := make(map[int]float64)
 	for _, j := range active {
 		id := j.spec.ID
@@ -210,7 +227,13 @@ func (d *Daemon) stepLocked() {
 		}
 	}
 
+	d.tracer.End(deploySpan)
 	d.rec.Snapshot(d.intervalStats())
+	d.rec.ObserveIntervalDuration(time.Since(ivStart).Seconds())
+	if d.tracer.Enabled() {
+		d.tracer.Annotate(ivSpan, fmt.Sprintf("round=%d jobs=%d", d.rounds, len(active)))
+	}
+	d.tracer.End(ivSpan)
 	d.now = intervalEnd
 }
 

@@ -11,15 +11,20 @@
 //
 // The HTTP surface (see api.go):
 //
-//	POST   /v1/jobs      submit (admission-controlled)
-//	GET    /v1/jobs      list
-//	GET    /v1/jobs/{id} status: fitted loss curve, remaining-epoch
-//	                     estimate, current (PS, workers) allocation
-//	DELETE /v1/jobs/{id} cancel with resource release
-//	GET    /v1/cluster   per-node utilization
-//	GET    /v1/events    SSE stream of scheduler decisions
-//	GET    /metrics      Prometheus text format
-//	GET    /healthz      liveness
+//	POST   /v1/jobs              submit (admission-controlled)
+//	GET    /v1/jobs              list
+//	GET    /v1/jobs/{id}         status: fitted loss curve, remaining-epoch
+//	                             estimate, current (PS, workers) allocation
+//	GET    /v1/jobs/{id}/explain decision audit: every §4.1 grant and §4.2
+//	                             placement recorded for the job (needs -trace)
+//	DELETE /v1/jobs/{id}         cancel with resource release
+//	GET    /v1/cluster           per-node utilization
+//	GET    /v1/events            SSE stream of scheduler decisions
+//	GET    /v1/trace             scheduler spans as Chrome trace-event JSON
+//	                             (needs -trace; open in Perfetto)
+//	GET    /metrics              Prometheus text format, including scheduler
+//	                             latency histograms
+//	GET    /healthz              liveness
 //
 // Graceful shutdown writes a JSON snapshot of all job state (snapshot.go);
 // a daemon started with -restore resumes every job with its fitted model
@@ -37,6 +42,7 @@ import (
 	"optimus/internal/core"
 	"optimus/internal/lossfit"
 	"optimus/internal/metrics"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 	"optimus/internal/speedfit"
 	"optimus/internal/workload"
@@ -80,6 +86,16 @@ type Config struct {
 	// EventBuffer is the SSE ring size: how many past scheduler decisions a
 	// late subscriber can replay. Default 4096.
 	EventBuffer int
+
+	// Trace enables the internal/obs observability layer: per-round span
+	// trees (exported as Chrome trace-event JSON at GET /v1/trace) and the
+	// per-grant/per-placement decision audit log behind
+	// GET /v1/jobs/{id}/explain. Off by default; both endpoints then return
+	// 404 and the scheduling loop pays no tracing cost.
+	Trace bool
+	// TraceBuffer / AuditBuffer size the span and audit-event rings.
+	// Defaults obs.DefaultSpanBuffer / obs.DefaultAuditBuffer.
+	TraceBuffer, AuditBuffer int
 }
 
 func (c *Config) fillDefaults() {
@@ -115,6 +131,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 4096
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = obs.DefaultSpanBuffer
+	}
+	if c.AuditBuffer <= 0 {
+		c.AuditBuffer = obs.DefaultAuditBuffer
 	}
 }
 
@@ -174,6 +196,10 @@ type Daemon struct {
 	cfg    Config
 	policy sim.Policy
 	bus    *eventBus
+	// tracer/audit are non-nil only when cfg.Trace is set; every use is
+	// nil-receiver-safe, so the disabled daemon skips the whole layer.
+	tracer *obs.Tracer
+	audit  *obs.AuditLog
 
 	mu        sync.Mutex
 	jobs      map[int]*job
@@ -205,6 +231,13 @@ func New(cfg Config) (*Daemon, error) {
 		rec:       metrics.NewRecorder(),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		startWall: time.Now(),
+	}
+	if cfg.Trace {
+		d.tracer = obs.NewTracer(cfg.TraceBuffer)
+		d.audit = obs.NewAuditLog(cfg.AuditBuffer)
+	}
+	if d.policy.Instrument != nil {
+		d.policy.Instrument(d.tracer, d.audit)
 	}
 	return d, nil
 }

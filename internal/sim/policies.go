@@ -4,6 +4,7 @@ import (
 	"optimus/internal/baselines"
 	"optimus/internal/cluster"
 	"optimus/internal/core"
+	"optimus/internal/obs"
 )
 
 // OptimusPolicy is the full §4 scheduler: marginal-gain allocation plus
@@ -19,6 +20,10 @@ func OptimusPolicy() Policy {
 			Name:     "optimus",
 			Allocate: alloc.Allocate,
 			Place:    place.Place,
+			Instrument: func(tr *obs.Tracer, au *obs.AuditLog) {
+				alloc.Trace, alloc.Audit = tr, au
+				place.Trace, place.Audit = tr, au
+			},
 		}
 	}
 	p := session()

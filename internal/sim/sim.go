@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"optimus/internal/chaos"
 	"optimus/internal/cluster"
 	"optimus/internal/core"
 	"optimus/internal/lossfit"
 	"optimus/internal/metrics"
+	"optimus/internal/obs"
 	"optimus/internal/speedfit"
 	"optimus/internal/workload"
 )
@@ -39,6 +41,13 @@ type Policy struct {
 	// parallel, so sharing the closures would race on the scratch buffers.
 	// Run calls Session once at startup; stateless policies leave it nil.
 	Session func() Policy
+
+	// Instrument, when set, attaches tracing and audit sinks to the policy's
+	// internal scheduler state (the AllocState/PlaceState hidden inside the
+	// Allocate/Place closures). Run calls it once per run, after Session,
+	// with Config.Trace and Config.Audit — either may be nil, meaning that
+	// sink is off. Policies without internal state leave it nil.
+	Instrument func(tr *obs.Tracer, au *obs.AuditLog)
 }
 
 // Config parameterizes one simulation run.
@@ -102,6 +111,15 @@ type Config struct {
 	// time (e.g. more at night). The function maps simulation time to the
 	// fraction of nodes available to DL jobs; nil means the whole cluster.
 	ShareSchedule func(t float64) float64
+
+	// --- observability (internal/obs) ---
+	// Trace, when non-nil and enabled, receives one span tree per scheduling
+	// interval (interval → fit / allocate / place / deploy, plus the kernel
+	// spans of instrumented policies). Audit receives the per-grant and
+	// per-placement decision log, stamped with the round number and
+	// simulated time. Both default to nil — off — at zero cost to the run.
+	Trace *obs.Tracer
+	Audit *obs.AuditLog
 }
 
 func (c *Config) fillDefaults() {
@@ -138,6 +156,10 @@ type Result struct {
 	Unfinished []int
 	// Intervals is the number of scheduling rounds executed.
 	Intervals int
+	// Metrics is the run's full recorder — Summary and Timeline above are
+	// derived from it — including the wall-clock latency histograms of the
+	// scheduling hot path (interval / refit / allocate / place).
+	Metrics *metrics.Recorder
 }
 
 // jobState is the simulator's full view of one job.
@@ -208,6 +230,9 @@ func Run(cfg Config) (*Result, error) {
 		// scratch state); cfg is a copy, so the caller's Policy is untouched.
 		cfg.Policy = cfg.Policy.Session()
 	}
+	if cfg.Policy.Instrument != nil {
+		cfg.Policy.Instrument(cfg.Trace, cfg.Audit)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rec := metrics.NewRecorder()
 	fitCache := make(map[string]speedfit.Model)
@@ -233,7 +258,7 @@ func Run(cfg Config) (*Result, error) {
 		rec.Arrive(spec.ID, spec.Arrival)
 	}
 
-	res := &Result{JCTs: make(map[int]float64)}
+	res := &Result{JCTs: make(map[int]float64), Metrics: rec}
 	now := 0.0
 	// Per-interval scratch, reused across intervals: the scheduling loop is
 	// the simulator's hot path and these buffers otherwise churn the
@@ -261,8 +286,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Intervals++
 		intervalEnd := now + cfg.Interval
+		cfg.Audit.Stamp(res.Intervals, now)
+		ivSpan := cfg.Trace.Begin("interval")
+		ivStart := time.Now()
 
-		// Pre-run profiling for newly arrived jobs (once per job).
+		// Pre-run profiling for newly arrived jobs (once per job), then the
+		// scheduler views — together the estimation phase of the interval.
+		fitSpan := cfg.Trace.Begin("fit")
 		if !cfg.UseTrueModels {
 			for _, js := range active {
 				if js.speedEst.Configurations() == 0 {
@@ -270,12 +300,13 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
-
-		// Build scheduler views.
 		infos = infos[:0]
 		for _, js := range active {
+			refitStart := time.Now()
 			infos = append(infos, schedulerView(js, cfg, rng, fitCache))
+			rec.ObserveRefitDuration(time.Since(refitStart).Seconds())
 		}
+		cfg.Trace.End(fitSpan)
 
 		// §7 mixed workloads: only a share of the nodes may be available.
 		availNodes := cfg.Cluster.Len()
@@ -302,7 +333,11 @@ func Run(cfg Config) (*Result, error) {
 			}
 			capacity = capacity.Add(n.Capacity)
 		}
+		allocSpan := cfg.Trace.Begin("allocate")
+		allocStart := time.Now()
 		alloc := cfg.Policy.Allocate(infos, capacity)
+		rec.ObserveAllocateDuration(time.Since(allocStart).Seconds())
+		cfg.Trace.End(allocSpan)
 
 		// §7 churn damper: keep a running job's configuration when the
 		// proposed change is not predicted to pay for its checkpoint pause.
@@ -356,6 +391,8 @@ func Run(cfg Config) (*Result, error) {
 				})
 			}
 		}
+		placeSpan := cfg.Trace.Begin("place")
+		placeStart := time.Now()
 		placements, unplacedIDs := cfg.Policy.Place(reqs, cfg.Cluster)
 
 		// A job can be allocatable against aggregate capacity yet not
@@ -393,8 +430,11 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
+		rec.ObservePlaceDuration(time.Since(placeStart).Seconds())
+		cfg.Trace.End(placeSpan)
 
 		// Apply deployments, charging scaling pauses for changed configs.
+		deploySpan := cfg.Trace.Begin("deploy")
 		clear(pauses)
 		for _, js := range active {
 			pl, ok := placements[js.spec.ID]
@@ -528,7 +568,13 @@ func Run(cfg Config) (*Result, error) {
 			js.ckptProgress = js.progress
 		}
 
+		cfg.Trace.End(deploySpan)
 		rec.Snapshot(snapshot(now, states, cfg))
+		rec.ObserveIntervalDuration(time.Since(ivStart).Seconds())
+		if cfg.Trace.Enabled() {
+			cfg.Trace.Annotate(ivSpan, fmt.Sprintf("round=%d jobs=%d", res.Intervals, len(active)))
+		}
+		cfg.Trace.End(ivSpan)
 		now = intervalEnd
 	}
 

@@ -10,6 +10,7 @@ trap 'kill $pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/optimusd" ./cmd/optimusd
 go build -o "$workdir/optimusd-load" ./cmd/optimusd-load
+go build -o "$workdir/jsonok" ./cmd/jsonok
 
 "$workdir/optimusd" -addr 127.0.0.1:0 -portfile "$workdir/port" \
     -tick 100ms -snapshot "$workdir/state.json" >"$workdir/d1.log" 2>&1 &
@@ -45,6 +46,19 @@ curl -s "http://$addr/metrics" | grep -q '^optimus_jobs_arrived_total 1' ||
 curl -s --max-time 2 "http://$addr/v1/events?since=0" >"$workdir/events.txt" || true
 grep -q 'event: placed' "$workdir/events.txt" ||
     { echo "event stream missing placed event"; cat "$workdir/events.txt"; exit 1; }
+
+# Decision tracing (-trace defaults on): the span export and the per-job
+# audit must both serve non-empty, well-formed JSON.
+curl -s "http://$addr/v1/trace" >"$workdir/trace.json"
+"$workdir/jsonok" <"$workdir/trace.json" ||
+    { echo "/v1/trace is not valid JSON:"; head -c 400 "$workdir/trace.json"; exit 1; }
+grep -q '"name":"interval"' "$workdir/trace.json" ||
+    { echo "trace has no interval spans"; head -c 400 "$workdir/trace.json"; exit 1; }
+curl -s "http://$addr/v1/jobs/1/explain" >"$workdir/explain.json"
+"$workdir/jsonok" <"$workdir/explain.json" ||
+    { echo "/v1/jobs/1/explain is not valid JSON:"; cat "$workdir/explain.json"; exit 1; }
+grep -q '"kind":"seed"' "$workdir/explain.json" ||
+    { echo "explain has no seed grant:"; cat "$workdir/explain.json"; exit 1; }
 
 "$workdir/optimusd-load" -url "http://$addr" -n 200 -c 32
 
