@@ -1,0 +1,715 @@
+package cells
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/metrics"
+	"optimus/internal/obs"
+)
+
+// Options configures a MultiScheduler.
+type Options struct {
+	// Cells is the number of scheduling cells (min 1). With 1 cell the
+	// scheduler is byte-equivalent to the single-engine core kernels.
+	Cells int
+	// MaxCommitRetries bounds the re-place/re-commit attempts after a
+	// conflicted commit before the job is reported unplaced (default 3).
+	MaxCommitRetries int
+	// RebalanceThreshold is the maximum tolerated gap between the
+	// highest- and lowest-loaded cells' aggregate dominant shares before
+	// jobs migrate (0 means the 0.1 default; negative disables).
+	RebalanceThreshold float64
+	// RebalanceEvery runs the rebalancer every k-th round (default 1).
+	RebalanceEvery int
+	// ConflictBackoff, when positive, sleeps before each commit retry,
+	// doubling per attempt. The default 0 keeps runs deterministic; a real
+	// deployment talking to a remote store would set it.
+	ConflictBackoff time.Duration
+	// Recorder, when set, accumulates commit/conflict/migration counters.
+	Recorder *metrics.Recorder
+	// Sequential disables the per-cell goroutine fan-out (for debugging
+	// and allocation measurement); results are identical either way.
+	Sequential bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Cells < 1 {
+		o.Cells = 1
+	}
+	if o.MaxCommitRetries <= 0 {
+		o.MaxCommitRetries = 3
+	}
+	if o.RebalanceThreshold == 0 {
+		o.RebalanceThreshold = 0.1
+	}
+	if o.RebalanceEvery <= 0 {
+		o.RebalanceEvery = 1
+	}
+}
+
+// cell is one scheduling shard: its own §4.1/§4.2 kernel sessions, a node
+// stripe it prefers to place on, and a private whole-cluster replica rebuilt
+// from store snapshots for the borrow path.
+type cell struct {
+	id    int
+	alloc *core.AllocState
+	place *core.PlaceState
+
+	// part holds this cell's node stripe; full is a private replica of the
+	// whole cluster (part shares full's *Node pointers, so placements on
+	// the stripe are visible to the borrow pass). With one cell part==full.
+	part *cluster.Cluster
+	full *cluster.Cluster
+
+	snap  []NodeState
+	infos []*core.JobInfo
+	reqs  []core.PlacementRequest
+
+	am         map[int]core.Allocation
+	placements map[int]core.Placement
+	borrowed   map[int]bool
+	unplaced   []int
+	dropped    []int
+
+	reqAt      map[int]int
+	borrowReqs []core.PlacementRequest
+	retryReq   []core.PlacementRequest
+	grant      Grant
+
+	allocNs int64
+	placeNs int64
+}
+
+// RoundStats are the per-scheduling-round outcomes of the commit protocol
+// and the rebalancer, reset at the start of each Allocate and accumulated
+// across the round's Place calls (the simulator's shrink-retry loop may call
+// Place several times per interval).
+type RoundStats struct {
+	Commits   int `json:"commits"`
+	Conflicts int `json:"conflicts"`
+	Avoided   int `json:"avoided"`
+	Retries   int `json:"retries"`
+	Borrowed  int `json:"borrowed"`
+	Dropped   int `json:"dropped"`
+	JobsMoved int `json:"jobsMoved"`
+}
+
+// CellStats is one cell's slice of the cluster as of the last round.
+type CellStats struct {
+	Cell    int     `json:"cell"`
+	Jobs    int     `json:"jobs"`
+	Nodes   int     `json:"nodes"`
+	Weight  float64 `json:"weight"`
+	AllocMs float64 `json:"allocMs"`
+	PlaceMs float64 `json:"placeMs"`
+}
+
+// Stats is the cumulative multi-scheduler state surfaced by optimusd's
+// /v1/cluster endpoint and the experiment tables.
+type Stats struct {
+	Cells            int         `json:"cells"`
+	Rounds           int         `json:"rounds"`
+	Commits          uint64      `json:"commits"`
+	Conflicts        uint64      `json:"conflicts"`
+	ConflictsAvoided uint64      `json:"conflictsAvoided"`
+	Retries          int         `json:"retries"`
+	Borrowed         int         `json:"borrowed"`
+	Dropped          int         `json:"dropped"`
+	Rebalances       int         `json:"rebalances"`
+	JobsMoved        int         `json:"jobsMoved"`
+	PerCell          []CellStats `json:"perCell"`
+}
+
+// MultiScheduler shards scheduling across N cells over a shared-state store.
+// Each round it partitions the live jobs across cells, runs every cell's
+// allocator and placer in parallel against a snapshot of the store, and
+// serializes only the optimistic commits. Allocate and Place satisfy the
+// sim.Policy seam, so a MultiScheduler drops into the simulator and the
+// daemon wherever the single-engine kernels do.
+//
+// Methods are not safe for concurrent use with each other; the integration
+// layers (sim.Run's interval loop, optimusd's mutex-held tick) already
+// serialize them.
+type MultiScheduler struct {
+	opt Options
+
+	tracer *obs.Tracer
+	audit  *obs.AuditLog
+
+	store   *Store
+	bound   *cluster.Cluster
+	nodeIdx map[string]int
+
+	cells     []*cell
+	assign    map[int]int     // job ID → cell
+	weight    map[int]float64 // job ID → dominant-share weight
+	lastAlloc map[int]core.Allocation
+
+	out        map[int]core.Allocation
+	seen       map[int]struct{}
+	cellWeight []float64
+	newJobs    []*core.JobInfo
+	jobsBuf    []JobAssignment
+	retryQ     []retryItem
+
+	rounds int
+	round  RoundStats
+
+	retries    int
+	borrowed   int
+	dropped    int
+	rebalances int
+	jobsMoved  int
+}
+
+type retryItem struct {
+	cell *cell
+	req  core.PlacementRequest
+}
+
+// New builds a MultiScheduler. The cluster is bound lazily on the first
+// Place call, so the same scheduler value works across simulator runs that
+// construct their clusters after the policy.
+func New(opt Options) *MultiScheduler {
+	opt.fillDefaults()
+	ms := &MultiScheduler{
+		opt:       opt,
+		assign:    make(map[int]int),
+		weight:    make(map[int]float64),
+		lastAlloc: make(map[int]core.Allocation),
+	}
+	for i := 0; i < opt.Cells; i++ {
+		ms.cells = append(ms.cells, &cell{
+			id:    i,
+			alloc: core.NewAllocState(),
+			place: core.NewPlaceState(),
+		})
+	}
+	return ms
+}
+
+// Instrument attaches tracing and audit sinks. The audit log is
+// mutex-guarded and attaches to every cell's kernels; the tracer's span
+// nesting stack is single-threaded, so kernels only get it when there is one
+// cell (the orchestrator-level spans are always emitted from the calling
+// goroutine and are safe at any cell count).
+func (ms *MultiScheduler) Instrument(tr *obs.Tracer, au *obs.AuditLog) {
+	ms.tracer, ms.audit = tr, au
+	for _, c := range ms.cells {
+		c.alloc.Audit = au
+		c.place.Audit = au
+		if len(ms.cells) == 1 {
+			c.alloc.Trace = tr
+			c.place.Trace = tr
+		}
+	}
+}
+
+// BindRecorder points commit/conflict/migration counters at a run's metrics
+// recorder (the sim.Policy.BindRecorder hook).
+func (ms *MultiScheduler) BindRecorder(rec *metrics.Recorder) {
+	ms.opt.Recorder = rec
+}
+
+// Allocate partitions jobs across cells, runs every cell's §4.1 allocator
+// against an even capacity share, and merges the per-cell grants. The
+// returned map is owned by the scheduler and overwritten on the next call
+// (same contract as core.AllocState.Allocate).
+func (ms *MultiScheduler) Allocate(jobs []*core.JobInfo, capacity cluster.Resources) map[int]core.Allocation {
+	ms.rounds++
+	ms.round = RoundStats{}
+	sp := ms.tracer.Begin("cells-allocate")
+
+	ms.assignJobs(jobs, capacity)
+	if len(ms.cells) > 1 && ms.opt.RebalanceThreshold > 0 && ms.rounds%ms.opt.RebalanceEvery == 0 {
+		ms.rebalance(jobs)
+	}
+
+	for _, c := range ms.cells {
+		c.infos = c.infos[:0]
+	}
+	for _, in := range jobs {
+		c := ms.cells[ms.assign[in.ID]]
+		c.infos = append(c.infos, in)
+	}
+
+	// Each cell allocates against an even share of the round's capacity.
+	// Scale(1/1) is exact for one cell, preserving single-engine results.
+	share := capacity.Scale(1 / float64(len(ms.cells)))
+	ms.runCells(func(c *cell) {
+		start := time.Now()
+		c.am = c.alloc.Allocate(c.infos, share)
+		c.allocNs = time.Since(start).Nanoseconds()
+	})
+
+	if ms.out == nil {
+		ms.out = make(map[int]core.Allocation, len(jobs))
+	} else {
+		clear(ms.out)
+	}
+	for _, c := range ms.cells {
+		for id, a := range c.am {
+			ms.out[id] = a
+		}
+	}
+	for id, a := range ms.out {
+		if a.Tasks() > 0 {
+			ms.lastAlloc[id] = a
+		}
+	}
+
+	if ms.tracer.Enabled() {
+		ms.tracer.Annotate(sp, fmt.Sprintf("cells=%d jobs=%d moved=%d", len(ms.cells), len(jobs), ms.round.JobsMoved))
+	}
+	ms.tracer.End(sp)
+	return ms.out
+}
+
+// jobWeight is a job's aggregate dominant share at its last granted
+// allocation (falling back to the 1+1 seed): the load measure the
+// assignment and rebalancing decisions balance across cells.
+func jobWeight(in *core.JobInfo, last core.Allocation, capacity cluster.Resources) float64 {
+	p, w := last.PS, last.Workers
+	if p < 1 || w < 1 {
+		p, w = 1, 1
+	}
+	demand := in.PSRes.Scale(float64(p)).Add(in.WorkerRes.Scale(float64(w)))
+	s, _ := demand.DominantShare(capacity)
+	if s < 1e-9 {
+		s = 1e-9
+	}
+	return s
+}
+
+// assignJobs refreshes job weights, drops state for departed jobs, and
+// assigns arrivals (in job-ID order, so results are independent of input
+// order) to the least-loaded cell.
+func (ms *MultiScheduler) assignJobs(jobs []*core.JobInfo, capacity cluster.Resources) {
+	if ms.seen == nil {
+		ms.seen = make(map[int]struct{}, len(jobs))
+	} else {
+		clear(ms.seen)
+	}
+	for _, in := range jobs {
+		ms.seen[in.ID] = struct{}{}
+		ms.weight[in.ID] = jobWeight(in, ms.lastAlloc[in.ID], capacity)
+	}
+	for id := range ms.assign {
+		if _, ok := ms.seen[id]; !ok {
+			delete(ms.assign, id)
+			delete(ms.weight, id)
+			delete(ms.lastAlloc, id)
+		}
+	}
+
+	w := ms.cellWeight[:0]
+	for range ms.cells {
+		w = append(w, 0)
+	}
+	ms.newJobs = ms.newJobs[:0]
+	for _, in := range jobs {
+		if ci, ok := ms.assign[in.ID]; ok {
+			w[ci] += ms.weight[in.ID]
+		} else {
+			ms.newJobs = append(ms.newJobs, in)
+		}
+	}
+	sort.Slice(ms.newJobs, func(i, j int) bool { return ms.newJobs[i].ID < ms.newJobs[j].ID })
+	for _, in := range ms.newJobs {
+		best := 0
+		for ci := 1; ci < len(w); ci++ {
+			if w[ci] < w[best] {
+				best = ci
+			}
+		}
+		ms.assign[in.ID] = best
+		w[best] += ms.weight[in.ID]
+	}
+	ms.cellWeight = w
+}
+
+// rebalance migrates jobs between cells when the dominant-share gap exceeds
+// the threshold, then refreshes the per-cell weight totals.
+func (ms *MultiScheduler) rebalance(jobs []*core.JobInfo) {
+	buf := ms.jobsBuf[:0]
+	for _, in := range jobs {
+		buf = append(buf, JobAssignment{Job: in.ID, Cell: ms.assign[in.ID], Weight: ms.weight[in.ID]})
+	}
+	ms.jobsBuf = buf
+	moves := PlanRebalance(buf, len(ms.cells), ms.opt.RebalanceThreshold)
+	for _, mv := range moves {
+		ms.assign[mv.Job] = mv.To
+		ms.cellWeight[mv.From] -= ms.weight[mv.Job]
+		ms.cellWeight[mv.To] += ms.weight[mv.Job]
+	}
+	if len(moves) > 0 {
+		ms.round.JobsMoved += len(moves)
+		ms.jobsMoved += len(moves)
+		ms.rebalances++
+		if ms.opt.Recorder != nil {
+			ms.opt.Recorder.AddCellJobsMoved(len(moves))
+		}
+	}
+}
+
+// bind (re)builds the store and per-cell replica clusters whenever Place
+// sees a new cluster value.
+func (ms *MultiScheduler) bind(cl *cluster.Cluster) {
+	if ms.bound == cl && ms.store != nil && ms.store.Len() == cl.Len() {
+		return
+	}
+	ms.bound = cl
+	ms.store = NewStore(cl)
+	ms.nodeIdx = make(map[string]int, cl.Len())
+	for i, n := range cl.Nodes() {
+		ms.nodeIdx[n.ID] = i
+	}
+	n := len(ms.cells)
+	for ci, c := range ms.cells {
+		full := cluster.New()
+		var part *cluster.Cluster
+		if n > 1 {
+			part = cluster.New()
+		}
+		for i, node := range cl.Nodes() {
+			rep := cluster.NewNode(node.ID, node.Capacity)
+			if err := full.AddNode(rep); err != nil {
+				panic("cells: duplicate node ID in cluster: " + node.ID)
+			}
+			if n > 1 && i%n == ci {
+				if err := part.AddNode(rep); err != nil {
+					panic("cells: duplicate node ID in cluster: " + node.ID)
+				}
+			}
+		}
+		if n == 1 {
+			part = full
+		}
+		c.full, c.part = full, part
+	}
+}
+
+// rebuildReplicas loads the cell's snapshot into its private replica
+// cluster. Task counts are not reconstructed — the placer never reads them.
+func (c *cell) rebuildReplicas() {
+	for i, n := range c.full.Nodes() {
+		n.Reset()
+		if u := c.snap[i].Used; !u.IsZero() {
+			if err := n.Allocate(u); err != nil {
+				panic("cells: snapshot usage exceeds node capacity: " + err.Error())
+			}
+		}
+	}
+}
+
+// runCells executes fn once per cell, in parallel unless there is a single
+// cell or Sequential is set. Cells touch only their own state plus the
+// mutex-guarded store and audit log, so the fan-out is race-free; all
+// cross-cell arbitration happens afterwards on the calling goroutine.
+func (ms *MultiScheduler) runCells(fn func(c *cell)) {
+	if len(ms.cells) == 1 || ms.opt.Sequential {
+		for _, c := range ms.cells {
+			fn(c)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range ms.cells {
+		wg.Add(1)
+		go func(c *cell) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Place runs the sharded placement round: snapshot, parallel per-cell
+// placement on each cell's stripe (with a whole-cluster borrow pass for
+// jobs the stripe cannot host), then a sequential optimistic-commit sweep in
+// cell order. Conflicted jobs re-place against fresh snapshots up to
+// MaxCommitRetries times. The returned map is caller-owned; unplaced holds
+// job IDs that found no feasible placement (same contract as
+// core.PlaceState.Place).
+func (ms *MultiScheduler) Place(reqs []core.PlacementRequest, cl *cluster.Cluster) (map[int]core.Placement, []int) {
+	ms.bind(cl)
+	sp := ms.tracer.Begin("cells-place")
+	ms.store.BeginRound(cl)
+
+	for _, c := range ms.cells {
+		c.reqs = c.reqs[:0]
+		c.unplaced = c.unplaced[:0]
+		c.dropped = c.dropped[:0]
+		c.placements = nil
+		if c.borrowed == nil {
+			c.borrowed = make(map[int]bool)
+		} else {
+			clear(c.borrowed)
+		}
+	}
+	for _, r := range reqs {
+		ci, ok := ms.assign[r.JobID]
+		if !ok {
+			// Place without a prior Allocate (defensive): deterministic
+			// assignment by job ID.
+			ci = r.JobID % len(ms.cells)
+			if ci < 0 {
+				ci = -ci
+			}
+			ms.assign[r.JobID] = ci
+		}
+		c := ms.cells[ci]
+		c.reqs = append(c.reqs, r)
+	}
+
+	// Compute phase: each cell places against its snapshot, preferring its
+	// own stripe and borrowing from the whole-cluster view for the rest.
+	ms.runCells(func(c *cell) {
+		if len(c.reqs) == 0 {
+			return
+		}
+		start := time.Now()
+		c.snap = ms.store.Snapshot(c.snap)
+		c.rebuildReplicas()
+		pls, unp := c.place.Place(c.reqs, c.part)
+		c.placements = pls
+		c.unplaced = append(c.unplaced[:0], unp...)
+		if len(ms.cells) > 1 && len(c.unplaced) > 0 {
+			c.borrow()
+		}
+		c.placeNs = time.Since(start).Nanoseconds()
+	})
+
+	// Commit phase: sequential, in cell order then request order — the
+	// arbitration order is deterministic no matter how the compute phase's
+	// goroutines interleaved.
+	var commits, conflicts, avoided, retries, borrowed int
+	csp := ms.tracer.Begin("cells-commit")
+	placements := make(map[int]core.Placement, len(reqs))
+	ms.retryQ = ms.retryQ[:0]
+	for _, c := range ms.cells {
+		for _, r := range c.reqs {
+			pl, ok := c.placements[r.JobID]
+			if !ok {
+				continue
+			}
+			res := ms.commitAndApply(c, r, pl, cl)
+			if res.OK {
+				placements[r.JobID] = pl
+				commits++
+				if res.Stale {
+					avoided++
+				}
+				if c.borrowed[r.JobID] {
+					borrowed++
+				}
+			} else {
+				conflicts++
+				ms.retryQ = append(ms.retryQ, retryItem{cell: c, req: r})
+			}
+		}
+	}
+	if ms.tracer.Enabled() {
+		ms.tracer.Annotate(csp, fmt.Sprintf("commits=%d conflicts=%d avoided=%d", commits, conflicts, avoided))
+	}
+	ms.tracer.End(csp)
+
+	// Retry phase: conflicted jobs re-place one at a time against fresh
+	// snapshots, with optional (off by default) exponential backoff.
+	if len(ms.retryQ) > 0 {
+		rsp := ms.tracer.Begin("cells-retry")
+		for _, it := range ms.retryQ {
+			pl, ok, attempts := ms.retryPlace(it.cell, it.req, cl)
+			retries += attempts
+			if ok {
+				placements[it.req.JobID] = pl
+				commits++
+			} else {
+				it.cell.dropped = append(it.cell.dropped, it.req.JobID)
+			}
+		}
+		if ms.tracer.Enabled() {
+			ms.tracer.Annotate(rsp, fmt.Sprintf("retried=%d attempts=%d", len(ms.retryQ), retries))
+		}
+		ms.tracer.End(rsp)
+	}
+
+	// Unplaced output preserves per-cell kernel order (for one cell this is
+	// exactly the single-engine order the simulator's shrink-retry relies
+	// on), with conflict-dropped jobs appended last.
+	var unplaced []int
+	for _, c := range ms.cells {
+		for _, id := range c.unplaced {
+			if _, ok := placements[id]; !ok {
+				unplaced = append(unplaced, id)
+			}
+		}
+		unplaced = append(unplaced, c.dropped...)
+	}
+
+	var droppedNow int
+	for _, c := range ms.cells {
+		droppedNow += len(c.dropped)
+	}
+	ms.round.Commits += commits
+	ms.round.Conflicts += conflicts
+	ms.round.Avoided += avoided
+	ms.round.Retries += retries
+	ms.round.Borrowed += borrowed
+	ms.round.Dropped += droppedNow
+	ms.retries += retries
+	ms.borrowed += borrowed
+	ms.dropped += droppedNow
+	if rec := ms.opt.Recorder; rec != nil {
+		rec.AddCellCommits(commits)
+		rec.AddCellConflicts(conflicts)
+		rec.AddCellConflictsAvoided(avoided)
+		rec.AddCellRetries(retries)
+	}
+
+	if ms.tracer.Enabled() {
+		ms.tracer.Annotate(sp, fmt.Sprintf("placed=%d unplaced=%d conflicts=%d", len(placements), len(unplaced), conflicts))
+	}
+	ms.tracer.End(sp)
+	return placements, unplaced
+}
+
+// borrow re-places the stripe's leftovers on the cell's whole-cluster
+// replica. The replica already carries this cell's stripe placements (part
+// shares full's nodes) plus every other cell's state as of the snapshot —
+// the optimistic read the commit phase revalidates.
+func (c *cell) borrow() {
+	if c.reqAt == nil {
+		c.reqAt = make(map[int]int, len(c.reqs))
+	} else {
+		clear(c.reqAt)
+	}
+	for i, r := range c.reqs {
+		c.reqAt[r.JobID] = i
+	}
+	breqs := c.borrowReqs[:0]
+	for _, id := range c.unplaced {
+		breqs = append(breqs, c.reqs[c.reqAt[id]])
+	}
+	c.borrowReqs = breqs
+	pls, unp := c.place.Place(breqs, c.full)
+	for id, pl := range pls {
+		c.placements[id] = pl
+		c.borrowed[id] = true
+	}
+	c.unplaced = append(c.unplaced[:0], unp...)
+}
+
+// commitAndApply converts one placement into a version-stamped grant,
+// commits it to the store, and on success mirrors it task-by-task onto the
+// live cluster — exactly the order the single-engine placer applies its
+// placements, so one-cell runs stay byte-identical.
+func (ms *MultiScheduler) commitAndApply(c *cell, r core.PlacementRequest, pl core.Placement, cl *cluster.Cluster) CommitResult {
+	g := &c.grant
+	g.Job = r.JobID
+	g.Nodes = g.Nodes[:0]
+	g.Deltas = g.Deltas[:0]
+	g.Versions = g.Versions[:0]
+	for i, id := range pl.NodeIDs {
+		ni := ms.nodeIdx[id]
+		delta := r.PSRes.Scale(float64(pl.PSOnNode[i])).Add(r.WorkerRes.Scale(float64(pl.WorkersOnNode[i])))
+		g.Nodes = append(g.Nodes, ni)
+		g.Deltas = append(g.Deltas, delta)
+		g.Versions = append(g.Versions, c.snap[ni].Version)
+	}
+	res := ms.store.Commit(*g)
+	if res.OK {
+		applyPlacement(r, pl, cl)
+	}
+	return res
+}
+
+// applyPlacement deploys a committed placement onto the live cluster,
+// parameter servers first then workers per node (the single-engine
+// commitPlacement order). The store validated the aggregate per-node delta,
+// and every per-task prefix of a non-negative sum fits whenever the sum
+// does, so failure here means the store and cluster disagree — a bug worth
+// crashing on.
+func applyPlacement(r core.PlacementRequest, pl core.Placement, cl *cluster.Cluster) {
+	for i, id := range pl.NodeIDs {
+		n := cl.Node(id)
+		for t := 0; t < pl.PSOnNode[i]; t++ {
+			if err := n.Allocate(r.PSRes); err != nil {
+				panic("cells: committed placement does not fit live cluster: " + err.Error())
+			}
+		}
+		for t := 0; t < pl.WorkersOnNode[i]; t++ {
+			if err := n.Allocate(r.WorkerRes); err != nil {
+				panic("cells: committed placement does not fit live cluster: " + err.Error())
+			}
+		}
+	}
+}
+
+// retryPlace re-places one conflicted request against fresh snapshots until
+// a commit lands or the retry budget runs out. Returns the placement, a
+// success flag, and the number of attempts consumed.
+func (ms *MultiScheduler) retryPlace(c *cell, r core.PlacementRequest, cl *cluster.Cluster) (core.Placement, bool, int) {
+	backoff := ms.opt.ConflictBackoff
+	for attempt := 1; attempt <= ms.opt.MaxCommitRetries; attempt++ {
+		if attempt > 1 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c.snap = ms.store.Snapshot(c.snap)
+		c.rebuildReplicas()
+		c.retryReq = append(c.retryReq[:0], r)
+		pls, unp := c.place.Place(c.retryReq, c.full)
+		if len(unp) > 0 {
+			return core.Placement{}, false, attempt
+		}
+		pl := pls[r.JobID]
+		if res := ms.commitAndApply(c, r, pl, cl); res.OK {
+			return pl, true, attempt
+		}
+	}
+	return core.Placement{}, false, ms.opt.MaxCommitRetries
+}
+
+// LastRound returns the commit/conflict/migration outcomes of the most
+// recent scheduling round.
+func (ms *MultiScheduler) LastRound() RoundStats { return ms.round }
+
+// Stats snapshots the cumulative multi-scheduler state. Not safe to call
+// concurrently with Allocate/Place; optimusd serializes both under its
+// daemon mutex.
+func (ms *MultiScheduler) Stats() Stats {
+	st := Stats{
+		Cells:      len(ms.cells),
+		Rounds:     ms.rounds,
+		Retries:    ms.retries,
+		Borrowed:   ms.borrowed,
+		Dropped:    ms.dropped,
+		Rebalances: ms.rebalances,
+		JobsMoved:  ms.jobsMoved,
+	}
+	if ms.store != nil {
+		st.Commits, st.Conflicts, st.ConflictsAvoided = ms.store.Counters()
+	}
+	for ci, c := range ms.cells {
+		cs := CellStats{
+			Cell:    ci,
+			Jobs:    len(c.infos),
+			AllocMs: float64(c.allocNs) / 1e6,
+			PlaceMs: float64(c.placeNs) / 1e6,
+		}
+		if ci < len(ms.cellWeight) {
+			cs.Weight = ms.cellWeight[ci]
+		}
+		if c.part != nil {
+			cs.Nodes = c.part.Len()
+		}
+		st.PerCell = append(st.PerCell, cs)
+	}
+	return st
+}

@@ -1,0 +1,173 @@
+package cells
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+	"optimus/internal/metrics"
+)
+
+// runRounds drives one multi-scheduler through several allocate+place rounds
+// on its own cluster, returning the final round's outputs.
+func runRounds(ms *MultiScheduler, c *cluster.Cluster, params []jobParams, rounds int) (map[int]core.Allocation, map[int]core.Placement, []int) {
+	var am map[int]core.Allocation
+	var pm map[int]core.Placement
+	var unplaced []int
+	for r := 0; r < rounds; r++ {
+		jobs := materialize(params)
+		am = ms.Allocate(jobs, c.Capacity())
+		c.ResetAll()
+		pm, unplaced = ms.Place(buildReqs(jobs, am), c)
+	}
+	return am, pm, unplaced
+}
+
+// TestMultiCellValid checks the safety invariants at several cell counts: no
+// node over capacity, every request either placed exactly once or reported
+// unplaced, live cluster usage consistent with the shared store, and the
+// placements' resources exactly accounted on the nodes they name.
+func TestMultiCellValid(t *testing.T) {
+	for _, nCells := range []int{2, 3, 4} {
+		for seed := int64(1); seed <= 10; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			nJobs := 10 + rng.Intn(30)
+			c := cluster.Uniform(8+rng.Intn(12), cluster.Resources{
+				cluster.CPU:    16 + float64(rng.Intn(16)),
+				cluster.Memory: 64 + float64(rng.Intn(64)),
+			})
+			params := make([]jobParams, nJobs)
+			for i := range params {
+				params[i] = randomParams(rng, i+1)
+			}
+			ms := New(Options{Cells: nCells})
+			jobs := materialize(params)
+			am := ms.Allocate(jobs, c.Capacity())
+			c.ResetAll()
+			reqs := buildReqs(jobs, am)
+			pm, unplaced := ms.Place(reqs, c)
+
+			for _, n := range c.Nodes() {
+				if !n.Used().Fits(n.Capacity) {
+					t.Fatalf("cells=%d seed %d: node %s over capacity: %v > %v",
+						nCells, seed, n.ID, n.Used(), n.Capacity)
+				}
+			}
+			seen := make(map[int]int)
+			for id := range pm {
+				seen[id]++
+			}
+			for _, id := range unplaced {
+				seen[id]++
+			}
+			for _, r := range reqs {
+				if seen[r.JobID] != 1 {
+					t.Fatalf("cells=%d seed %d: job %d placed/unplaced %d times",
+						nCells, seed, r.JobID, seen[r.JobID])
+				}
+			}
+			// Sum of placement deltas must equal cluster usage exactly: the
+			// commit path applies what it validated, nothing more or less.
+			var want cluster.Resources
+			for id, pl := range pm {
+				var req core.PlacementRequest
+				for _, r := range reqs {
+					if r.JobID == id {
+						req = r
+						break
+					}
+				}
+				for i := range pl.NodeIDs {
+					want = want.Add(req.PSRes.Scale(float64(pl.PSOnNode[i]))).
+						Add(req.WorkerRes.Scale(float64(pl.WorkersOnNode[i])))
+				}
+			}
+			got := c.Used()
+			for rt := range got {
+				d := got[rt] - want[rt]
+				if d < -1e-6 || d > 1e-6 {
+					t.Fatalf("cells=%d seed %d: usage %v != placed %v", nCells, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiCellDeterministic pins the parallel compute / sequential commit
+// split: two identical multi-cell runs must agree exactly, no matter how
+// the per-cell goroutines interleave. A third run with the fan-out disabled
+// must match too.
+func TestMultiCellDeterministic(t *testing.T) {
+	run := func(sequential bool) (map[int]core.Allocation, map[int]core.Placement, []int, Stats) {
+		rng := rand.New(rand.NewSource(11))
+		params := make([]jobParams, 24)
+		for i := range params {
+			params[i] = randomParams(rng, i+1)
+		}
+		c := cluster.Uniform(9, cluster.Resources{cluster.CPU: 24, cluster.Memory: 96})
+		ms := New(Options{Cells: 3, Sequential: sequential})
+		am, pm, up := runRounds(ms, c, params, 3)
+		return am, pm, up, ms.Stats()
+	}
+	a1, p1, u1, s1 := run(false)
+	a2, p2, u2, s2 := run(false)
+	a3, p3, u3, s3 := run(true)
+	for _, st := range []*Stats{&s1, &s2, &s3} {
+		for i := range st.PerCell {
+			st.PerCell[i].AllocMs, st.PerCell[i].PlaceMs = 0, 0
+		}
+	}
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(p1, p2) || !reflect.DeepEqual(u1, u2) {
+		t.Fatal("two parallel multi-cell runs diverge")
+	}
+	if !reflect.DeepEqual(a1, a3) || !reflect.DeepEqual(p1, p3) || !reflect.DeepEqual(u1, u3) {
+		t.Fatal("parallel and sequential multi-cell runs diverge")
+	}
+	if !reflect.DeepEqual(s1, s2) || !reflect.DeepEqual(s1, s3) {
+		t.Fatalf("stats diverge: %+v vs %+v vs %+v", s1, s2, s3)
+	}
+}
+
+// TestStatsAndRecorder checks that the commit protocol's outcomes reach both
+// the Stats snapshot and a bound metrics.Recorder.
+func TestStatsAndRecorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	params := make([]jobParams, 30)
+	for i := range params {
+		params[i] = randomParams(rng, i+1)
+	}
+	c := cluster.Uniform(10, cluster.Resources{cluster.CPU: 24, cluster.Memory: 96})
+	rec := metrics.NewRecorder()
+	ms := New(Options{Cells: 4})
+	ms.BindRecorder(rec)
+	runRounds(ms, c, params, 4)
+
+	st := ms.Stats()
+	if st.Cells != 4 || st.Rounds != 4 {
+		t.Fatalf("stats shape wrong: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+	if len(st.PerCell) != 4 {
+		t.Fatalf("expected 4 per-cell entries, got %d", len(st.PerCell))
+	}
+	var jobs, nodes int
+	for _, cs := range st.PerCell {
+		jobs += cs.Jobs
+		nodes += cs.Nodes
+	}
+	if jobs != 30 {
+		t.Fatalf("per-cell job counts sum to %d, want 30", jobs)
+	}
+	if nodes != c.Len() {
+		t.Fatalf("per-cell stripes sum to %d nodes, want %d", nodes, c.Len())
+	}
+	commits, conflicts, avoided, _, _ := rec.CellCounters()
+	if uint64(commits) != st.Commits || uint64(conflicts) != st.Conflicts || uint64(avoided) != st.ConflictsAvoided {
+		t.Fatalf("recorder (%d,%d,%d) disagrees with stats (%d,%d,%d)",
+			commits, conflicts, avoided, st.Commits, st.Conflicts, st.ConflictsAvoided)
+	}
+}

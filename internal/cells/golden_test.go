@@ -1,0 +1,182 @@
+package cells
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"optimus/internal/cluster"
+	"optimus/internal/core"
+)
+
+// jobParams is the serializable seed of one synthetic job, materialized
+// separately for each engine so neither shares Speed closures or JobInfo
+// pointers with the other.
+type jobParams struct {
+	id         int
+	workerRes  cluster.Resources
+	psRes      cluster.Resources
+	remaining  float64
+	a, b       float64
+	maxWorkers int
+	maxPS      int
+}
+
+func randomParams(rng *rand.Rand, id int) jobParams {
+	return jobParams{
+		id: id,
+		workerRes: cluster.Resources{
+			cluster.CPU:    1 + float64(rng.Intn(4)),
+			cluster.Memory: 2 + float64(rng.Intn(8)),
+		},
+		psRes: cluster.Resources{
+			cluster.CPU:    1 + float64(rng.Intn(3)),
+			cluster.Memory: 2 + float64(rng.Intn(6)),
+		},
+		remaining:  100 + rng.Float64()*5000,
+		a:          0.5 + rng.Float64(),
+		b:          0.5 + rng.Float64()*2,
+		maxWorkers: 4 + rng.Intn(12),
+		maxPS:      4 + rng.Intn(12),
+	}
+}
+
+func (p jobParams) info() *core.JobInfo {
+	a, b := p.a, p.b
+	return &core.JobInfo{
+		ID:            p.id,
+		WorkerRes:     p.workerRes,
+		PSRes:         p.psRes,
+		RemainingWork: p.remaining,
+		MaxWorkers:    p.maxWorkers,
+		MaxPS:         p.maxPS,
+		Speed: func(ps, w int) float64 {
+			return a * float64(ps*w) / (b*float64(ps) + float64(w))
+		},
+	}
+}
+
+func materialize(params []jobParams) []*core.JobInfo {
+	out := make([]*core.JobInfo, len(params))
+	for i, p := range params {
+		out[i] = p.info()
+	}
+	return out
+}
+
+func buildReqs(jobs []*core.JobInfo, alloc map[int]core.Allocation) []core.PlacementRequest {
+	var reqs []core.PlacementRequest
+	for _, in := range jobs {
+		a := alloc[in.ID]
+		if a.PS > 0 && a.Workers > 0 {
+			reqs = append(reqs, core.PlacementRequest{
+				JobID: in.ID, Alloc: a, WorkerRes: in.WorkerRes, PSRes: in.PSRes,
+			})
+		}
+	}
+	return reqs
+}
+
+// TestGoldenOneCellEquivalence is the acceptance-criteria pin: a 1-cell
+// sharded scheduler must produce byte-identical allocations, placements,
+// unplaced lists, and node states to the single-engine core kernels, across
+// many seeds and multiple warm-state rounds (including the single-request
+// re-place the simulator's shrink-retry loop issues).
+func TestGoldenOneCellEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nJobs := 4 + rng.Intn(16)
+		nNodes := 4 + rng.Intn(10)
+		nodeCap := cluster.Resources{
+			cluster.CPU:    8 + float64(rng.Intn(24)),
+			cluster.Memory: 32 + float64(rng.Intn(64)),
+		}
+		c1 := cluster.Uniform(nNodes, nodeCap)
+		c2 := cluster.Uniform(nNodes, nodeCap)
+
+		alloc := core.NewAllocState()
+		place := core.NewPlaceState()
+		ms := New(Options{Cells: 1})
+
+		params := make([]jobParams, nJobs)
+		for i := range params {
+			params[i] = randomParams(rng, i+1)
+		}
+		nextID := nJobs + 1
+
+		for round := 0; round < 3; round++ {
+			jobs1 := materialize(params)
+			jobs2 := materialize(params)
+			capacity := c1.Capacity()
+
+			a1 := alloc.Allocate(jobs1, capacity)
+			a2 := ms.Allocate(jobs2, capacity)
+			if !reflect.DeepEqual(a1, a2) {
+				t.Fatalf("seed %d round %d: allocations diverge\nsingle: %v\ncells:  %v", seed, round, a1, a2)
+			}
+
+			c1.ResetAll()
+			c2.ResetAll()
+			reqs1 := buildReqs(jobs1, a1)
+			reqs2 := buildReqs(jobs2, a2)
+			p1, u1 := place.Place(reqs1, c1)
+			p2, u2 := ms.Place(reqs2, c2)
+			if !reflect.DeepEqual(p1, p2) {
+				t.Fatalf("seed %d round %d: placements diverge\nsingle: %v\ncells:  %v", seed, round, p1, p2)
+			}
+			if !reflect.DeepEqual(u1, u2) {
+				t.Fatalf("seed %d round %d: unplaced diverge: %v vs %v", seed, round, u1, u2)
+			}
+			compareClusters(t, seed, round, c1, c2)
+
+			// The simulator's shrink-retry path: re-place the first unplaced
+			// job shrunk to its 1+1 seed, against the partially-used cluster.
+			if len(u1) > 0 {
+				id := u1[0]
+				var base core.PlacementRequest
+				for _, r := range reqs1 {
+					if r.JobID == id {
+						base = r
+						break
+					}
+				}
+				base.Alloc = core.Allocation{PS: 1, Workers: 1}
+				rp1, ru1 := place.Place([]core.PlacementRequest{base}, c1)
+				rp2, ru2 := ms.Place([]core.PlacementRequest{base}, c2)
+				if !reflect.DeepEqual(rp1, rp2) || !reflect.DeepEqual(ru1, ru2) {
+					t.Fatalf("seed %d round %d: shrink-retry diverges: %v/%v vs %v/%v",
+						seed, round, rp1, ru1, rp2, ru2)
+				}
+				compareClusters(t, seed, round, c1, c2)
+			}
+
+			// Churn the job set: some jobs finish, new ones arrive.
+			kept := params[:0]
+			for _, p := range params {
+				if (p.id+round)%4 != 0 {
+					kept = append(kept, p)
+				}
+			}
+			params = kept
+			for i := 0; i < 2; i++ {
+				params = append(params, randomParams(rng, nextID))
+				nextID++
+			}
+		}
+	}
+}
+
+func compareClusters(t *testing.T, seed int64, round int, c1, c2 *cluster.Cluster) {
+	t.Helper()
+	n1, n2 := c1.Nodes(), c2.Nodes()
+	for i := range n1 {
+		if n1[i].Used() != n2[i].Used() {
+			t.Fatalf("seed %d round %d: node %s usage diverges: %v vs %v",
+				seed, round, n1[i].ID, n1[i].Used(), n2[i].Used())
+		}
+		if n1[i].TaskCount() != n2[i].TaskCount() {
+			t.Fatalf("seed %d round %d: node %s task count diverges: %d vs %d",
+				seed, round, n1[i].ID, n1[i].TaskCount(), n2[i].TaskCount())
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package cells
+
+import "sort"
+
+// JobAssignment is one job's current cell and load weight (its aggregate
+// dominant share at its last allocation), the rebalancer's input.
+type JobAssignment struct {
+	Job    int
+	Cell   int
+	Weight float64
+}
+
+// Move migrates one job between cells.
+type Move struct {
+	Job  int
+	From int
+	To   int
+}
+
+// PlanRebalance computes the job migrations that bring the gap between the
+// heaviest and lightest cells' aggregate weights within threshold, or as
+// close as the job granularity allows. It is a pure function of its inputs
+// (the slice is copied, not mutated) and fully deterministic: jobs are
+// considered in job-ID order and cell ties break toward the lowest index.
+//
+// Each move transfers a job of weight 0 < w < gap from the heaviest cell to
+// the lightest, picking the w closest to gap/2. Such a move shrinks the sum
+// of squared cell weights by 2w(gap−w) > 0, so the plan cannot cycle and
+// terminates; when every job weight is below the threshold a qualifying move
+// exists whenever the gap exceeds it, so the plan converges below threshold.
+// With lumpier jobs the plan stops at the best achievable spread instead of
+// oscillating.
+func PlanRebalance(jobs []JobAssignment, cells int, threshold float64) []Move {
+	if cells < 2 || len(jobs) == 0 || threshold < 0 {
+		return nil
+	}
+	js := append([]JobAssignment(nil), jobs...)
+	sort.Slice(js, func(i, j int) bool { return js[i].Job < js[j].Job })
+
+	weights := make([]float64, cells)
+	for i := range js {
+		if js[i].Cell < 0 || js[i].Cell >= cells {
+			js[i].Cell = 0
+		}
+		weights[js[i].Cell] += js[i].Weight
+	}
+
+	var moves []Move
+	maxMoves := 64 * len(js)
+	for len(moves) < maxMoves {
+		hi, lo := 0, 0
+		for ci := 1; ci < cells; ci++ {
+			if weights[ci] > weights[hi] {
+				hi = ci
+			}
+			if weights[ci] < weights[lo] {
+				lo = ci
+			}
+		}
+		gap := weights[hi] - weights[lo]
+		if gap <= threshold {
+			break
+		}
+		// The ideal transfer halves the gap; any 0 < w < gap strictly
+		// reduces the spread.
+		best, bestDist := -1, 0.0
+		for i := range js {
+			if js[i].Cell != hi {
+				continue
+			}
+			w := js[i].Weight
+			if w <= 0 || w >= gap {
+				continue
+			}
+			d := w - gap/2
+			if d < 0 {
+				d = -d
+			}
+			if best == -1 || d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best == -1 {
+			break // nothing movable without inverting the imbalance
+		}
+		moves = append(moves, Move{Job: js[best].Job, From: hi, To: lo})
+		weights[hi] -= js[best].Weight
+		weights[lo] += js[best].Weight
+		js[best].Cell = lo
+	}
+	return moves
+}

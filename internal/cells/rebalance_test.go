@@ -1,0 +1,125 @@
+package cells
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func applyMoves(jobs []JobAssignment, moves []Move) []JobAssignment {
+	out := append([]JobAssignment(nil), jobs...)
+	byJob := make(map[int]int, len(out))
+	for i, j := range out {
+		byJob[j.Job] = i
+	}
+	for _, mv := range moves {
+		out[byJob[mv.Job]].Cell = mv.To
+	}
+	return out
+}
+
+func cellWeights(jobs []JobAssignment, cells int) []float64 {
+	w := make([]float64, cells)
+	for _, j := range jobs {
+		w[j.Cell] += j.Weight
+	}
+	return w
+}
+
+func spread(w []float64) float64 {
+	hi, lo := w[0], w[0]
+	for _, v := range w[1:] {
+		if v > hi {
+			hi = v
+		}
+		if v < lo {
+			lo = v
+		}
+	}
+	return hi - lo
+}
+
+// TestRebalanceProperty is the satellite property test: with job weights
+// finer than the threshold, the plan must bring every pair of cells within
+// the threshold of each other; with arbitrary (lumpy) weights it must
+// terminate, never widen the spread, conserve total weight, and leave every
+// job in exactly one valid cell.
+func TestRebalanceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cells := 2 + rng.Intn(4)
+		nJobs := cells * (3 + rng.Intn(20))
+		threshold := 0.05 + rng.Float64()*0.2
+		fine := seed%2 == 0 // even seeds: every weight below the threshold
+
+		jobs := make([]JobAssignment, nJobs)
+		var total float64
+		for i := range jobs {
+			w := rng.Float64() * threshold * 0.95
+			if !fine {
+				w = rng.Float64() * threshold * 4
+			}
+			jobs[i] = JobAssignment{Job: i + 1, Cell: rng.Intn(cells), Weight: w}
+			total += w
+		}
+
+		before := cellWeights(jobs, cells)
+		moves := PlanRebalance(jobs, cells, threshold)
+		after := applyMoves(jobs, moves)
+		weights := cellWeights(after, cells)
+
+		// Conservation: weights are job properties and every job lands in
+		// exactly one valid cell, so totals match exactly.
+		var sum float64
+		for _, j := range after {
+			if j.Cell < 0 || j.Cell >= cells {
+				t.Fatalf("seed %d: job %d moved to invalid cell %d", seed, j.Job, j.Cell)
+			}
+			sum += j.Weight
+		}
+		if sum != total {
+			t.Fatalf("seed %d: total weight not conserved: %v != %v", seed, sum, total)
+		}
+		if len(after) != nJobs {
+			t.Fatalf("seed %d: job lost in rebalance", seed)
+		}
+
+		if spread(weights) > spread(before)+1e-9 {
+			t.Fatalf("seed %d: rebalance widened the spread: %v -> %v", seed, spread(before), spread(weights))
+		}
+		if fine && spread(weights) > threshold+1e-9 {
+			t.Fatalf("seed %d: spread %v exceeds threshold %v after rebalance (weights %v)",
+				seed, spread(weights), threshold, weights)
+		}
+
+		// Determinism: same input, same plan.
+		again := PlanRebalance(jobs, cells, threshold)
+		if !reflect.DeepEqual(moves, again) {
+			t.Fatalf("seed %d: rebalance plan not deterministic", seed)
+		}
+	}
+}
+
+// TestRebalanceEdgeCases pins the degenerate inputs.
+func TestRebalanceEdgeCases(t *testing.T) {
+	if mv := PlanRebalance(nil, 4, 0.1); mv != nil {
+		t.Fatalf("empty input produced moves: %v", mv)
+	}
+	if mv := PlanRebalance([]JobAssignment{{Job: 1, Cell: 0, Weight: 1}}, 1, 0.1); mv != nil {
+		t.Fatalf("single cell produced moves: %v", mv)
+	}
+	// Already balanced: no moves.
+	jobs := []JobAssignment{
+		{Job: 1, Cell: 0, Weight: 0.2},
+		{Job: 2, Cell: 1, Weight: 0.2},
+	}
+	if mv := PlanRebalance(jobs, 2, 0.1); len(mv) != 0 {
+		t.Fatalf("balanced input produced moves: %v", mv)
+	}
+	// One indivisible heavy job: nothing to move without inverting the
+	// imbalance, so the plan stops rather than oscillating.
+	jobs = []JobAssignment{{Job: 1, Cell: 0, Weight: 1.0}}
+	if mv := PlanRebalance(jobs, 2, 0.1); len(mv) != 0 {
+		t.Fatalf("indivisible job produced moves: %v", mv)
+	}
+}

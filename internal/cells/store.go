@@ -1,0 +1,176 @@
+// Package cells is the sharded shared-state multi-scheduler of ROADMAP item
+// #1: the cluster is partitioned into N cells, each running its own §4.1
+// allocator and §4.2 placer session against a read-only snapshot of a shared
+// node-state store, then committing grants through an optimistic
+// conflict-aware commit path (arktos-style: version-stamped node state,
+// revalidation on stale reads, retry on conflict with bounded backoff). A
+// cross-cell rebalancer migrates jobs between cells when their aggregate
+// dominant shares drift apart.
+//
+// The design point is the one the shared-state scheduling literature
+// (Omega/arktos, see SNIPPETS.md) converges on: compute in parallel against
+// possibly-stale snapshots, serialize only the cheap commit step, and treat
+// "my snapshot was stale but the grant still fits" as a committed success
+// rather than a conflict — conflicts only occur when a foreign grant
+// actually consumed the resources a cell planned on.
+package cells
+
+import (
+	"sync"
+
+	"optimus/internal/cluster"
+)
+
+// NodeState is one node's entry in the shared-state store: its capacity, the
+// committed usage, and a version stamp bumped on every mutation. Cells read
+// NodeState snapshots and carry the versions into their commit requests.
+type NodeState struct {
+	ID       string
+	Capacity cluster.Resources
+	Used     cluster.Resources
+	Version  uint64
+}
+
+// Store is the shared cluster state all cells commit against. It is safe for
+// concurrent use; snapshot and commit each take one short critical section,
+// so the sequential commit path stays cheap even with many cells computing
+// in parallel.
+type Store struct {
+	mu    sync.Mutex
+	nodes []NodeState
+	byID  map[string]int
+
+	commits   uint64
+	conflicts uint64
+	avoided   uint64 // stale-version commits that revalidated and succeeded
+}
+
+// NewStore builds a store mirroring the cluster's nodes (insertion order is
+// preserved, so store index i is cluster node i).
+func NewStore(c *cluster.Cluster) *Store {
+	s := &Store{
+		nodes: make([]NodeState, c.Len()),
+		byID:  make(map[string]int, c.Len()),
+	}
+	for i, n := range c.Nodes() {
+		s.nodes[i] = NodeState{ID: n.ID, Capacity: n.Capacity, Used: n.Used(), Version: 1}
+		s.byID[n.ID] = i
+	}
+	return s
+}
+
+// Len returns the number of nodes tracked.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.nodes)
+}
+
+// Index returns the store index of a node ID, or -1.
+func (s *Store) Index(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.byID[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// BeginRound resynchronizes the store's committed usage from the live
+// cluster and bumps every version. The scheduling loops rebuild cluster
+// allocations from scratch each interval (ResetAll + reservations for down
+// or lent nodes), so the store must re-anchor on that base before cells
+// snapshot it.
+func (s *Store) BeginRound(c *cluster.Cluster) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, n := range c.Nodes() {
+		s.nodes[i].Used = n.Used()
+		s.nodes[i].Version++
+	}
+}
+
+// Snapshot copies the current node states into buf (grown as needed) and
+// returns it. The copy is the cell's read-only view for one compute phase.
+func (s *Store) Snapshot(buf []NodeState) []NodeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap(buf) < len(s.nodes) {
+		buf = make([]NodeState, len(s.nodes))
+	}
+	buf = buf[:len(s.nodes)]
+	copy(buf, s.nodes)
+	return buf
+}
+
+// Grant is the unit of optimistic commit: one job's placement expressed as
+// per-node resource deltas plus the versions the deltas were computed
+// against. Nodes are store indices.
+type Grant struct {
+	Job      int
+	Nodes    []int
+	Deltas   []cluster.Resources
+	Versions []uint64
+}
+
+// CommitResult reports the outcome of one Commit.
+type CommitResult struct {
+	// OK is true when every delta was applied atomically.
+	OK bool
+	// Stale is true when at least one node's version had moved since the
+	// grant's snapshot. OK && Stale is the "conflict avoided" case: the read
+	// was stale but revalidation against live state still fit.
+	Stale bool
+	// ConflictNode names the first node that failed revalidation (OK false).
+	ConflictNode string
+}
+
+// Commit atomically applies a grant: every touched node is revalidated
+// against live capacity (whether or not its version moved — the store never
+// over-commits, even on malformed grants), and the grant is applied only if
+// every delta fits. A version mismatch alone is not a conflict: arktos-style
+// conflict avoidance re-checks the fit against current state and lets the
+// commit through when the competing grants happened to be disjoint. On
+// conflict nothing is mutated and the caller re-places against a fresh
+// snapshot.
+func (s *Store) Commit(g Grant) CommitResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res CommitResult
+	for i, ni := range g.Nodes {
+		if ni < 0 || ni >= len(s.nodes) {
+			res.ConflictNode = "?"
+			s.conflicts++
+			return res
+		}
+		ns := &s.nodes[ni]
+		if i < len(g.Versions) && g.Versions[i] != ns.Version {
+			res.Stale = true
+		}
+		if !g.Deltas[i].Fits(ns.Capacity.Sub(ns.Used)) {
+			res.ConflictNode = ns.ID
+			s.conflicts++
+			return res
+		}
+	}
+	for i, ni := range g.Nodes {
+		ns := &s.nodes[ni]
+		ns.Used = ns.Used.Add(g.Deltas[i])
+		ns.Version++
+	}
+	res.OK = true
+	s.commits++
+	if res.Stale {
+		s.avoided++
+	}
+	return res
+}
+
+// Counters returns the cumulative commit outcomes: successful commits,
+// conflicts (revalidation failures), and conflicts avoided (stale reads that
+// still committed).
+func (s *Store) Counters() (commits, conflicts, avoided uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commits, s.conflicts, s.avoided
+}

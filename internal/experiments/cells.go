@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optimus/internal/sim"
+)
+
+func init() {
+	register("cells", cellsSharding)
+}
+
+// cellsSharding compares the single-engine §4 scheduler against the sharded
+// shared-state multi-scheduler (internal/cells) at several cell counts on
+// the same workload. The cells-1 row doubles as a visible equivalence
+// exhibit: it must reproduce the optimus row exactly (the golden tests pin
+// this byte-for-byte). Higher cell counts trade scheduling quality for
+// parallel interval computation; the commit-protocol columns show how much
+// optimism the shared-state store had to absorb.
+func cellsSharding(opt Options) (Table, error) {
+	jobs := mixFor(opt, 18, nil)
+	policies := []sim.Policy{
+		sim.OptimusPolicy(),
+		sim.CellsPolicy(1),
+		sim.CellsPolicy(2),
+		sim.CellsPolicy(4),
+	}
+	t := Table{
+		ID:      "cells",
+		Title:   "Sharded multi-cell scheduling vs the single engine",
+		Columns: []string{"policy", "avg JCT (s)", "makespan (s)", "commits", "conflicts", "avoided", "retries", "moved"},
+		Notes: "cells-1 must equal optimus exactly (golden equivalence); " +
+			"conflicts/avoided/retries are the optimistic-commit outcomes, " +
+			"moved counts cross-cell rebalancer migrations",
+	}
+	for _, p := range policies {
+		res, err := sim.Run(simConfig(p, jobs, opt.Seed))
+		if err != nil {
+			return Table{}, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		commits, conflicts, avoided, retries, moved := res.Metrics.CellCounters()
+		t.Rows = append(t.Rows, []string{
+			p.Name,
+			f(res.Summary.AvgJCT),
+			f(res.Summary.Makespan),
+			fmt.Sprint(commits),
+			fmt.Sprint(conflicts),
+			fmt.Sprint(avoided),
+			fmt.Sprint(retries),
+			fmt.Sprint(moved),
+		})
+	}
+	return t, nil
+}

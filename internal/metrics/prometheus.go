@@ -77,6 +77,18 @@ func WriteGauge(w io.Writer, name, help string, v float64) error {
 	return writeMetric(w, name, help, "gauge", v)
 }
 
+// WriteLabeledGauge writes one gauge sample with a single label pair. The
+// family preamble is deduplicated through Exporter, so callers can emit one
+// sample per label value (e.g. per scheduling cell) in a loop.
+func WriteLabeledGauge(w io.Writer, name, help, label, value string, v float64) error {
+	if err := writePreamble(w, name, help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, value,
+		strconv.FormatFloat(v, 'g', -1, 64))
+	return err
+}
+
 // WriteHistogram writes one obs.Histogram as a Prometheus histogram family:
 // cumulative _bucket{le="..."} samples for every log bucket, then _sum and
 // _count.
@@ -120,6 +132,17 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		{"optimus_tasks_restarted_total", "Tasks restarted by fault recovery.", "counter", float64(r.restarts)},
 		{"optimus_wasted_work_seconds_total", "Job-seconds of progress lost to failures and recomputed.", "counter", r.wastedWork},
 		{"optimus_recovery_time_seconds_total", "Job-seconds paused in checkpoint-restore recovery.", "counter", r.recoveryTime},
+	}
+	// Sharded-scheduler families appear only once the cells commit path has
+	// run, so single-engine expositions are byte-for-byte unchanged.
+	if r.cellCommits > 0 || r.cellConflicts > 0 || r.cellJobsMoved > 0 {
+		ms = append(ms,
+			metric{"optimus_cell_commits_total", "Optimistic grant commits applied to the shared-state store.", "counter", float64(r.cellCommits)},
+			metric{"optimus_cell_conflicts_total", "Grant commits rejected at revalidation.", "counter", float64(r.cellConflicts)},
+			metric{"optimus_cell_conflicts_avoided_total", "Stale-snapshot commits that revalidated and landed.", "counter", float64(r.cellConflictsAvoided)},
+			metric{"optimus_cell_commit_retries_total", "Re-place attempts after conflicted commits.", "counter", float64(r.cellRetries)},
+			metric{"optimus_cell_jobs_moved_total", "Jobs migrated between cells by the rebalancer.", "counter", float64(r.cellJobsMoved)},
+		)
 	}
 	if n := len(r.timeline); n > 0 {
 		last := r.timeline[n-1]

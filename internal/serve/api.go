@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"optimus/internal/cells"
 	"optimus/internal/cluster"
 	"optimus/internal/core"
 	"optimus/internal/metrics"
@@ -212,13 +213,15 @@ type NodeStatus struct {
 	Used     map[string]float64 `json:"used"`
 }
 
-// ClusterStatus is the GET /v1/cluster response.
+// ClusterStatus is the GET /v1/cluster response. Cells is present only when
+// the daemon runs the sharded multi-scheduler (-cells > 1).
 type ClusterStatus struct {
 	SimTime      float64      `json:"simTime"`
 	Rounds       int          `json:"rounds"`
 	Jobs         int          `json:"jobs"`
 	LiveJobs     int          `json:"liveJobs"`
 	ClusterShare float64      `json:"clusterShare"`
+	Cells        *cells.Stats `json:"cells,omitempty"`
 	Nodes        []NodeStatus `json:"nodes"`
 }
 
@@ -241,6 +244,10 @@ func (d *Daemon) Cluster() ClusterStatus {
 		Rounds:   d.rounds,
 		Jobs:     len(d.jobs),
 		LiveJobs: d.live,
+	}
+	if d.cells != nil {
+		cs := d.cells.Stats()
+		st.Cells = &cs
 	}
 	var used, capacity cluster.Resources
 	for _, n := range d.cfg.Cluster.Nodes() {
@@ -371,6 +378,19 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, s := range []JobState{StatePending, StateWaiting, StateRunning, StateDone, StateCancelled} {
 		_ = metrics.WriteGauge(w, "optimusd_jobs_"+string(s),
 			"Jobs currently in state "+string(s)+".", float64(byState[s]))
+	}
+	if d.cells != nil {
+		// One sample per cell; the Exporter deduplicates family preambles.
+		ex := metrics.NewExporter(w)
+		for _, cs := range d.cells.Stats().PerCell {
+			id := strconv.Itoa(cs.Cell)
+			_ = metrics.WriteLabeledGauge(ex, "optimusd_cell_jobs",
+				"Jobs assigned to each scheduling cell.", "cell", id, float64(cs.Jobs))
+			_ = metrics.WriteLabeledGauge(ex, "optimusd_cell_weight",
+				"Aggregate dominant-share weight of each cell's jobs.", "cell", id, cs.Weight)
+			_ = metrics.WriteLabeledGauge(ex, "optimusd_cell_nodes",
+				"Nodes in each cell's stripe.", "cell", id, float64(cs.Nodes))
+		}
 	}
 }
 

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"optimus/internal/cluster"
+)
+
+// TestMultiCellDaemon boots a daemon on the sharded multi-scheduler and
+// checks the full online path: jobs run, /v1/cluster carries per-cell
+// stats, and /metrics exports the cell families.
+func TestMultiCellDaemon(t *testing.T) {
+	d, err := New(Config{
+		Cluster: cluster.Uniform(8, cluster.Resources{
+			cluster.CPU: 32, cluster.Memory: 128, cluster.GPU: 4, cluster.Bandwidth: 10,
+		}),
+		Seed:  7,
+		Cells: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.policy.Name, "cells-") {
+		t.Fatalf("policy %q, want cells-*", d.policy.Name)
+	}
+
+	for _, model := range []string{"resnet-50", "inception-bn", "seq2seq"} {
+		submit(t, d, SubmitRequest{Model: model, Mode: "async",
+			Threshold: 0.01, Downscale: 1})
+	}
+	for i := 0; i < 3; i++ {
+		d.Step()
+	}
+
+	st := d.Cluster()
+	if st.Cells == nil {
+		t.Fatal("ClusterStatus.Cells missing under -cells 4")
+	}
+	if st.Cells.Cells != 4 || len(st.Cells.PerCell) != 4 {
+		t.Fatalf("cells stats shape wrong: %+v", st.Cells)
+	}
+	if st.Cells.Commits == 0 {
+		t.Fatal("no commits after 3 rounds with running jobs")
+	}
+	var jobs int
+	for _, cs := range st.Cells.PerCell {
+		jobs += cs.Jobs
+	}
+	if jobs != 3 {
+		t.Fatalf("per-cell jobs sum to %d, want 3", jobs)
+	}
+
+	rec := httptest.NewRecorder()
+	d.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"optimus_cell_commits_total",
+		`optimusd_cell_jobs{cell="0"}`,
+		`optimusd_cell_jobs{cell="3"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestSingleCellConfigUsesSingleEngine pins that -cells 1 (or unset) keeps
+// the plain single-engine policy: the sharded layer must cost nothing until
+// it is asked for.
+func TestSingleCellConfigUsesSingleEngine(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		d, err := New(Config{Cluster: cluster.Testbed(), Cells: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.cells != nil || d.policy.Name != "optimus" {
+			t.Fatalf("Cells=%d: policy %q cells=%v, want single engine", n, d.policy.Name, d.cells)
+		}
+		st := d.Cluster()
+		if st.Cells != nil {
+			t.Fatalf("Cells=%d: ClusterStatus.Cells should be omitted", n)
+		}
+	}
+}

@@ -128,6 +128,14 @@ func (d *Daemon) stepLocked() {
 	d.rec.ObservePlaceDuration(time.Since(placeStart).Seconds())
 	d.tracer.End(placeSpan)
 
+	if d.cells != nil {
+		if rs := d.cells.LastRound(); rs.JobsMoved > 0 {
+			d.publish(Event{Type: EventRebalanced,
+				Detail: fmt.Sprintf("moved=%d conflicts=%d retries=%d",
+					rs.JobsMoved, rs.Conflicts, rs.Retries)})
+		}
+	}
+
 	// Apply the round's deployments, emitting decision events and charging
 	// §5.4 scaling pauses for changed configurations.
 	deploySpan := d.tracer.Begin("deploy")

@@ -23,6 +23,9 @@ const (
 	EventCancelled EventType = "cancelled" // owner cancelled the job
 	EventFault     EventType = "fault"     // injected degradation (straggler)
 	EventRecovered EventType = "recovered" // fault repaired (§5.2 replacement)
+	// EventRebalanced fires when the multi-cell rebalancer migrated jobs
+	// between scheduling cells this round (-cells > 1 only).
+	EventRebalanced EventType = "rebalanced"
 )
 
 // Event is one scheduler decision. Seq is a strictly increasing stream

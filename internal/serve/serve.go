@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"optimus/internal/cells"
 	"optimus/internal/cluster"
 	"optimus/internal/core"
 	"optimus/internal/lossfit"
@@ -78,6 +79,13 @@ type Config struct {
 	// replaces the straggler after one detection round. Zero disables.
 	StragglerProb     float64
 	StragglerSlowdown float64 // default 0.5
+
+	// Cells, when > 1, runs the sharded shared-state multi-scheduler
+	// (internal/cells) instead of the single-engine kernels: the cluster is
+	// split into Cells stripes, each scheduling in parallel against a
+	// snapshot of a shared store with optimistic conflict-aware commits.
+	// Per-cell stats appear in GET /v1/cluster and /metrics. Default 1.
+	Cells int
 
 	// MaxJobs is the admission-control cap on live (non-terminal) jobs;
 	// submissions beyond it are rejected with 429. Default 4096.
@@ -195,6 +203,7 @@ const maxLossObs = 512
 type Daemon struct {
 	cfg    Config
 	policy sim.Policy
+	cells  *cells.MultiScheduler // non-nil only when cfg.Cells > 1
 	bus    *eventBus
 	// tracer/audit are non-nil only when cfg.Trace is set; every use is
 	// nil-receiver-safe, so the disabled daemon skips the whole layer.
@@ -231,6 +240,15 @@ func New(cfg Config) (*Daemon, error) {
 		rec:       metrics.NewRecorder(),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		startWall: time.Now(),
+	}
+	if cfg.Cells > 1 {
+		d.cells = cells.New(cells.Options{Cells: cfg.Cells, Recorder: d.rec})
+		d.policy = sim.Policy{
+			Name:       fmt.Sprintf("cells-%d", cfg.Cells),
+			Allocate:   d.cells.Allocate,
+			Place:      d.cells.Place,
+			Instrument: d.cells.Instrument,
+		}
 	}
 	if cfg.Trace {
 		d.tracer = obs.NewTracer(cfg.TraceBuffer)

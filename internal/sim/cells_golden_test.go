@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"optimus/internal/cluster"
+	"optimus/internal/workload"
+)
+
+// TestCellsOneCellGoldenEquivalence runs the full simulator — estimation,
+// churn damping, shrink retries, stragglers and all — under the single
+// engine and under the 1-cell sharded scheduler, across 30+ seeds. Every
+// deterministic output must match exactly: the sharding seam may not perturb
+// a single decision when there is nothing to shard.
+func TestCellsOneCellGoldenEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 32; seed++ {
+		jobs := workload.Generate(workload.GenConfig{
+			N: 4 + int(seed%5), Horizon: 3000, Seed: seed, Downscale: 0.02,
+		})
+		mk := func(p Policy) Config {
+			cfg := Config{
+				Cluster:     cluster.Testbed(),
+				Jobs:        jobs,
+				Policy:      p,
+				Interval:    600,
+				Seed:        seed,
+				ScalingBase: 20,
+			}
+			// Odd seeds run the estimation path (speed/loss fitting with
+			// noise) plus straggler injection; even seeds the true models.
+			if seed%2 == 1 {
+				cfg.PreRunSamples = 5
+				cfg.SpeedNoise = 0.03
+				cfg.LossNoise = 0.01
+				cfg.StragglerProb = 0.05
+			} else {
+				cfg.UseTrueModels = true
+			}
+			return cfg
+		}
+		single, err := Run(mk(OptimusPolicy()))
+		if err != nil {
+			t.Fatalf("seed %d: single: %v", seed, err)
+		}
+		sharded, err := Run(mk(CellsPolicy(1)))
+		if err != nil {
+			t.Fatalf("seed %d: cells-1: %v", seed, err)
+		}
+
+		if single.Summary != sharded.Summary {
+			t.Fatalf("seed %d: summaries diverge\nsingle: %+v\ncells:  %+v",
+				seed, single.Summary, sharded.Summary)
+		}
+		if !reflect.DeepEqual(single.JCTs, sharded.JCTs) {
+			t.Fatalf("seed %d: JCTs diverge\nsingle: %v\ncells:  %v", seed, single.JCTs, sharded.JCTs)
+		}
+		if !reflect.DeepEqual(single.Timeline, sharded.Timeline) {
+			t.Fatalf("seed %d: timelines diverge", seed)
+		}
+		if !reflect.DeepEqual(single.Unfinished, sharded.Unfinished) {
+			t.Fatalf("seed %d: unfinished diverge: %v vs %v", seed, single.Unfinished, sharded.Unfinished)
+		}
+		if !reflect.DeepEqual(single.Intervals, sharded.Intervals) {
+			t.Fatalf("seed %d: interval records diverge", seed)
+		}
+	}
+}
+
+// TestCellsMultiCellSim checks the sharded policy end-to-end in the
+// simulator at n>1: runs complete, are reproducible, and the run's recorder
+// carries the commit-protocol counters via the BindRecorder seam.
+func TestCellsMultiCellSim(t *testing.T) {
+	jobs := workload.Generate(workload.GenConfig{
+		N: 10, Horizon: 4000, Seed: 9, Downscale: 0.02,
+	})
+	cfg := Config{
+		Cluster:       cluster.Testbed(),
+		Jobs:          jobs,
+		Policy:        CellsPolicy(3),
+		Interval:      600,
+		Seed:          9,
+		UseTrueModels: true,
+		ScalingBase:   20,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Fatalf("multi-cell run not reproducible: %+v vs %+v", a.Summary, b.Summary)
+	}
+	if a.Summary.Completed == 0 {
+		t.Fatal("no jobs completed under cells-3")
+	}
+	commits, _, _, _, _ := a.Metrics.CellCounters()
+	if commits == 0 {
+		t.Fatal("BindRecorder did not surface commit counters")
+	}
+}

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"fmt"
+
 	"optimus/internal/baselines"
+	"optimus/internal/cells"
 	"optimus/internal/cluster"
 	"optimus/internal/core"
 	"optimus/internal/obs"
@@ -24,6 +27,31 @@ func OptimusPolicy() Policy {
 				alloc.Trace, alloc.Audit = tr, au
 				place.Trace, place.Audit = tr, au
 			},
+		}
+	}
+	p := session()
+	p.Session = session
+	return p
+}
+
+// CellsPolicy is the sharded shared-state scheduler: the cluster split into
+// n cells, each running its own §4.1/§4.2 kernel session against a shared
+// store with optimistic conflict-aware commits (internal/cells). With n=1 it
+// is byte-equivalent to OptimusPolicy — the golden equivalence tests pin
+// that — so the sharding seam costs nothing until it is actually sharded.
+func CellsPolicy(n int) Policy {
+	if n < 1 {
+		n = 1
+	}
+	name := fmt.Sprintf("cells-%d", n)
+	session := func() Policy {
+		ms := cells.New(cells.Options{Cells: n})
+		return Policy{
+			Name:         name,
+			Allocate:     ms.Allocate,
+			Place:        ms.Place,
+			Instrument:   ms.Instrument,
+			BindRecorder: ms.BindRecorder,
 		}
 	}
 	p := session()
