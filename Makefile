@@ -18,14 +18,14 @@ test:
 # internal/experiments runs its parallel worker pool under the detector;
 # internal/serve includes the 1000-submission daemon load test.
 race:
-	$(GO) test -race ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/ ./internal/serve/ ./internal/obs/ ./internal/cells/
+	$(GO) test -race ./internal/core/ ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/ ./internal/serve/ ./internal/obs/ ./internal/cells/
 
 # Micro-benchmarks of the core algorithms, recorded as the repo's perf
 # trajectory: BENCH_1.json is the first point; bump N for later snapshots
 # and compare ns/op and allocs/op against the committed history.
-BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkNNLS|BenchmarkPAA|BenchmarkPSStep|BenchmarkCells)$$
-BENCH_OUT ?= BENCH_4.json
-BENCH_BASE ?= BENCH_3.json
+BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkNNLS|BenchmarkPAA|BenchmarkPSStep|BenchmarkCells|BenchmarkIncrementalInterval)$$
+BENCH_OUT ?= BENCH_5.json
+BENCH_BASE ?= BENCH_4.json
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeSubmit -fuzztime 15s ./internal/serve/
 	$(GO) test -fuzz FuzzChromeTrace -fuzztime 15s ./internal/obs/
 	$(GO) test -fuzz FuzzCellCommit -fuzztime 15s ./internal/cells/
+	$(GO) test -fuzz FuzzIncrementalChurn -fuzztime 15s ./internal/core/
 
 # Run the online scheduler daemon on the paper testbed (600x scaled time).
 serve:

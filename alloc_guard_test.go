@@ -68,6 +68,56 @@ func TestAllocationBudgets(t *testing.T) {
 		}
 	})
 
+	t.Run("place", func(t *testing.T) {
+		zoo := workload.Zoo()
+		rng := rand.New(rand.NewSource(3))
+		const nJobs = 80
+		jobs := make([]*core.JobInfo, nJobs)
+		for i := range jobs {
+			m := zoo[i%len(zoo)]
+			mode := speedfit.Mode(rng.Intn(2))
+			jobs[i] = &core.JobInfo{
+				ID:            i,
+				RemainingWork: 1000 + rng.Float64()*100000,
+				Speed:         func(p, w int) float64 { return m.TrueSpeed(mode, p, w) },
+				WorkerRes:     m.WorkerRes,
+				PSRes:         m.PSRes,
+				MaxWorkers:    16,
+				MaxPS:         16,
+			}
+		}
+		cl := cluster.Uniform(20, cluster.Resources{
+			cluster.CPU: 64, cluster.Memory: 256,
+		})
+		ast := core.NewAllocState()
+		alloc := ast.Allocate(jobs, cl.Capacity())
+		reqs := make([]core.PlacementRequest, 0, nJobs)
+		for _, in := range jobs {
+			a := alloc[in.ID]
+			if a.PS > 0 && a.Workers > 0 {
+				reqs = append(reqs, core.PlacementRequest{
+					JobID: in.ID, Alloc: a,
+					WorkerRes: in.WorkerRes, PSRes: in.PSRes,
+				})
+			}
+		}
+		st := core.NewPlaceState()
+		cl.ResetAll()
+		st.Place(reqs, cl) // warm the scratch buffers
+		allocs := testing.AllocsPerRun(10, func() {
+			cl.ResetAll()
+			st.Place(reqs, cl)
+		})
+		// The warmed placer stages rows into reusable scratch and materializes
+		// the caller-owned result in one arena pass: a map plus three backing
+		// arrays, independent of request and node count (the pre-arena placer
+		// cost ~253 here, one allocation per placement row). Budget leaves
+		// room for map growth internals without tolerating per-row costs.
+		if allocs > 30 {
+			t.Errorf("warmed Place: %.1f allocs/op, budget 30", allocs)
+		}
+	})
+
 	t.Run("cells-interval", func(t *testing.T) {
 		zoo := workload.Zoo()
 		rng := rand.New(rand.NewSource(2))

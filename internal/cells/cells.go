@@ -57,7 +57,7 @@ func (o *Options) fillDefaults() {
 // from store snapshots for the borrow path.
 type cell struct {
 	id    int
-	alloc *core.AllocState
+	alloc *core.AllocSession
 	place *core.PlaceState
 
 	// part holds this cell's node stripe; full is a private replica of the
@@ -81,6 +81,20 @@ type cell struct {
 	retryReq   []core.PlacementRequest
 	grant      Grant
 
+	// Unchanged-cell fast path: the previous round's compute-phase inputs
+	// (request list and snapshot per-node usage VALUES — store versions bump
+	// every round, so only values can prove "unchanged") and outputs. When
+	// both inputs match, the deterministic kernel would reproduce the cached
+	// outputs exactly, so the cell skips the replica rebuild and placement
+	// search entirely; commits still replay because the store is round-reset.
+	havePrev     bool
+	reused       bool // this round took the fast path
+	lastReqs     []core.PlacementRequest
+	lastUsed     []cluster.Resources
+	lastPlaced   map[int]core.Placement
+	lastUnplaced []int
+	lastBorrowed []int
+
 	allocNs int64
 	placeNs int64
 }
@@ -97,6 +111,9 @@ type RoundStats struct {
 	Borrowed  int `json:"borrowed"`
 	Dropped   int `json:"dropped"`
 	JobsMoved int `json:"jobsMoved"`
+	// CellsReused counts cells that skipped their compute phase this round
+	// because their requests and snapshot were unchanged.
+	CellsReused int `json:"cellsReused,omitempty"`
 }
 
 // CellStats is one cell's slice of the cluster as of the last round.
@@ -112,17 +129,20 @@ type CellStats struct {
 // Stats is the cumulative multi-scheduler state surfaced by optimusd's
 // /v1/cluster endpoint and the experiment tables.
 type Stats struct {
-	Cells            int         `json:"cells"`
-	Rounds           int         `json:"rounds"`
-	Commits          uint64      `json:"commits"`
-	Conflicts        uint64      `json:"conflicts"`
-	ConflictsAvoided uint64      `json:"conflictsAvoided"`
-	Retries          int         `json:"retries"`
-	Borrowed         int         `json:"borrowed"`
-	Dropped          int         `json:"dropped"`
-	Rebalances       int         `json:"rebalances"`
-	JobsMoved        int         `json:"jobsMoved"`
-	PerCell          []CellStats `json:"perCell"`
+	Cells            int    `json:"cells"`
+	Rounds           int    `json:"rounds"`
+	Commits          uint64 `json:"commits"`
+	Conflicts        uint64 `json:"conflicts"`
+	ConflictsAvoided uint64 `json:"conflictsAvoided"`
+	Retries          int    `json:"retries"`
+	Borrowed         int    `json:"borrowed"`
+	Dropped          int    `json:"dropped"`
+	Rebalances       int    `json:"rebalances"`
+	JobsMoved        int    `json:"jobsMoved"`
+	// CellsReused is the cumulative number of per-cell compute phases skipped
+	// by the unchanged-cell fast path.
+	CellsReused int         `json:"cellsReused,omitempty"`
+	PerCell     []CellStats `json:"perCell"`
 }
 
 // MultiScheduler shards scheduling across N cells over a shared-state store.
@@ -160,11 +180,12 @@ type MultiScheduler struct {
 	rounds int
 	round  RoundStats
 
-	retries    int
-	borrowed   int
-	dropped    int
-	rebalances int
-	jobsMoved  int
+	retries     int
+	borrowed    int
+	dropped     int
+	rebalances  int
+	jobsMoved   int
+	cellsReused int
 }
 
 type retryItem struct {
@@ -186,7 +207,7 @@ func New(opt Options) *MultiScheduler {
 	for i := 0; i < opt.Cells; i++ {
 		ms.cells = append(ms.cells, &cell{
 			id:    i,
-			alloc: core.NewAllocState(),
+			alloc: core.NewAllocSession(),
 			place: core.NewPlaceState(),
 		})
 	}
@@ -201,10 +222,10 @@ func New(opt Options) *MultiScheduler {
 func (ms *MultiScheduler) Instrument(tr *obs.Tracer, au *obs.AuditLog) {
 	ms.tracer, ms.audit = tr, au
 	for _, c := range ms.cells {
-		c.alloc.Audit = au
+		c.alloc.St.Audit = au
 		c.place.Audit = au
 		if len(ms.cells) == 1 {
-			c.alloc.Trace = tr
+			c.alloc.St.Trace = tr
 			c.place.Trace = tr
 		}
 	}
@@ -391,6 +412,8 @@ func (ms *MultiScheduler) bind(cl *cluster.Cluster) {
 			part = full
 		}
 		c.full, c.part = full, part
+		// A new cluster binding invalidates every cached compute result.
+		c.havePrev = false
 	}
 }
 
@@ -468,13 +491,30 @@ func (ms *MultiScheduler) Place(reqs []core.PlacementRequest, cl *cluster.Cluste
 	}
 
 	// Compute phase: each cell places against its snapshot, preferring its
-	// own stripe and borrowing from the whole-cluster view for the rest.
+	// own stripe and borrowing from the whole-cluster view for the rest. A
+	// cell whose requests and snapshot usage are value-identical to the
+	// previous round reuses its cached result — the kernel is a deterministic
+	// pure function of exactly those inputs — and skips the replica rebuild
+	// and placement search (the commit sweep below still replays its grants,
+	// because the store is reset every round).
 	ms.runCells(func(c *cell) {
+		c.reused = false
 		if len(c.reqs) == 0 {
+			c.havePrev = false
 			return
 		}
 		start := time.Now()
 		c.snap = ms.store.Snapshot(c.snap)
+		if c.canReuse() {
+			c.placements = c.lastPlaced
+			c.unplaced = append(c.unplaced[:0], c.lastUnplaced...)
+			for _, id := range c.lastBorrowed {
+				c.borrowed[id] = true
+			}
+			c.reused = true
+			c.placeNs = time.Since(start).Nanoseconds()
+			return
+		}
 		c.rebuildReplicas()
 		pls, unp := c.place.Place(c.reqs, c.part)
 		c.placements = pls
@@ -482,8 +522,15 @@ func (ms *MultiScheduler) Place(reqs []core.PlacementRequest, cl *cluster.Cluste
 		if len(ms.cells) > 1 && len(c.unplaced) > 0 {
 			c.borrow()
 		}
+		c.saveRound()
 		c.placeNs = time.Since(start).Nanoseconds()
 	})
+	for _, c := range ms.cells {
+		if c.reused {
+			ms.round.CellsReused++
+			ms.cellsReused++
+		}
+	}
 
 	// Commit phase: sequential, in cell order then request order — the
 	// arbitration order is deterministic no matter how the compute phase's
@@ -577,6 +624,47 @@ func (ms *MultiScheduler) Place(reqs []core.PlacementRequest, cl *cluster.Cluste
 	}
 	ms.tracer.End(sp)
 	return placements, unplaced
+}
+
+// canReuse reports whether this round's compute inputs are value-identical
+// to the previous round's, in which case the cached outputs are exactly what
+// a recompute would produce. Store versions advance every round regardless
+// of change, so the comparison is over request and usage VALUES.
+func (c *cell) canReuse() bool {
+	if !c.havePrev || len(c.reqs) != len(c.lastReqs) || len(c.snap) != len(c.lastUsed) {
+		return false
+	}
+	for i := range c.reqs {
+		if c.reqs[i] != c.lastReqs[i] {
+			return false
+		}
+	}
+	for i := range c.snap {
+		if c.snap[i].Used != c.lastUsed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// saveRound records the compute phase's inputs and outputs for next round's
+// canReuse check. It must run before the commit phase: retryPlace refreshes
+// c.snap mid-round, and the saved usage must be the compute-time values.
+func (c *cell) saveRound() {
+	c.lastReqs = append(c.lastReqs[:0], c.reqs...)
+	c.lastUsed = c.lastUsed[:0]
+	for _, ns := range c.snap {
+		c.lastUsed = append(c.lastUsed, ns.Used)
+	}
+	c.lastPlaced = c.placements
+	c.lastUnplaced = append(c.lastUnplaced[:0], c.unplaced...)
+	c.lastBorrowed = c.lastBorrowed[:0]
+	for id, b := range c.borrowed {
+		if b {
+			c.lastBorrowed = append(c.lastBorrowed, id)
+		}
+	}
+	c.havePrev = true
 }
 
 // borrow re-places the stripe's leftovers on the cell's whole-cluster
@@ -685,13 +773,14 @@ func (ms *MultiScheduler) LastRound() RoundStats { return ms.round }
 // daemon mutex.
 func (ms *MultiScheduler) Stats() Stats {
 	st := Stats{
-		Cells:      len(ms.cells),
-		Rounds:     ms.rounds,
-		Retries:    ms.retries,
-		Borrowed:   ms.borrowed,
-		Dropped:    ms.dropped,
-		Rebalances: ms.rebalances,
-		JobsMoved:  ms.jobsMoved,
+		Cells:       len(ms.cells),
+		Rounds:      ms.rounds,
+		Retries:     ms.retries,
+		Borrowed:    ms.borrowed,
+		Dropped:     ms.dropped,
+		Rebalances:  ms.rebalances,
+		JobsMoved:   ms.jobsMoved,
+		CellsReused: ms.cellsReused,
 	}
 	if ms.store != nil {
 		st.Commits, st.Conflicts, st.ConflictsAvoided = ms.store.Counters()

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"optimus/internal/cluster"
+)
+
+// churnWorld is the mutable state the churn oracle drives: a live job set
+// with arrivals, completions, refits, and priority changes, plus a
+// persistent cluster for the incremental placement session (the reference
+// placer gets a fresh cluster every step).
+type churnWorld struct {
+	r        *rand.Rand
+	jobs     []*JobInfo
+	nextID   int
+	gen      uint64
+	capacity cluster.Resources
+	specs    []cluster.Resources
+	sessCl   *cluster.Cluster
+}
+
+func newChurnWorld(r *rand.Rand, startJobs int) *churnWorld {
+	w := &churnWorld{r: r}
+	for i := 0; i < startJobs; i++ {
+		w.jobs = append(w.jobs, w.newJob())
+	}
+	w.specs = randClusterSpec(r)
+	w.sessCl = buildCluster(w.specs)
+	scale := 2 + r.Float64()*38
+	n := float64(startJobs + 1)
+	w.capacity = cluster.Resources{
+		cluster.CPU:    n * scale,
+		cluster.Memory: n * scale * 3,
+	}
+	return w
+}
+
+// newJob mirrors randJobs' smooth random speed surfaces, with a fresh
+// SpeedGen stamp per surface so the session can trust unchanged jobs.
+func (w *churnWorld) newJob() *JobInfo {
+	r := w.r
+	id := w.nextID
+	w.nextID++
+	j := &JobInfo{
+		ID:            id,
+		RemainingWork: 1e4 * (0.5 + r.Float64()),
+		WorkerRes: cluster.Resources{
+			cluster.CPU:    2 + 2*r.Float64(),
+			cluster.Memory: 4 + 4*r.Float64(),
+		},
+		PSRes: cluster.Resources{
+			cluster.CPU:    1 + r.Float64(),
+			cluster.Memory: 2 + 2*r.Float64(),
+		},
+		MaxWorkers: r.Intn(3) * 8,
+		MaxPS:      r.Intn(3) * 4,
+	}
+	if r.Intn(4) == 0 {
+		j.Priority = 0.95
+	}
+	w.refit(j)
+	return j
+}
+
+// refit installs a fresh random speed surface and bumps the generation.
+func (w *churnWorld) refit(j *JobInfo) {
+	a := 0.5 + w.r.Float64()
+	b := 0.1 + w.r.Float64()
+	c := 0.05 + 0.2*w.r.Float64()
+	j.Speed = func(p, ww int) float64 {
+		if p <= 0 || ww <= 0 {
+			return 0
+		}
+		pf, wf := float64(p), float64(ww)
+		return a * wf / (1 + b*wf/pf + c*wf)
+	}
+	w.gen++
+	j.SpeedGen = w.gen
+}
+
+// step applies one churn operation. op is reduced modulo the op count, so a
+// fuzz byte stream can drive it directly.
+func (w *churnWorld) step(op byte) {
+	r := w.r
+	switch op % 8 {
+	case 0: // clean interval: touch nothing
+	case 1: // arrival
+		w.jobs = append(w.jobs, w.newJob())
+	case 2: // completion
+		if len(w.jobs) > 0 {
+			i := r.Intn(len(w.jobs))
+			w.jobs = append(w.jobs[:i], w.jobs[i+1:]...)
+		}
+	case 3: // refit: new speed surface + progress
+		if len(w.jobs) > 0 {
+			j := w.jobs[r.Intn(len(w.jobs))]
+			j.RemainingWork *= 0.5 + r.Float64()
+			w.refit(j)
+		}
+	case 4: // progress only (work shrinks, model unchanged)
+		if len(w.jobs) > 0 {
+			w.jobs[r.Intn(len(w.jobs))].RemainingWork *= 0.9
+		}
+	case 5: // priority change
+		if len(w.jobs) > 0 {
+			j := w.jobs[r.Intn(len(w.jobs))]
+			if j.Priority == 0 {
+				j.Priority = 0.95
+			} else {
+				j.Priority = 0
+			}
+		}
+	case 6: // capacity change (must force a full allocator recompute)
+		w.capacity = w.capacity.Scale(0.8 + 0.4*r.Float64())
+	case 7: // external cluster mutation (must trip the post-commit guard)
+		nodes := w.sessCl.Nodes()
+		n := nodes[r.Intn(len(nodes))]
+		_ = n.Allocate(cluster.Resources{cluster.CPU: 0.25})
+	}
+}
+
+// interval runs one scheduling interval through the incremental sessions and
+// the from-scratch reference kernels, requiring byte-identical allocations,
+// placements, unplaced lists, and final per-node float state.
+func (w *churnWorld) interval(t testing.TB, inc *Incremental) {
+	t.Helper()
+	wantAlloc := refAllocate(w.jobs, w.capacity)
+	gotAlloc := inc.Alloc.Allocate(w.jobs, w.capacity)
+	if !reflect.DeepEqual(wantAlloc, gotAlloc) {
+		t.Fatalf("allocations diverge\nref: %v\nnew: %v", wantAlloc, gotAlloc)
+	}
+
+	var reqs []PlacementRequest
+	for _, j := range w.jobs {
+		a := gotAlloc[j.ID]
+		if a.PS > 0 && a.Workers > 0 {
+			reqs = append(reqs, PlacementRequest{
+				JobID: j.ID, Alloc: a,
+				WorkerRes: j.WorkerRes, PSRes: j.PSRes,
+			})
+		}
+	}
+
+	cRef := buildCluster(w.specs)
+	wantPl, wantUn := refPlace(reqs, cRef)
+	gotPl, gotUn := inc.Place.Place(reqs, w.sessCl)
+	if !reflect.DeepEqual(wantPl, gotPl) {
+		t.Fatalf("placements diverge\nref: %v\nnew: %v", wantPl, gotPl)
+	}
+	if !reflect.DeepEqual(wantUn, gotUn) {
+		t.Fatalf("unplaced diverge\nref: %v\nnew: %v", wantUn, gotUn)
+	}
+	for i, n := range cRef.Nodes() {
+		if n.Used() != w.sessCl.Nodes()[i].Used() {
+			t.Fatalf("node %s usage diverges: ref %v, new %v",
+				n.ID, n.Used(), w.sessCl.Nodes()[i].Used())
+		}
+	}
+}
+
+// TestIncrementalSessionChurn is the property-test arm of the churn oracle:
+// random arrive/complete/refit/priority/capacity/mutation sequences, with
+// the incremental session output compared against the from-scratch reference
+// after every single step.
+func TestIncrementalSessionChurn(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		r := rand.New(rand.NewSource(4000 + seed))
+		w := newChurnWorld(r, 1+r.Intn(24))
+		inc := NewIncremental()
+		inc.Alloc.MinParallelDirty = 2 // exercise the parallel refit pool
+		for step := 0; step < 40; step++ {
+			w.step(byte(r.Intn(256)))
+			w.interval(t, inc)
+		}
+	}
+}
+
+// TestIncrementalSessionTiers pins the tier accounting: a repeated identical
+// interval must hit both clean fast paths, a single-job change must take the
+// incremental allocator tier, and a capacity change must force full
+// recomputes.
+func TestIncrementalSessionTiers(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	w := newChurnWorld(r, 12)
+	// Capped jobs and generous capacity so the run is uncontended (an
+	// uncapped job under a monotone speed surface never saturates, which
+	// rightly forces the contended full path) and the incremental allocator
+	// tier is reachable.
+	for _, j := range w.jobs {
+		j.MaxWorkers, j.MaxPS = 8, 4
+	}
+	w.capacity = cluster.Resources{cluster.CPU: 1e6, cluster.Memory: 4e6}
+	inc := NewIncremental()
+
+	w.interval(t, inc) // prime: full tier for both kernels
+	st := inc.Stats()
+	if st.AllocFull != 1 || st.PlaceFull != 1 {
+		t.Fatalf("priming interval: want one full tier each, got %+v", st)
+	}
+
+	w.interval(t, inc) // untouched: clean tier for both
+	st = inc.Stats()
+	if st.AllocClean != 1 || st.PlaceClean != 1 {
+		t.Fatalf("clean interval not detected: %+v", st)
+	}
+	if st.LastDirty != 0 || st.LastMigrated != 0 {
+		t.Fatalf("clean interval reported churn: %+v", st)
+	}
+
+	// One job progresses: incremental allocator tier with dirty set of 1.
+	w.jobs[3].RemainingWork *= 0.9
+	w.interval(t, inc)
+	st = inc.Stats()
+	if st.AllocIncremental != 1 || st.LastDirty != 1 || st.DirtyJobs != 1 {
+		t.Fatalf("single-dirty interval not incremental: %+v", st)
+	}
+
+	// Capacity change: full allocator recompute.
+	w.capacity = w.capacity.Scale(0.9)
+	w.interval(t, inc)
+	st = inc.Stats()
+	if st.AllocFull != 2 {
+		t.Fatalf("capacity change did not force full allocator tier: %+v", st)
+	}
+}
+
+// TestPlaceSessionCleanReturnsCached verifies the clean tier returns the
+// session's cached objects without touching the cluster (no reset, no
+// re-commit).
+func TestPlaceSessionCleanReturnsCached(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	specs := randClusterSpec(r)
+	c := buildCluster(specs)
+	jobs := randJobs(r, 8)
+	alloc := refAllocate(jobs, cluster.Resources{cluster.CPU: 1e5, cluster.Memory: 4e5})
+	var reqs []PlacementRequest
+	for _, j := range jobs {
+		a := alloc[j.ID]
+		if a.PS > 0 && a.Workers > 0 {
+			reqs = append(reqs, PlacementRequest{JobID: j.ID, Alloc: a, WorkerRes: j.WorkerRes, PSRes: j.PSRes})
+		}
+	}
+	s := NewPlaceSession()
+	pl1, _ := s.Place(reqs, c)
+	used := make([]cluster.Resources, 0, len(c.Nodes()))
+	for _, n := range c.Nodes() {
+		used = append(used, n.Used())
+	}
+	pl2, _ := s.Place(reqs, c)
+	if &pl1 == nil || reflect.ValueOf(pl1).Pointer() != reflect.ValueOf(pl2).Pointer() {
+		t.Fatal("clean tier did not return the cached placement map")
+	}
+	for i, n := range c.Nodes() {
+		if n.Used() != used[i] {
+			t.Fatalf("clean tier mutated node %s", n.ID)
+		}
+	}
+	if s.LastMigrated() != 0 {
+		t.Fatalf("clean tier migrated %d tasks", s.LastMigrated())
+	}
+}
+
+// FuzzIncrementalChurn is the fuzz arm of the churn oracle: the input bytes
+// drive the op sequence directly, with equality against the from-scratch
+// reference asserted after every step.
+func FuzzIncrementalChurn(f *testing.F) {
+	f.Add([]byte{1, 3, 0, 2, 6, 1, 7, 3, 5, 0})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 1, 1, 2, 2, 2, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 24 {
+			return
+		}
+		var seed int64
+		for _, b := range data {
+			seed = seed*131 + int64(b)
+		}
+		r := rand.New(rand.NewSource(seed))
+		w := newChurnWorld(r, 1+r.Intn(10))
+		inc := NewIncremental()
+		inc.Alloc.MinParallelDirty = 3
+		for _, op := range data {
+			w.step(op)
+			w.interval(t, inc)
+		}
+	})
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"optimus/internal/cluster"
 	"optimus/internal/obs"
@@ -43,19 +43,39 @@ func (r PlacementRequest) demand() cluster.Resources {
 		Add(r.PSRes.Scale(float64(r.Alloc.PS)))
 }
 
+// orderedReq is one entry of the placer's smallest-dominant-share-first
+// ordering, carrying the precomputed share so the sort comparator (and the
+// incremental session's prefix diffing) never re-derive it.
+type orderedReq struct {
+	req   PlacementRequest
+	share float64
+}
+
+// placeRec is one committed placement expressed as a segment of the state's
+// record arrays: recNodes/recPS/recW[off : off+n]. Placements are
+// materialized from the records in a single pass at the end of Place, so the
+// search/commit loop itself performs no per-job allocation.
+type placeRec struct {
+	job  int
+	off  int
+	n    int
+	even bool
+}
+
 // PlaceState owns the scratch memory of the §4.2 placer: the request
 // ordering, a free-CPU-sorted node index maintained incrementally across
-// placements, and the per-attempt count/spare buffers of the greedy
-// fallback. The zero value is ready to use; a state is not safe for
+// placements, the per-attempt count/spare buffers of the greedy fallback,
+// and the record arrays the chosen placements are staged in before
+// materialization. The zero value is ready to use; a state is not safe for
 // concurrent use.
 //
 // The sorted index is the core optimization: the previous implementation
 // re-selected (or re-sorted) the most-available nodes from scratch for every
 // request, while committing a placement only changes the availability of the
 // handful of nodes it touched. Place now sorts the cluster once per call and
-// re-sifts just the touched nodes after each commit (partition + merge), so
-// each request sees exactly the ordering a full re-sort would produce at a
-// fraction of the cost.
+// re-sifts just the touched nodes after each commit — each sinks to its new
+// position by binary search — so each request sees exactly the ordering a
+// full re-sort would produce at a fraction of the cost.
 type PlaceState struct {
 	// Trace, when non-nil and enabled, receives one "place-kernel" span per
 	// Place call. Audit, when non-nil and enabled, receives one PlaceEvent
@@ -64,14 +84,20 @@ type PlaceState struct {
 	Trace *obs.Tracer
 	Audit *obs.AuditLog
 
-	ordered []PlacementRequest
+	ordered []orderedReq
 	index   []*cluster.Node // sorted: available CPU desc, node ID asc
-	merged  []*cluster.Node // merge scratch, swapped with index after resift
-	moved   []*cluster.Node // touched nodes awaiting re-insertion
-	touched map[string]struct{}
+	touched []int           // index positions staged by the current placeOne, ascending
 	psOn    []int
 	wOn     []int
 	spare   []cluster.Resources
+
+	// Staged placements of the current call: placeOne appends (node, ps, w)
+	// rows, placeRecs segments them per job, materialize() turns them into
+	// the caller-owned map with exactly four allocations (map + 3 arenas).
+	recNodes []*cluster.Node
+	recPS    []int
+	recW     []int
+	recs     []placeRec
 }
 
 // NewPlaceState returns an empty placer state.
@@ -89,6 +115,20 @@ func nodeLess(a, b *cluster.Node) bool {
 	return a.ID < b.ID
 }
 
+// nodeCmp is nodeLess as a three-way comparison for the generic sorts, which
+// unlike sort.Slice do not box the slice and stay allocation-free — resift
+// sorts on every commit, so that per-call allocation was the placer's
+// dominant steady-state garbage.
+func nodeCmp(a, b *cluster.Node) int {
+	if nodeLess(a, b) {
+		return -1
+	}
+	if nodeLess(b, a) {
+		return 1
+	}
+	return 0
+}
+
 // Place implements the §4.2 placement scheme. Servers are sorted in
 // descending order of available CPU; jobs are placed smallest-demand-first
 // (starvation avoidance); each job uses the smallest k such that the top-k
@@ -102,60 +142,162 @@ func nodeLess(a, b *cluster.Node) bool {
 func (st *PlaceState) Place(reqs []PlacementRequest, c *cluster.Cluster) (map[int]Placement, []int) {
 	sp := st.Trace.Begin("place-kernel")
 	defer st.Trace.End(sp)
-	placements := make(map[int]Placement, len(reqs))
+	ordered := st.orderReqs(reqs, c.Capacity())
+	st.beginIndex(c)
+	st.resetRecs()
+
 	var unplaced []int
-
-	st.ordered = append(st.ordered[:0], reqs...)
-	ordered := st.ordered
-	capacity := c.Capacity()
-	sort.SliceStable(ordered, func(i, j int) bool {
-		di, _ := ordered[i].demand().DominantShare(capacity)
-		dj, _ := ordered[j].demand().DominantShare(capacity)
-		if di != dj {
-			return di < dj
-		}
-		return ordered[i].JobID < ordered[j].JobID
-	})
-
-	// One full sort per Place call; incrementally re-sifted after commits.
-	st.index = append(st.index[:0], c.Nodes()...)
-	index := st.index
-	sort.Slice(index, func(i, j int) bool { return nodeLess(index[i], index[j]) })
-	if st.touched == nil {
-		st.touched = make(map[string]struct{})
-	}
-
-	for _, req := range ordered {
+	for i := range ordered {
+		req := ordered[i].req
 		if req.Alloc.PS <= 0 || req.Alloc.Workers <= 0 {
 			unplaced = append(unplaced, req.JobID)
 			continue
 		}
-		pl, even, ok := st.placeOne(req)
-		if !ok {
+		if _, ok := st.placeStep(req, c); !ok {
 			unplaced = append(unplaced, req.JobID)
-			continue
 		}
-		// Commit allocations to the chosen nodes, then restore the index
-		// ordering for the nodes whose availability just changed.
-		commitPlacement(req, pl, c)
-		placements[req.JobID] = pl
-		if st.Audit.Enabled() {
-			st.Audit.Place(obs.PlaceEvent{
-				Job: req.JobID,
-				PS:  req.Alloc.PS, Workers: req.Alloc.Workers,
-				Servers: pl.Servers(),
-				Spread:  placementSpread(pl),
-				Even:    even,
-				Nodes:   append([]string(nil), pl.NodeIDs...),
-			})
-		}
-		clear(st.touched)
-		for _, id := range pl.NodeIDs {
-			st.touched[id] = struct{}{}
-		}
-		st.resift()
 	}
-	return placements, unplaced
+	return st.materialize(len(reqs)), unplaced
+}
+
+// orderReqs copies the requests into the state's ordering scratch with their
+// dominant shares precomputed and applies the §4.2 smallest-demand-first
+// stable sort (share ascending, job ID tiebreak).
+func (st *PlaceState) orderReqs(reqs []PlacementRequest, capacity cluster.Resources) []orderedReq {
+	st.ordered = st.ordered[:0]
+	for _, r := range reqs {
+		share, _ := r.demand().DominantShare(capacity)
+		st.ordered = append(st.ordered, orderedReq{req: r, share: share})
+	}
+	ordered := st.ordered
+	slices.SortStableFunc(ordered, func(a, b orderedReq) int {
+		if a.share != b.share {
+			if a.share < b.share {
+				return -1
+			}
+			return 1
+		}
+		return a.req.JobID - b.req.JobID
+	})
+	return ordered
+}
+
+// beginIndex (re)builds the sorted node index from the cluster's current
+// availability. One full sort per Place call; incrementally re-sifted after
+// commits.
+func (st *PlaceState) beginIndex(c *cluster.Cluster) {
+	st.index = append(st.index[:0], c.Nodes()...)
+	slices.SortFunc(st.index, nodeCmp)
+}
+
+// resetRecs clears the staged-placement record arrays for a fresh run.
+func (st *PlaceState) resetRecs() {
+	st.recNodes = st.recNodes[:0]
+	st.recPS = st.recPS[:0]
+	st.recW = st.recW[:0]
+	st.recs = st.recs[:0]
+}
+
+// placeStep searches, stages, and commits one request against the current
+// index state: the placeOne search appends the chosen rows to the record
+// arrays, the commit reserves them on the cluster, and the touched nodes are
+// re-sifted back into sorted order. Returns the record and whether the job
+// was placed; on failure the staged rows are rolled back.
+func (st *PlaceState) placeStep(req PlacementRequest, c *cluster.Cluster) (placeRec, bool) {
+	off := len(st.recNodes)
+	st.touched = st.touched[:0]
+	even, ok := st.placeOne(req)
+	if !ok {
+		st.recNodes = st.recNodes[:off]
+		st.recPS = st.recPS[:off]
+		st.recW = st.recW[:off]
+		return placeRec{}, false
+	}
+	rec := placeRec{job: req.JobID, off: off, n: len(st.recNodes) - off, even: even}
+	st.commitRec(req, rec, c)
+	st.recs = append(st.recs, rec)
+	if st.Audit.Enabled() {
+		ids := make([]string, rec.n)
+		for i := 0; i < rec.n; i++ {
+			ids[i] = st.recNodes[off+i].ID
+		}
+		st.Audit.Place(obs.PlaceEvent{
+			Job: req.JobID,
+			PS:  req.Alloc.PS, Workers: req.Alloc.Workers,
+			Servers: rec.n,
+			Spread:  st.recSpread(rec),
+			Even:    rec.even,
+			Nodes:   ids,
+		})
+	}
+	st.resift()
+	return rec, true
+}
+
+// commitRec reserves a staged placement's tasks on its nodes, PS tasks
+// first, matching the reference commit order task by task (the arithmetic
+// order matters for byte-identical float state).
+func (st *PlaceState) commitRec(req PlacementRequest, rec placeRec, c *cluster.Cluster) {
+	for i := rec.off; i < rec.off+rec.n; i++ {
+		n := st.recNodes[i]
+		for t := 0; t < st.recPS[i]; t++ {
+			if err := n.Allocate(req.PSRes); err != nil {
+				// placeOne verified the fit; failure here means the cluster
+				// changed concurrently, which Place does not support.
+				panic("core: placement commit failed: " + err.Error())
+			}
+		}
+		for t := 0; t < st.recW[i]; t++ {
+			if err := n.Allocate(req.WorkerRes); err != nil {
+				panic("core: placement commit failed: " + err.Error())
+			}
+		}
+	}
+}
+
+// recSpread is placementSpread computed on a staged record segment.
+func (st *PlaceState) recSpread(rec placeRec) int {
+	if rec.n == 0 {
+		return 0
+	}
+	min, max := -1, 0
+	for i := rec.off; i < rec.off+rec.n; i++ {
+		t := st.recPS[i] + st.recW[i]
+		if t > max {
+			max = t
+		}
+		if min < 0 || t < min {
+			min = t
+		}
+	}
+	return max - min
+}
+
+// materialize builds the caller-owned result from the staged records: one
+// node-ID arena, two count arenas, and the map — four allocations total,
+// independent of job count beyond the map's buckets. Each Placement's slices
+// are capped sub-slices of the arenas, so callers appending to one placement
+// cannot bleed into the next.
+func (st *PlaceState) materialize(sizeHint int) map[int]Placement {
+	placements := make(map[int]Placement, sizeHint)
+	total := len(st.recNodes)
+	ids := make([]string, total)
+	ps := make([]int, total)
+	ws := make([]int, total)
+	copy(ps, st.recPS)
+	copy(ws, st.recW)
+	for i, n := range st.recNodes {
+		ids[i] = n.ID
+	}
+	for _, rec := range st.recs {
+		end := rec.off + rec.n
+		placements[rec.job] = Placement{
+			NodeIDs:       ids[rec.off:end:end],
+			PSOnNode:      ps[rec.off:end:end],
+			WorkersOnNode: ws[rec.off:end:end],
+		}
+	}
+	return placements
 }
 
 // Place is the stateless convenience wrapper: each call runs on a fresh
@@ -165,42 +307,36 @@ func Place(reqs []PlacementRequest, c *cluster.Cluster) (map[int]Placement, []in
 	return st.Place(reqs, c)
 }
 
-// resift restores sorted order after the touched nodes' availability
-// shrank: the untouched nodes are still mutually sorted, so partition them
-// out, sort just the touched ones, and merge the two runs. The comparator is
-// a total order, so the merge reproduces exactly what a full re-sort would.
+// resift restores sorted order after a commit shrank the staged nodes'
+// availability. A node that lost capacity can only sink toward the tail of
+// the descending-availability order, and the staged positions (recorded by
+// the search as it walked the index) are ascending — so processing them from
+// the right, each node binary-searches its insertion point in the
+// already-sorted suffix and sinks there with one memmove. The comparator is a
+// total order, so the result is exactly what a full re-sort would produce.
+// (The previous implementation partitioned the touched nodes out by ID and
+// re-merged the full index after every commit; that per-commit O(nodes) pass
+// of string hashing and comparisons dominated placement on large clusters.)
 func (st *PlaceState) resift() {
-	if len(st.touched) == 0 {
-		return
-	}
-	moved := st.moved[:0]
-	kept := st.index[:0] // in-place partition: writes trail reads
-	for _, n := range st.index {
-		if _, hit := st.touched[n.ID]; hit {
-			moved = append(moved, n)
-		} else {
-			kept = append(kept, n)
+	index := st.index
+	for t := len(st.touched) - 1; t >= 0; t-- {
+		i := st.touched[t]
+		n := index[i]
+		lo, hi := i+1, len(index)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if nodeLess(index[mid], n) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > i+1 {
+			copy(index[i:], index[i+1:lo])
+			index[lo-1] = n
 		}
 	}
-	sort.Slice(moved, func(i, j int) bool { return nodeLess(moved[i], moved[j]) })
-
-	merged := st.merged[:0]
-	i, j := 0, 0
-	for i < len(kept) && j < len(moved) {
-		if nodeLess(kept[i], moved[j]) {
-			merged = append(merged, kept[i])
-			i++
-		} else {
-			merged = append(merged, moved[j])
-			j++
-		}
-	}
-	merged = append(merged, kept[i:]...)
-	merged = append(merged, moved[j:]...)
-
-	st.moved = moved[:0]
-	st.merged = st.index[:0] // old backing array becomes next merge scratch
-	st.index = merged
+	st.touched = st.touched[:0]
 }
 
 // placementSpread is the audit evenness metric: the difference between the
@@ -225,13 +361,14 @@ func placementSpread(pl Placement) int {
 }
 
 // placeOne finds the smallest k such that the first k index nodes fit an
-// even split of the job. When no exact even split exists on any prefix
-// (per-node capacities may be too uneven), it falls back to a greedy
-// placement that keeps per-node counts as balanced as the capacities allow —
-// preserving Theorem 1's spirit while guaranteeing progress whenever the job
-// fits at all. The second result reports whether the Theorem-1 even-split
-// path produced the placement (audit evenness flag).
-func (st *PlaceState) placeOne(req PlacementRequest) (Placement, bool, bool) {
+// even split of the job, staging the chosen rows in the record arrays. When
+// no exact even split exists on any prefix (per-node capacities may be too
+// uneven), it falls back to a greedy placement that keeps per-node counts as
+// balanced as the capacities allow — preserving Theorem 1's spirit while
+// guaranteeing progress whenever the job fits at all. The first result
+// reports whether the Theorem-1 even-split path produced the placement
+// (audit evenness flag).
+func (st *PlaceState) placeOne(req PlacementRequest) (even, ok bool) {
 	p, w := req.Alloc.PS, req.Alloc.Workers
 	nodes := st.index
 	// Searching every prefix is O(N²) per job on a full cluster. Beyond
@@ -246,29 +383,45 @@ func (st *PlaceState) placeOne(req PlacementRequest) (Placement, bool, bool) {
 	}
 	for k := 1; k <= bound; k++ {
 		if evenSplitFits(req, nodes[:k], p, w) {
-			return buildEvenSplit(nodes[:k], p, w), true, true
+			st.stageEvenSplit(nodes[:k], p, w)
+			return true, true
 		}
 	}
 	top := nodes
 	if maxK < len(top) {
 		top = top[:maxK]
 	}
-	if pl, ok := st.greedyBalanced(req, top, p, w); ok {
-		return pl, false, true
+	if st.greedyBalanced(req, top, p, w) {
+		return false, true
 	}
 	if len(top) < len(nodes) {
 		// The top-K slice may just have been unlucky with fragmentation; try
 		// the complete ordering before pausing the job.
-		pl, ok := st.greedyBalanced(req, nodes, p, w)
-		return pl, false, ok
+		return false, st.greedyBalanced(req, nodes, p, w)
 	}
-	return Placement{}, false, false
+	return false, false
+}
+
+// stageEvenSplit appends the even-split placement evenSplitFits accepted to
+// the record arrays, recording each node's index position for resift. Like
+// the reference construction, every one of the k nodes is included even if it
+// receives zero tasks of one kind.
+func (st *PlaceState) stageEvenSplit(nodes []*cluster.Node, p, w int) {
+	k := len(nodes)
+	for i, n := range nodes {
+		ps, workers := evenSplit(i, k, p, w)
+		st.recNodes = append(st.recNodes, n)
+		st.recPS = append(st.recPS, ps)
+		st.recW = append(st.recW, workers)
+		st.touched = append(st.touched, i)
+	}
 }
 
 // greedyBalanced assigns tasks one at a time to the fitting node currently
 // hosting the fewest tasks of this job (ties broken by available CPU, then
-// node order). Workers go first since they are usually the larger profile.
-func (st *PlaceState) greedyBalanced(req PlacementRequest, nodes []*cluster.Node, p, w int) (Placement, bool) {
+// node order), staging the resulting rows on success. Workers go first since
+// they are usually the larger profile.
+func (st *PlaceState) greedyBalanced(req PlacementRequest, nodes []*cluster.Node, p, w int) bool {
 	k := len(nodes)
 	psOn := resizeInts(&st.psOn, k)
 	wOn := resizeInts(&st.wOn, k)
@@ -303,24 +456,24 @@ func (st *PlaceState) greedyBalanced(req PlacementRequest, nodes []*cluster.Node
 	}
 	for t := 0; t < w; t++ {
 		if !assign(req.WorkerRes, wOn) {
-			return Placement{}, false
+			return false
 		}
 	}
 	for t := 0; t < p; t++ {
 		if !assign(req.PSRes, psOn) {
-			return Placement{}, false
+			return false
 		}
 	}
-	var pl Placement
 	for i, n := range nodes {
 		if psOn[i] == 0 && wOn[i] == 0 {
 			continue
 		}
-		pl.NodeIDs = append(pl.NodeIDs, n.ID)
-		pl.PSOnNode = append(pl.PSOnNode, psOn[i])
-		pl.WorkersOnNode = append(pl.WorkersOnNode, wOn[i])
+		st.recNodes = append(st.recNodes, n)
+		st.recPS = append(st.recPS, psOn[i])
+		st.recW = append(st.recW, wOn[i])
+		st.touched = append(st.touched, i)
 	}
-	return pl, true
+	return true
 }
 
 // resizeInts returns *s resized to n elements, all zero, growing the backing
@@ -367,23 +520,11 @@ func evenSplitFits(req PlacementRequest, nodes []*cluster.Node, p, w int) bool {
 	return true
 }
 
-// buildEvenSplit materializes the even-split placement evenSplitFits
-// accepted. The slices are freshly allocated: placements outlive the call.
-func buildEvenSplit(nodes []*cluster.Node, p, w int) Placement {
-	k := len(nodes)
-	pl := Placement{
-		NodeIDs:       make([]string, k),
-		PSOnNode:      make([]int, k),
-		WorkersOnNode: make([]int, k),
-	}
-	for i, n := range nodes {
-		pl.NodeIDs[i] = n.ID
-		pl.PSOnNode[i], pl.WorkersOnNode[i] = evenSplit(i, k, p, w)
-	}
-	return pl
-}
-
-// commitPlacement reserves the placed tasks on the cluster nodes.
+// commitPlacement reserves the placed tasks on the cluster nodes. Place's
+// hot path commits from staged records (commitRec); this Placement-based
+// form is kept for the reference-spec tests and the incremental session's
+// prefix replay, which re-applies cached placements with the same per-task
+// arithmetic order.
 func commitPlacement(req PlacementRequest, pl Placement, c *cluster.Cluster) {
 	for i, id := range pl.NodeIDs {
 		n := c.Node(id)

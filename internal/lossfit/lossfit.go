@@ -121,6 +121,7 @@ type Fitter struct {
 	cachedWindow int
 	cached       Model
 	cachedErr    error
+	gen          uint64 // bumped by Add; see Generation
 
 	// scratch holds the NNLS workspace and preprocessing buffers reused
 	// across refits; allocated on first Fit.
@@ -157,8 +158,15 @@ func (f *Fitter) Add(k, loss float64) error {
 		f.compact()
 	}
 	f.dirty = true
+	f.gen++
 	return nil
 }
+
+// Generation is a change-tracking stamp for incremental schedulers: it is
+// always non-zero and advances exactly when an accepted Add changes the
+// sample set (and therefore possibly the fitted model). Equal generations
+// guarantee Fit returns the same model, given unchanged settings.
+func (f *Fitter) Generation() uint64 { return f.gen + 1 }
 
 // Len reports the number of retained samples.
 func (f *Fitter) Len() int { return len(f.points) }

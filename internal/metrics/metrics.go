@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"optimus/internal/core"
 	"optimus/internal/obs"
 )
 
@@ -46,6 +47,12 @@ type Recorder struct {
 	cellConflictsAvoided int
 	cellRetries          int
 	cellJobsMoved        int
+
+	// incremental-scheduler bookkeeping (internal/core dirty-set sessions):
+	// the cumulative tier counters of the run's session pair, overwritten
+	// each interval because the session already accumulates.
+	incr    core.IncrStats
+	incrSet bool
 
 	// wall-clock latency histograms of the scheduler hot path (log-bucketed,
 	// see obs.BucketBound). Unlike the simulated-time counters above these
@@ -106,6 +113,14 @@ func (r *Recorder) AddCellRetries(n int) { r.cellRetries += n }
 
 // AddCellJobsMoved counts jobs migrated between cells by the rebalancer.
 func (r *Recorder) AddCellJobsMoved(n int) { r.cellJobsMoved += n }
+
+// SetIncrStats overwrites the incremental-session tier counters with the
+// session's cumulative snapshot (called once per scheduling interval).
+func (r *Recorder) SetIncrStats(s core.IncrStats) { r.incr, r.incrSet = s, true }
+
+// IncrStats returns the last recorded incremental-session counters; ok is
+// false when no incremental policy ever reported.
+func (r *Recorder) IncrStats() (s core.IncrStats, ok bool) { return r.incr, r.incrSet }
 
 // CellCounters returns the sharded-scheduler commit-protocol counters:
 // commits, conflicts, conflicts avoided, retries, and rebalancer moves.

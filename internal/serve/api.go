@@ -222,7 +222,11 @@ type ClusterStatus struct {
 	LiveJobs     int          `json:"liveJobs"`
 	ClusterShare float64      `json:"clusterShare"`
 	Cells        *cells.Stats `json:"cells,omitempty"`
-	Nodes        []NodeStatus `json:"nodes"`
+	// Scheduler carries the incremental-session tier counters (clean /
+	// incremental / full intervals, dirty-set sizes, tasks migrated); present
+	// only when the daemon runs a delta-driven policy.
+	Scheduler *core.IncrStats `json:"scheduler,omitempty"`
+	Nodes     []NodeStatus    `json:"nodes"`
 }
 
 func resourceMap(r cluster.Resources) map[string]float64 {
@@ -248,6 +252,10 @@ func (d *Daemon) Cluster() ClusterStatus {
 	if d.cells != nil {
 		cs := d.cells.Stats()
 		st.Cells = &cs
+	}
+	if d.policy.Incr != nil {
+		is := d.policy.Incr.Stats()
+		st.Scheduler = &is
 	}
 	var used, capacity cluster.Resources
 	for _, n := range d.cfg.Cluster.Nodes() {

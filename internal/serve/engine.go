@@ -41,8 +41,13 @@ func (d *Daemon) stepLocked() {
 	active := d.active()
 	if len(active) == 0 {
 		// Still release whatever the previous round deployed: the last
-		// live job may have been cancelled since.
+		// live job may have been cancelled since. The incremental placement
+		// session cannot see this out-of-band reset, so its cache must not
+		// survive it.
 		d.cfg.Cluster.ResetAll()
+		if d.policy.Incr != nil {
+			d.policy.Incr.Place.Invalidate()
+		}
 		d.now += d.cfg.Interval
 		d.rounds++
 		return
@@ -79,11 +84,15 @@ func (d *Daemon) stepLocked() {
 	d.rec.ObserveAllocateDuration(time.Since(allocStart).Seconds())
 	d.tracer.End(allocSpan)
 
-	// Place. The cluster is rebuilt from scratch each round, so cancelled
-	// jobs' resources are implicitly released here.
+	// Place. The cluster is rebuilt from scratch each round — so cancelled
+	// jobs' resources are implicitly released — except that an incremental
+	// policy owns the rebuild itself (its session skips both the reset and
+	// the re-placement on rounds where nothing changed).
 	placeSpan := d.tracer.Begin("place")
 	placeStart := time.Now()
-	d.cfg.Cluster.ResetAll()
+	if d.policy.Incr == nil {
+		d.cfg.Cluster.ResetAll()
+	}
 	reqs := make([]core.PlacementRequest, 0, len(active))
 	for _, info := range infos {
 		a := alloc[info.ID]
@@ -97,7 +106,14 @@ func (d *Daemon) stepLocked() {
 	placements, unplacedIDs := d.policy.Place(reqs, d.cfg.Cluster)
 
 	// Fragmentation escape hatch (§4.2): shrink an unpackable allocation
-	// until it fits rather than leaving the job idle for a round.
+	// until it fits rather than leaving the job idle for a round. Retries
+	// bypass the incremental session (PlaceRetry) and the rescued placements
+	// override — never mutate — the policy's returned maps.
+	placeRetry := d.policy.PlaceRetry
+	if placeRetry == nil {
+		placeRetry = d.policy.Place
+	}
+	placeOverride := make(map[int]core.Placement)
 	infoByID := make(map[int]*core.JobInfo, len(infos))
 	for _, in := range infos {
 		infoByID[in.ID] = in
@@ -117,16 +133,26 @@ func (d *Daemon) stepLocked() {
 				JobID: id, Alloc: a,
 				WorkerRes: info.WorkerRes, PSRes: info.PSRes,
 			}}
-			pls, unp := d.policy.Place(retry, d.cfg.Cluster)
+			pls, unp := placeRetry(retry, d.cfg.Cluster)
 			if len(unp) == 0 {
-				placements[id] = pls[id]
-				alloc[id] = a
+				placeOverride[id] = pls[id]
 				break
 			}
 		}
 	}
 	d.rec.ObservePlaceDuration(time.Since(placeStart).Seconds())
 	d.tracer.End(placeSpan)
+
+	// Surface the round's incremental-session tier outcome: cumulative
+	// counters into the recorder (for /metrics), a per-round delta onto the
+	// event stream.
+	if d.policy.Incr != nil {
+		st := d.policy.Incr.Stats()
+		d.rec.SetIncrStats(st)
+		d.publish(Event{Type: EventRescheduled,
+			Detail: roundTierDetail(d.lastIncr, st)})
+		d.lastIncr = st
+	}
 
 	if d.cells != nil {
 		if rs := d.cells.LastRound(); rs.JobsMoved > 0 {
@@ -143,6 +169,9 @@ func (d *Daemon) stepLocked() {
 	for _, j := range active {
 		id := j.spec.ID
 		pl, ok := placements[id]
+		if o, rescued := placeOverride[id]; rescued {
+			pl, ok = o, true
+		}
 		if !ok {
 			if j.placed {
 				d.publish(Event{Type: EventUnplaced, Job: id})
@@ -243,6 +272,33 @@ func (d *Daemon) stepLocked() {
 	}
 	d.tracer.End(ivSpan)
 	d.now = intervalEnd
+}
+
+// roundTierDetail renders one round's incremental-scheduling outcome (the
+// delta between the previous and current cumulative counters) for the SSE
+// decision stream, e.g. "alloc=incremental dirty=2 place=partial migrated=6".
+func roundTierDetail(prev, cur core.IncrStats) string {
+	tier := func(clean, incr, full uint64) string {
+		switch {
+		case full > 0:
+			return "full"
+		case incr > 0:
+			return "incremental"
+		case clean > 0:
+			return "clean"
+		default:
+			return "none"
+		}
+	}
+	allocTier := tier(cur.AllocClean-prev.AllocClean,
+		cur.AllocIncremental-prev.AllocIncremental, cur.AllocFull-prev.AllocFull)
+	placeTier := tier(cur.PlaceClean-prev.PlaceClean,
+		cur.PlacePartial-prev.PlacePartial, cur.PlaceFull-prev.PlaceFull)
+	if placeTier == "incremental" {
+		placeTier = "partial"
+	}
+	return fmt.Sprintf("alloc=%s dirty=%d place=%s migrated=%d",
+		allocTier, cur.LastDirty, placeTier, cur.LastMigrated)
 }
 
 // observe feeds the running job's interval measurements to its estimators,

@@ -26,6 +26,11 @@ const (
 	// EventRebalanced fires when the multi-cell rebalancer migrated jobs
 	// between scheduling cells this round (-cells > 1 only).
 	EventRebalanced EventType = "rebalanced"
+	// EventRescheduled fires once per round under an incremental policy,
+	// reporting which tier each kernel took (clean / incremental / full), the
+	// dirty-set size and the number of tasks migrated, e.g.
+	// "alloc=clean dirty=0 place=clean migrated=0".
+	EventRescheduled EventType = "rescheduled"
 )
 
 // Event is one scheduler decision. Seq is a strictly increasing stream

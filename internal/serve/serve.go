@@ -222,6 +222,9 @@ type Daemon struct {
 	rec       *metrics.Recorder
 	rng       *rand.Rand
 	startWall time.Time
+	// lastIncr is the incremental-session counter snapshot after the previous
+	// round, used to derive per-round tier deltas for the event stream.
+	lastIncr core.IncrStats
 }
 
 // New builds a daemon over the given cluster. It does not start the

@@ -11,21 +11,23 @@ import (
 )
 
 // OptimusPolicy is the full §4 scheduler: marginal-gain allocation plus
-// Theorem-1 placement. Each simulation run gets its own allocator and placer
-// state (via the Session hook), so the per-interval re-optimization reuses
-// scratch buffers instead of re-allocating them — without sharing mutable
-// state across the parallel runs of an experiment sweep.
+// Theorem-1 placement, run through the delta-driven incremental sessions of
+// internal/core. Each simulation run gets its own session (via the Session
+// hook), so steady-state intervals reuse the previous interval's outputs —
+// byte-identical to a from-scratch recompute — without sharing mutable state
+// across the parallel runs of an experiment sweep.
 func OptimusPolicy() Policy {
 	session := func() Policy {
-		alloc := core.NewAllocState()
-		place := core.NewPlaceState()
+		inc := core.NewIncremental()
 		return Policy{
-			Name:     "optimus",
-			Allocate: alloc.Allocate,
-			Place:    place.Place,
+			Name:       "optimus",
+			Allocate:   inc.Alloc.Allocate,
+			Place:      inc.Place.Place,
+			PlaceRetry: inc.Place.PlaceRetry,
+			Incr:       inc,
 			Instrument: func(tr *obs.Tracer, au *obs.AuditLog) {
-				alloc.Trace, alloc.Audit = tr, au
-				place.Trace, place.Audit = tr, au
+				inc.Alloc.St.Trace, inc.Alloc.St.Audit = tr, au
+				inc.Place.St.Trace, inc.Place.St.Audit = tr, au
 			},
 		}
 	}

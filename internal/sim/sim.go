@@ -35,6 +35,19 @@ type Policy struct {
 	Allocate func(jobs []*core.JobInfo, capacity cluster.Resources) map[int]core.Allocation
 	Place    func(reqs []core.PlacementRequest, c *cluster.Cluster) (map[int]core.Placement, []int)
 
+	// PlaceRetry, when set, is the placement entry point for the shrink-retry
+	// escape hatch: unlike Place it never consults or updates incremental
+	// session state, because retries deliberately run against the partially
+	// committed cluster mid-interval. Nil means Place is safe to reuse.
+	PlaceRetry func(reqs []core.PlacementRequest, c *cluster.Cluster) (map[int]core.Placement, []int)
+
+	// Incr, when set, is the policy's incremental scheduling session. Run uses
+	// it to hand the session the pre-placement cluster preparation step (reset
+	// plus reservations) so clean intervals can skip it, to invalidate the
+	// placement cache when reservations may have changed, and to surface the
+	// tier counters into the run's metrics.
+	Incr *core.Incremental
+
 	// Session, when set, returns a private instance of the policy for one
 	// simulation run. Policies whose Allocate/Place closures carry reusable
 	// scratch state (core.AllocState / core.PlaceState) need one instance per
@@ -279,6 +292,42 @@ func Run(cfg Config) (*Result, error) {
 	)
 	pauses := make(map[int]float64)
 	infoByID := make(map[int]*core.JobInfo)
+	// Interval-local overrides of the policy's outputs (the §7 churn damper
+	// and the shrink-retry escape hatch). They used to be written into the
+	// returned maps directly; an incremental policy returns its own cached
+	// maps, which the simulator must never mutate.
+	allocOverride := make(map[int]core.Allocation)
+	placeOverride := make(map[int]core.Placement)
+	// preparePlacement is the pre-placement cluster preparation step: wipe
+	// all commitments, then re-reserve the nodes lent out (§7 shares) or down
+	// (faults). For an incremental policy it is handed to the placement
+	// session, which skips it entirely on clean intervals; otherwise Run
+	// invokes it directly before every Place.
+	var prepErr error
+	availNodes := cfg.Cluster.Len()
+	preparePlacement := func() {
+		cfg.Cluster.ResetAll()
+		for _, n := range cfg.Cluster.Nodes()[availNodes:] {
+			if err := n.Allocate(n.Capacity); err != nil {
+				prepErr = fmt.Errorf("sim: reserving node %s: %w", n.ID, err)
+				return
+			}
+		}
+		if faults != nil {
+			for _, n := range cfg.Cluster.Nodes()[:availNodes] {
+				if !faults.isDown(n.ID, now) {
+					continue
+				}
+				if err := n.Allocate(n.Capacity); err != nil {
+					prepErr = fmt.Errorf("sim: reserving crashed node %s: %w", n.ID, err)
+					return
+				}
+			}
+		}
+	}
+	if cfg.Policy.Incr != nil {
+		cfg.Policy.Incr.Place.Prepare = func(*cluster.Cluster) { preparePlacement() }
+	}
 	for now < cfg.MaxTime {
 		active := activeJobs(states, now)
 		if len(active) == 0 {
@@ -319,7 +368,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Trace.End(fitSpan)
 
 		// §7 mixed workloads: only a share of the nodes may be available.
-		availNodes := cfg.Cluster.Len()
+		availNodes = cfg.Cluster.Len()
 		if cfg.ShareSchedule != nil {
 			share := cfg.ShareSchedule(now)
 			if share < 0.05 {
@@ -351,6 +400,8 @@ func Run(cfg Config) (*Result, error) {
 
 		// §7 churn damper: keep a running job's configuration when the
 		// proposed change is not predicted to pay for its checkpoint pause.
+		clear(allocOverride)
+		clear(placeOverride)
 		if cfg.ReconfigThreshold > 0 {
 			clear(infoByID)
 			for _, in := range infos {
@@ -368,32 +419,30 @@ func Run(cfg Config) (*Result, error) {
 				oldRate := info.Speed(js.alloc.PS, js.alloc.Workers)
 				newRate := info.Speed(a.PS, a.Workers)
 				if newRate < oldRate*(1+cfg.ReconfigThreshold) {
-					alloc[js.spec.ID] = js.alloc
+					allocOverride[js.spec.ID] = js.alloc
 				}
 			}
 		}
-		cfg.Cluster.ResetAll()
-		// Reserve the nodes lent to other workloads so placement cannot
-		// touch them.
-		for _, n := range cfg.Cluster.Nodes()[availNodes:] {
-			if err := n.Allocate(n.Capacity); err != nil {
-				return nil, fmt.Errorf("sim: reserving node %s: %w", n.ID, err)
+		effAlloc := func(id int) core.Allocation {
+			if a, ok := allocOverride[id]; ok {
+				return a
 			}
+			return alloc[id]
 		}
-		// Reserve crashed nodes for the length of their outage.
-		if faults != nil {
-			for _, n := range cfg.Cluster.Nodes()[:availNodes] {
-				if !faults.isDown(n.ID, now) {
-					continue
-				}
-				if err := n.Allocate(n.Capacity); err != nil {
-					return nil, fmt.Errorf("sim: reserving crashed node %s: %w", n.ID, err)
-				}
-			}
+		if cfg.Policy.Incr == nil {
+			preparePlacement()
+		} else if cfg.ShareSchedule != nil || faults != nil {
+			// Reservations can change between intervals without touching any
+			// node the session's own commits cover, so the cached placement
+			// must not survive into this interval.
+			cfg.Policy.Incr.Place.Invalidate()
+		}
+		if prepErr != nil {
+			return nil, prepErr
 		}
 		reqs = reqs[:0]
 		for _, info := range infos {
-			a := alloc[info.ID]
+			a := effAlloc(info.ID)
 			if a.PS > 0 && a.Workers > 0 {
 				reqs = append(reqs, core.PlacementRequest{
 					JobID: info.ID, Alloc: a,
@@ -404,14 +453,21 @@ func Run(cfg Config) (*Result, error) {
 		placeSpan := cfg.Trace.Begin("place")
 		placeStart := time.Now()
 		placements, unplacedIDs := cfg.Policy.Place(reqs, cfg.Cluster)
+		if prepErr != nil {
+			return nil, prepErr
+		}
 
 		// A job can be allocatable against aggregate capacity yet not
 		// packable onto nodes (fragmentation). Shrink its allocation and
 		// retry so the cluster never idles while a runnable job waits —
 		// this is the "rescheduled in the next scheduling interval" escape
 		// hatch of §4.2 made immediate.
+		placeRetry := cfg.Policy.PlaceRetry
+		if placeRetry == nil {
+			placeRetry = cfg.Policy.Place
+		}
 		for _, id := range unplacedIDs {
-			a := alloc[id]
+			a := effAlloc(id)
 			var info *core.JobInfo
 			for _, in := range infos {
 				if in.ID == id {
@@ -432,22 +488,28 @@ func Run(cfg Config) (*Result, error) {
 					JobID: id, Alloc: a,
 					WorkerRes: info.WorkerRes, PSRes: info.PSRes,
 				}}
-				pls, unp := cfg.Policy.Place(retry, cfg.Cluster)
+				pls, unp := placeRetry(retry, cfg.Cluster)
 				if len(unp) == 0 {
-					placements[id] = pls[id]
-					alloc[id] = a
+					placeOverride[id] = pls[id]
+					allocOverride[id] = a
 					break
 				}
 			}
 		}
 		rec.ObservePlaceDuration(time.Since(placeStart).Seconds())
 		cfg.Trace.End(placeSpan)
+		if cfg.Policy.Incr != nil {
+			rec.SetIncrStats(cfg.Policy.Incr.Stats())
+		}
 
 		// Apply deployments, charging scaling pauses for changed configs.
 		deploySpan := cfg.Trace.Begin("deploy")
 		clear(pauses)
 		for _, js := range active {
 			pl, ok := placements[js.spec.ID]
+			if o, rescued := placeOverride[js.spec.ID]; rescued {
+				pl, ok = o, true
+			}
 			if !ok {
 				js.placed = false
 				js.alloc = core.Allocation{}
@@ -738,6 +800,9 @@ func schedulerView(js *jobState, cfg Config, rng *rand.Rand, fitCache map[string
 	// --- speed function (epochs/s) ---
 	switch {
 	case cfg.InjectSpeedError > 0:
+		// The injected surface depends on progress, which moves every
+		// interval; leave SpeedGen zero so incremental sessions never trust
+		// it across intervals.
 		e := cfg.InjectSpeedError * (1 - progressFrac)
 		factor := 1 + js.errSign*e
 		if factor <= 0.01 {
@@ -748,12 +813,19 @@ func schedulerView(js *jobState, cfg Config, rng *rand.Rand, fitCache map[string
 			return EpochsPerSecond(spec, base(p, w)) * factor
 		}
 	case cfg.UseTrueModels:
+		// Ground truth is a pure function of the immutable spec: one constant
+		// non-zero stamp for the whole run.
 		base := truePredictor(cfg, fitCache, spec)
 		info.Speed = func(p, w int) float64 {
 			return EpochsPerSecond(spec, base(p, w))
 		}
+		info.SpeedGen = 1
 	default:
+		// The estimated surface is a pure function of the accumulated speed
+		// observations (plus run-constant spec and cluster capacity), so the
+		// estimator's generation stamp is exactly the right change signal.
 		info.Speed = estimatedSpeed(cfg.Cluster, spec, js.speedEst)
+		info.SpeedGen = js.speedEst.Generation()
 		// Beginning-state priority damping (§4.1).
 		if progressFrac < 0.1 {
 			info.Priority = cfg.PriorityFactor
