@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-diff bench-all quick full fuzz serve load smoke clean
+.PHONY: all build vet test race bench bench-diff bench-all loadbench load-smoke quick full fuzz serve load smoke clean
 
 all: build vet test
 
@@ -39,6 +39,17 @@ bench-diff:
 # regenerated rows.
 bench-all:
 	$(GO) test -bench=. -benchmem .
+
+# Serving-path load benchmark: single-mutex vs sharded in-process
+# before/after plus open-loop optimusd-load runs at -cells 1/4/8, recorded
+# as BENCH_6.json. DIFF=BENCH_6.json prints advisory deltas vs the
+# committed record; DUR/RATE/CLIENTS tune the open-loop phase.
+loadbench:
+	./scripts/loadbench.sh
+
+# 10s open-loop smoke at -cells 1 and 4: zero errors, bounded p99. CI gate.
+load-smoke:
+	./scripts/smoke_load.sh
 
 # Fast smoke reproduction of every exhibit.
 quick:

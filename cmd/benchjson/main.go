@@ -36,6 +36,9 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra collects custom b.ReportMetric units (e.g. "ops/s", "p99-ms",
+	// "overrun-rate" from the serving load benchmarks), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Record is the file layout: context lines from the bench header plus the
@@ -199,6 +202,13 @@ func parseLine(line string) (Entry, bool) {
 			e.BytesPerOp = v
 		case "allocs/op":
 			e.AllocsPerOp = v
+		case "MB/s":
+			// speed column; not tracked
+		default:
+			if e.Extra == nil {
+				e.Extra = make(map[string]float64)
+			}
+			e.Extra[fields[i+1]] = v
 		}
 	}
 	if e.NsPerOp == 0 {

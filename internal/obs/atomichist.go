@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicHistogram is the concurrency-safe sibling of Histogram: the same
+// log-spaced buckets (1µs·2^i, i < HistBuckets, plus +Inf), but every
+// Observe is a handful of atomic operations, so many goroutines can record
+// into one histogram with no lock — the optimusd API middleware and the
+// load harness's worker pool both sit on this type. Readers take a
+// Snapshot, which is internally consistent per bucket (sum/max/count may
+// trail each other by in-flight observations; for latency metrics that
+// skew is harmless).
+type AtomicHistogram struct {
+	counts [HistBuckets + 1]atomic.Uint64
+	sum    atomic.Uint64 // Float64bits, accumulated by CAS
+	max    atomic.Uint64 // Float64bits, CAS-max
+}
+
+// Observe records one duration in seconds. Negative and NaN observations
+// are dropped, mirroring Histogram.Observe.
+func (h *AtomicHistogram) Observe(seconds float64) {
+	if math.IsNaN(seconds) || seconds < 0 {
+		return
+	}
+	i := 0
+	for i < HistBuckets && seconds > BucketBound(i) {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+seconds)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if seconds <= math.Float64frombits(old) {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(seconds)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations recorded so far.
+func (h *AtomicHistogram) Count() uint64 {
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+	}
+	return c
+}
+
+// Snapshot copies the current state into a plain Histogram, whose full
+// read-side API (Quantile, Summary, CumulativeCount, Prometheus export)
+// then applies. The bucket counts are read once each; count is derived
+// from them so bucket/count stay mutually consistent.
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var out Histogram
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		out.counts[i] = n
+		out.count += n
+	}
+	out.sum = math.Float64frombits(h.sum.Load())
+	out.max = math.Float64frombits(h.max.Load())
+	return out
+}

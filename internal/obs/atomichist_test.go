@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAtomicHistogramMatchesHistogram(t *testing.T) {
+	var a AtomicHistogram
+	var h Histogram
+	obs := []float64{0, 1e-7, 1e-6, 3e-6, 0.001, 0.02, 0.5, 3, 100, 1e5}
+	for _, v := range obs {
+		a.Observe(v)
+		h.Observe(v)
+	}
+	// Invalid observations dropped by both.
+	a.Observe(-1)
+	a.Observe(math.NaN())
+	h.Observe(-1)
+	h.Observe(math.NaN())
+
+	snap := a.Snapshot()
+	if snap.Count() != h.Count() {
+		t.Fatalf("count %d != %d", snap.Count(), h.Count())
+	}
+	if math.Abs(snap.Sum()-h.Sum()) > 1e-9 {
+		t.Fatalf("sum %g != %g", snap.Sum(), h.Sum())
+	}
+	if snap.Max() != h.Max() {
+		t.Fatalf("max %g != %g", snap.Max(), h.Max())
+	}
+	for i := 0; i <= HistBuckets; i++ {
+		if snap.CumulativeCount(i) != h.CumulativeCount(i) {
+			t.Fatalf("bucket %d cumulative %d != %d", i, snap.CumulativeCount(i), h.CumulativeCount(i))
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if snap.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("q%g: %g != %g", q, snap.Quantile(q), h.Quantile(q))
+		}
+	}
+}
+
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	var a AtomicHistogram
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Observe(float64(w*per+i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.Count(); got != workers*per {
+		t.Fatalf("count %d, want %d", got, workers*per)
+	}
+	snap := a.Snapshot()
+	n := float64(workers * per)
+	wantSum := 1e-6 * n * (n - 1) / 2
+	if math.Abs(snap.Sum()-wantSum)/wantSum > 1e-9 {
+		t.Fatalf("sum %g, want %g", snap.Sum(), wantSum)
+	}
+	if want := (n - 1) * 1e-6; snap.Max() != want {
+		t.Fatalf("max %g, want %g", snap.Max(), want)
+	}
+}

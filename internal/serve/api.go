@@ -9,6 +9,8 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"optimus/internal/cells"
@@ -138,8 +140,39 @@ type JobStatus struct {
 	Straggling         bool            `json:"straggling,omitempty"`
 }
 
-// statusLocked renders one job; callers hold d.mu.
-func (d *Daemon) statusLocked(j *job) JobStatus {
+// statusSnap is one job's immutable read-mostly view: the rendered
+// JobStatus plus a lazily cached JSON encoding, so the common GET
+// /v1/jobs/{id} serves pre-encoded bytes without touching any lock. A new
+// snap is swapped in whenever the job's state changes (every round by the
+// engine, immediately by Cancel).
+type statusSnap struct {
+	st  JobStatus
+	enc atomic.Pointer[[]byte]
+}
+
+func newStatusSnap(st JobStatus) *statusSnap { return &statusSnap{st: st} }
+
+// bytes returns the snapshot's JSON encoding (trailing newline, matching
+// json.Encoder), computing and caching it on first use. Concurrent first
+// readers may both encode; either result is valid and one wins the cache.
+func (s *statusSnap) bytes() []byte {
+	if p := s.enc.Load(); p != nil {
+		return *p
+	}
+	b, err := json.Marshal(s.st)
+	if err != nil { // unreachable for JobStatus; keep the API total
+		b = []byte(`{"error":"encode failure"}`)
+	}
+	b = append(b, '\n')
+	s.enc.Store(&b)
+	return b
+}
+
+// buildStatus renders one job from its live fields. Callers must either own
+// the job exclusively (admission and restore, before the job is published)
+// or hold both the engine mutex and the job's shard lock (the end-of-round
+// republish).
+func (d *Daemon) buildStatus(j *job) JobStatus {
 	st := JobStatus{
 		ID:             j.spec.ID,
 		State:          j.state,
@@ -152,8 +185,12 @@ func (d *Daemon) statusLocked(j *job) JobStatus {
 		ProgressEpochs: j.progress,
 		SpeedConfigs:   j.speedEst.Configurations(),
 		Alloc:          j.alloc,
-		Nodes:          j.nodes,
 		Straggling:     j.straggling,
+	}
+	if len(j.nodes) > 0 {
+		// Copy: j.nodes may alias the placer's reusable arena, but the
+		// snapshot must stay immutable forever.
+		st.Nodes = append([]string(nil), j.nodes...)
 	}
 	if j.spec.Downscale == 1 {
 		st.Downscale = 0 // omitempty: default downscale is noise
@@ -184,26 +221,34 @@ func (d *Daemon) statusLocked(j *job) JobStatus {
 	return st
 }
 
-// Status returns one job's status.
+// Status returns one job's status: a shard-lock map lookup plus an atomic
+// snapshot load, never blocked by the scheduler.
 func (d *Daemon) Status(id int) (JobStatus, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	j, ok := d.jobs[id]
-	if !ok {
+	j := d.reg.get(id)
+	if j == nil {
 		return JobStatus{}, ErrNotFound
 	}
-	return d.statusLocked(j), nil
+	return j.status.Load().st, nil
 }
 
 // List returns every job's status in submission order.
 func (d *Daemon) List() []JobStatus {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]JobStatus, 0, len(d.order))
-	for _, id := range d.order {
-		out = append(out, d.statusLocked(d.jobs[id]))
+	statuses := make([]JobStatus, 0, 64)
+	d.reg.forEach(func(_ int, j *job) {
+		statuses = append(statuses, j.status.Load().st)
+	})
+	// Monotonic ID assignment makes ID order submission order.
+	sortStatuses(statuses)
+	return statuses
+}
+
+func sortStatuses(s []JobStatus) {
+	// Insertion-friendly: statuses arrive near-sorted per shard.
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k].ID < s[k-1].ID; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
 	}
-	return out
 }
 
 // NodeStatus is one node's utilization in GET /v1/cluster.
@@ -216,17 +261,41 @@ type NodeStatus struct {
 // ClusterStatus is the GET /v1/cluster response. Cells is present only when
 // the daemon runs the sharded multi-scheduler (-cells > 1).
 type ClusterStatus struct {
-	SimTime      float64      `json:"simTime"`
-	Rounds       int          `json:"rounds"`
-	Jobs         int          `json:"jobs"`
-	LiveJobs     int          `json:"liveJobs"`
-	ClusterShare float64      `json:"clusterShare"`
-	Cells        *cells.Stats `json:"cells,omitempty"`
+	SimTime  float64 `json:"simTime"`
+	Rounds   int     `json:"rounds"`
+	Jobs     int     `json:"jobs"`
+	LiveJobs int     `json:"liveJobs"`
+	// IntervalOverruns counts Run ticks whose scheduling round outlasted the
+	// tick period — the daemon's SLO signal under open-loop load.
+	IntervalOverruns int64        `json:"intervalOverruns,omitempty"`
+	ClusterShare     float64      `json:"clusterShare"`
+	Cells            *cells.Stats `json:"cells,omitempty"`
 	// Scheduler carries the incremental-session tier counters (clean /
 	// incremental / full intervals, dirty-set sizes, tasks migrated); present
 	// only when the daemon runs a delta-driven policy.
 	Scheduler *core.IncrStats `json:"scheduler,omitempty"`
 	Nodes     []NodeStatus    `json:"nodes"`
+}
+
+// clusterSnapshot is the RCU-style read-mostly cluster view: built by the
+// engine at each interval boundary (and at New/Restore), swapped in with one
+// atomic store, served lock-free with a lazily cached JSON encoding.
+type clusterSnapshot struct {
+	status ClusterStatus
+	enc    atomic.Pointer[[]byte]
+}
+
+func (s *clusterSnapshot) bytes() []byte {
+	if p := s.enc.Load(); p != nil {
+		return *p
+	}
+	b, err := json.Marshal(s.status)
+	if err != nil {
+		b = []byte(`{"error":"encode failure"}`)
+	}
+	b = append(b, '\n')
+	s.enc.Store(&b)
+	return b
 }
 
 func resourceMap(r cluster.Resources) map[string]float64 {
@@ -239,15 +308,15 @@ func resourceMap(r cluster.Resources) map[string]float64 {
 	return out
 }
 
-// Cluster reports per-node utilization as of the last scheduling round.
-func (d *Daemon) Cluster() ClusterStatus {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// publishClusterLocked rebuilds the /v1/cluster snapshot from the live
+// cluster and swaps it in. Callers hold d.mu; readers never do.
+func (d *Daemon) publishClusterLocked() {
 	st := ClusterStatus{
-		SimTime:  d.now,
-		Rounds:   d.rounds,
-		Jobs:     len(d.jobs),
-		LiveJobs: d.live,
+		SimTime:          d.now,
+		Rounds:           d.rounds,
+		Jobs:             d.reg.len(),
+		LiveJobs:         int(d.live.Load()),
+		IntervalOverruns: d.overruns.Load(),
 	}
 	if d.cells != nil {
 		cs := d.cells.Stats()
@@ -270,7 +339,13 @@ func (d *Daemon) Cluster() ClusterStatus {
 	if capacity[cluster.CPU] > 0 {
 		st.ClusterShare = used[cluster.CPU] / capacity[cluster.CPU]
 	}
-	return st
+	d.clusterSnap.Store(&clusterSnapshot{status: st})
+}
+
+// Cluster reports utilization as of the last scheduling round. Lock-free:
+// it loads the engine-published snapshot.
+func (d *Daemon) Cluster() ClusterStatus {
+	return d.clusterSnap.Load().status
 }
 
 // Handler returns the daemon's HTTP API.
@@ -287,7 +362,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
 	mux.HandleFunc("GET /v1/trace", d.handleTrace)
 	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, d.Cluster())
+		writeJSONBytes(w, http.StatusOK, d.clusterSnap.Load().bytes())
 	})
 	mux.HandleFunc("GET /v1/events", d.handleEvents)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
@@ -323,8 +398,8 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, _ := d.Status(id)
-	writeJSON(w, http.StatusCreated, st)
+	j := d.reg.get(id)
+	writeJSONBytes(w, http.StatusCreated, j.status.Load().bytes())
 }
 
 func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -333,12 +408,12 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad job id %q", r.PathValue("id")))
 		return
 	}
-	st, err := d.Status(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	j := d.reg.get(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, ErrNotFound)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSONBytes(w, http.StatusOK, j.status.Load().bytes())
 }
 
 func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -355,42 +430,58 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 	default:
-		st, _ := d.Status(id)
-		writeJSON(w, http.StatusOK, st)
+		j := d.reg.get(id)
+		writeJSONBytes(w, http.StatusOK, j.status.Load().bytes())
 	}
 }
 
 // handleMetrics exports the recorder counters plus daemon-level gauges in
-// Prometheus text format.
+// Prometheus text format. Only the unsynchronized recorder needs the engine
+// mutex; everything else reads atomics and snapshots.
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := d.rec.WritePrometheus(w); err != nil {
+	d.mu.Lock()
+	d.drainArrivalsLocked()
+	err := d.rec.WritePrometheus(w)
+	d.mu.Unlock()
+	if err != nil {
 		return
 	}
-	byState := map[JobState]int{}
-	for _, j := range d.jobs {
-		byState[j.state]++
+	// API latency is recorded lock-free by the middleware into the daemon's
+	// own atomic histogram (the recorder's family stays empty and is skipped
+	// above, so the family appears exactly once).
+	if h := d.apiHist.Snapshot(); h.Count() > 0 {
+		_ = metrics.WriteHistogram(w, "optimus_api_request_duration_seconds",
+			"Wall-clock latency of optimusd API requests.", &h)
 	}
+	byState := map[JobState]int{}
+	d.reg.forEach(func(_ int, j *job) {
+		byState[j.status.Load().st.State]++
+	})
 	_ = metrics.WriteCounter(w, "optimusd_rounds_total",
-		"Scheduling rounds executed by the event loop.", float64(d.rounds))
+		"Scheduling rounds executed by the event loop.", float64(d.roundsN.Load()))
 	_ = metrics.WriteCounter(w, "optimusd_jobs_rejected_total",
-		"Submissions rejected by admission control.", float64(d.rejected))
+		"Submissions rejected by admission control.", float64(d.rejected.Load()))
 	_ = metrics.WriteCounter(w, "optimusd_jobs_cancelled_total",
-		"Jobs cancelled by their owners.", float64(d.cancelled))
+		"Jobs cancelled by their owners.", float64(d.cancelledN.Load()))
+	_ = metrics.WriteCounter(w, "optimusd_interval_overruns_total",
+		"Scheduling rounds that outlasted the wall-clock tick.", float64(d.overruns.Load()))
+	_ = metrics.WriteCounter(w, "optimusd_sse_dropped_total",
+		"Events dropped from slow SSE subscriber queues.", float64(d.bus.droppedTotal()))
+	_ = metrics.WriteGauge(w, "optimusd_sse_subscribers",
+		"Currently connected SSE subscribers.", float64(d.bus.numSubscribers()))
 	_ = metrics.WriteGauge(w, "optimusd_sim_time_seconds",
-		"Simulated clock of the event loop.", d.now)
+		"Simulated clock of the event loop.", d.Now())
 	_ = metrics.WriteGauge(w, "optimusd_uptime_seconds",
 		"Wall-clock seconds since daemon start.", time.Since(d.startWall).Seconds())
 	for _, s := range []JobState{StatePending, StateWaiting, StateRunning, StateDone, StateCancelled} {
 		_ = metrics.WriteGauge(w, "optimusd_jobs_"+string(s),
 			"Jobs currently in state "+string(s)+".", float64(byState[s]))
 	}
-	if d.cells != nil {
+	if snap := d.clusterSnap.Load(); snap.status.Cells != nil {
 		// One sample per cell; the Exporter deduplicates family preambles.
 		ex := metrics.NewExporter(w)
-		for _, cs := range d.cells.Stats().PerCell {
+		for _, cs := range snap.status.Cells.PerCell {
 			id := strconv.Itoa(cs.Cell)
 			_ = metrics.WriteLabeledGauge(ex, "optimusd_cell_jobs",
 				"Jobs assigned to each scheduling cell.", "cell", id, float64(cs.Jobs))
@@ -402,10 +493,33 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// jsonBufPool recycles encode buffers so responses are marshaled outside
+// any lock without a per-request allocation.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf keeps pathological responses (full job lists at scale) from
+// pinning large buffers in the pool forever.
+const maxPooledBuf = 1 << 20
+
+func writeJSONBytes(w http.ResponseWriter, status int, b []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSONBytes(w, status, buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

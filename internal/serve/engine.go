@@ -19,25 +19,27 @@ import (
 // observations back into the estimators. It is the live equivalent of one
 // iteration of sim.Run's interval loop and is safe to call concurrently
 // with the HTTP handlers.
+//
+// Concurrency: Step holds the engine mutex for the whole round, but the
+// round never freezes the serving path — deployment state is swapped in and
+// out through the registry's shard seams (short per-job shard-lock critical
+// sections), so submits, cancels and status reads on other jobs proceed
+// while the round runs.
 func (d *Daemon) Step() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stepLocked()
 }
 
-// active returns the schedulable jobs in submission order. Callers hold d.mu.
+// active returns the schedulable jobs in submission order, reading each
+// job's state under its shard lock. A job cancelled after this cut is
+// re-checked under its shard lock before any deployment mutation.
 func (d *Daemon) active() []*job {
-	out := make([]*job, 0, d.live)
-	for _, id := range d.order {
-		j := d.jobs[id]
-		if !j.state.terminal() {
-			out = append(out, j)
-		}
-	}
-	return out
+	return d.reg.collect(func(j *job) bool { return !j.state.terminal() })
 }
 
 func (d *Daemon) stepLocked() {
+	d.drainArrivalsLocked()
 	active := d.active()
 	if len(active) == 0 {
 		// Still release whatever the previous round deployed: the last
@@ -48,18 +50,22 @@ func (d *Daemon) stepLocked() {
 		if d.policy.Incr != nil {
 			d.policy.Incr.Place.Invalidate()
 		}
-		d.now += d.cfg.Interval
+		d.advanceClockLocked(d.now + d.cfg.Interval)
 		d.rounds++
+		d.roundsN.Store(int64(d.rounds))
+		d.publishClusterLocked()
 		return
 	}
 	d.rounds++
+	d.roundsN.Store(int64(d.rounds))
 	intervalEnd := d.now + d.cfg.Interval
 	d.audit.Stamp(d.rounds, d.now)
 	ivSpan := d.tracer.Begin("interval")
 	ivStart := time.Now()
 
 	// §3.2 pre-run profiling for jobs on their first round, then the
-	// scheduler's estimated views — the round's estimation phase.
+	// scheduler's estimated views — the round's estimation phase. Only
+	// engine-guarded fields are touched; no shard lock needed.
 	fitSpan := d.tracer.Begin("fit")
 	for _, j := range active {
 		if !j.profiled {
@@ -162,8 +168,12 @@ func (d *Daemon) stepLocked() {
 		}
 	}
 
-	// Apply the round's deployments, emitting decision events and charging
-	// §5.4 scaling pauses for changed configurations.
+	// Apply the round's deployments through the shard seams, emitting
+	// decision events and charging §5.4 scaling pauses for changed
+	// configurations. Each job's deployment swap is one short shard-lock
+	// critical section; a job cancelled since the round's active cut is
+	// detected here and skipped (its resources were never in this round's
+	// placement anyway once the next round rebuilds the cluster).
 	deploySpan := d.tracer.Begin("deploy")
 	pauses := make(map[int]float64)
 	for _, j := range active {
@@ -171,6 +181,12 @@ func (d *Daemon) stepLocked() {
 		pl, ok := placements[id]
 		if o, rescued := placeOverride[id]; rescued {
 			pl, ok = o, true
+		}
+		sh := d.reg.shard(id)
+		sh.mu.Lock()
+		if j.state.terminal() { // cancelled mid-round
+			sh.mu.Unlock()
+			continue
 		}
 		if !ok {
 			if j.placed {
@@ -180,6 +196,7 @@ func (d *Daemon) stepLocked() {
 			j.alloc = core.Allocation{}
 			j.nodes = nil
 			j.state = StateWaiting
+			sh.mu.Unlock()
 			continue
 		}
 		ps, w := pl.Counts()
@@ -205,6 +222,7 @@ func (d *Daemon) stepLocked() {
 				Detail: fmt.Sprintf("%dps/%dw -> %dps/%dw",
 					old.PS, old.Workers, newAlloc.PS, newAlloc.Workers)})
 		}
+		sh.mu.Unlock()
 		if fresh || changed {
 			pause := d.cfg.ScalingBase + d.cfg.ScalingPerTask*float64(newAlloc.Tasks())
 			if pause > d.cfg.Interval {
@@ -217,7 +235,8 @@ func (d *Daemon) stepLocked() {
 		}
 
 		// Straggler lifecycle (§5.2): the Optimus policy replaces the slow
-		// worker after one detection round.
+		// worker after one detection round. straggling is engine-guarded, so
+		// these stay outside the shard lock.
 		if j.straggling {
 			j.straggling = false
 			d.rec.AddRestarts(1)
@@ -232,46 +251,88 @@ func (d *Daemon) stepLocked() {
 		}
 	}
 
-	// Advance one interval of ground-truth training physics.
+	// Advance one interval of ground-truth training physics. Deployment
+	// fields are copied out under the shard lock; the (slow) physics and
+	// estimator math runs outside it.
 	for _, j := range active {
+		id := j.spec.ID
+		sh := d.reg.shard(id)
+		sh.mu.Lock()
 		if !j.placed || j.state.terminal() {
+			sh.mu.Unlock()
 			continue
 		}
-		stepsPerSec := j.spec.Model.PlacedSpeed(j.spec.Mode, j.spread)
+		jAlloc, jSpread := j.alloc, j.spread
+		sh.mu.Unlock()
+
+		stepsPerSec := j.spec.Model.PlacedSpeed(j.spec.Mode, jSpread)
 		if j.straggling {
 			stepsPerSec *= d.cfg.StragglerSlowdown
 		}
 		rate := sim.EpochsPerSecond(j.spec, stepsPerSec)
-		start := d.now + pauses[j.spec.ID]
+		start := d.now + pauses[id]
 		if start >= intervalEnd || rate <= 0 {
 			continue
 		}
 		remaining := j.totalEpochs - j.progress
 		if gained := rate * (intervalEnd - start); gained < remaining {
 			j.progress += gained
-			d.observe(j, stepsPerSec)
+			d.observe(j, jAlloc, stepsPerSec)
 		} else {
+			done := start + remaining/rate
+			sh.mu.Lock()
+			if j.state.terminal() { // cancel raced the completion
+				sh.mu.Unlock()
+				continue
+			}
 			j.progress = j.totalEpochs
 			j.state = StateDone
-			j.doneAt = start + remaining/rate
+			j.doneAt = done
 			j.placed = false
 			j.alloc = core.Allocation{}
 			j.nodes = nil
-			d.live--
-			d.rec.Complete(j.spec.ID, j.doneAt)
-			d.publish(Event{Type: EventCompleted, Job: j.spec.ID,
-				Detail: fmt.Sprintf("jct=%.0fs", j.doneAt-j.spec.Arrival)})
+			d.publish(Event{Type: EventCompleted, Job: id,
+				Detail: fmt.Sprintf("jct=%.0fs", done-j.spec.Arrival)})
+			sh.mu.Unlock()
+			d.live.Add(-1)
+			d.rec.Complete(id, done)
 		}
 	}
 
+	// Republish every active job's read-mostly status snapshot and digest the
+	// round for the metrics timeline in the same shard-lock pass. Jobs that
+	// went terminal mid-round already republished in Cancel / the completion
+	// branch above, but rebuilding here is harmless (terminal state wins).
+	stats := metrics.IntervalStats{Time: d.now}
+	var usedCPU float64
+	for _, j := range active {
+		sh := d.reg.shard(j.spec.ID)
+		sh.mu.Lock()
+		j.status.Store(newStatusSnap(d.buildStatus(j)))
+		switch j.state {
+		case StateRunning:
+			stats.RunningJobs++
+			stats.RunningTasks += j.alloc.Tasks()
+			usedCPU += j.spec.Model.WorkerRes[cluster.CPU]*float64(j.alloc.Workers) +
+				j.spec.Model.PSRes[cluster.CPU]*float64(j.alloc.PS)
+		case StatePending, StateWaiting:
+			stats.WaitingJobs++
+		}
+		sh.mu.Unlock()
+	}
+	if total := d.cfg.Cluster.Capacity()[cluster.CPU]; total > 0 {
+		stats.ClusterShare = usedCPU / total
+	}
+	d.rec.Snapshot(stats)
+
 	d.tracer.End(deploySpan)
-	d.rec.Snapshot(d.intervalStats())
 	d.rec.ObserveIntervalDuration(time.Since(ivStart).Seconds())
 	if d.tracer.Enabled() {
 		d.tracer.Annotate(ivSpan, fmt.Sprintf("round=%d jobs=%d", d.rounds, len(active)))
 	}
 	d.tracer.End(ivSpan)
-	d.now = intervalEnd
+	d.advanceClockLocked(intervalEnd)
+	d.publishClusterLocked()
 }
 
 // roundTierDetail renders one round's incremental-scheduling outcome (the
@@ -302,12 +363,13 @@ func roundTierDetail(prev, cur core.IncrStats) string {
 }
 
 // observe feeds the running job's interval measurements to its estimators,
-// retaining the loss points for snapshot/restore.
-func (d *Daemon) observe(j *job, stepsPerSec float64) {
+// retaining the loss points for snapshot/restore. alloc is the caller's
+// shard-lock-consistent copy of the job's deployment.
+func (d *Daemon) observe(j *job, alloc core.Allocation, stepsPerSec float64) {
 	if stepsPerSec > 0 {
 		obs := stepsPerSec * (1 + d.cfg.SpeedNoise*d.rng.NormFloat64())
 		if obs > 0 {
-			_ = j.speedEst.Observe(j.alloc.PS, j.alloc.Workers, obs)
+			_ = j.speedEst.Observe(alloc.PS, alloc.Workers, obs)
 		}
 	}
 	if j.progress > 0 {
@@ -319,26 +381,4 @@ func (d *Daemon) observe(j *job, stepsPerSec float64) {
 			}
 		}
 	}
-}
-
-// intervalStats digests the round for the metrics timeline. Callers hold d.mu.
-func (d *Daemon) intervalStats() metrics.IntervalStats {
-	s := metrics.IntervalStats{Time: d.now}
-	var usedCPU float64
-	for _, id := range d.order {
-		j := d.jobs[id]
-		switch j.state {
-		case StateRunning:
-			s.RunningJobs++
-			s.RunningTasks += j.alloc.Tasks()
-			usedCPU += j.spec.Model.WorkerRes[cluster.CPU]*float64(j.alloc.Workers) +
-				j.spec.Model.PSRes[cluster.CPU]*float64(j.alloc.PS)
-		case StatePending, StateWaiting:
-			s.WaitingJobs++
-		}
-	}
-	if total := d.cfg.Cluster.Capacity()[cluster.CPU]; total > 0 {
-		s.ClusterShare = usedCPU / total
-	}
-	return s
 }

@@ -99,11 +99,11 @@ func TestConcurrentSubmissions(t *testing.T) {
 	}
 
 	// Every submission got a unique ID and landed in the registry.
-	d.mu.Lock()
-	jobs, order := len(d.jobs), len(d.order)
-	d.mu.Unlock()
-	if jobs != n || order != n {
-		t.Fatalf("registry holds %d jobs / %d order entries, want %d", jobs, order, n)
+	if jobs := d.reg.len(); jobs != n {
+		t.Fatalf("registry holds %d jobs, want %d", jobs, n)
+	}
+	if listed := len(d.List()); listed != n {
+		t.Fatalf("list returns %d jobs, want %d", listed, n)
 	}
 	// One more round must schedule without incident at full occupancy.
 	d.Step()

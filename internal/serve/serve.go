@@ -26,6 +26,12 @@
 //	                             latency histograms
 //	GET    /healthz              liveness
 //
+// Serving-path concurrency (DESIGN.md §16): the registry is sharded by job
+// ID with per-shard locks, job and cluster statuses are immutable snapshots
+// swapped in atomically (reads never block on the scheduler), and the SSE
+// broker never blocks on slow subscribers. The engine mutex serializes
+// scheduling rounds only; it is not on any request path.
+//
 // Graceful shutdown writes a JSON snapshot of all job state (snapshot.go);
 // a daemon started with -restore resumes every job with its fitted model
 // state and progress intact.
@@ -34,8 +40,10 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"optimus/internal/cells"
@@ -168,35 +176,56 @@ const (
 // terminal reports whether the state can never change again.
 func (s JobState) terminal() bool { return s == StateDone || s == StateCancelled }
 
-// job is the daemon's full view of one submitted job. All fields are
-// guarded by the Daemon mutex.
+// job is the daemon's full view of one submitted job. Field ownership is
+// split between two locks so cancels and status reads never wait on a
+// scheduling round:
+//
+//   - spec, submittedWall, totalEpochs are immutable after admission.
+//   - state, placed, alloc, spread, nodes are the deployment fields, guarded
+//     by the job's registry shard lock; both the engine and Cancel mutate
+//     them under it.
+//   - progress, doneAt, profiled, lossFit, speedEst, lossObs, straggling are
+//     estimation/physics state owned by the engine, guarded by the engine
+//     mutex (Daemon.mu); the serving path never reads them directly.
+//   - status is the job's read-mostly snapshot: an immutable JobStatus (plus
+//     a lazily cached JSON encoding) republished on every state change. All
+//     reads go through it, lock-free.
 type job struct {
 	spec          workload.JobSpec
 	submittedWall time.Time
-	state         JobState
 
-	totalEpochs float64 // ground-truth epochs to convergence (physics)
-	progress    float64 // epochs completed
-	doneAt      float64 // simulated completion time
-
-	// current deployment
+	// shard-guarded deployment fields
+	state  JobState
 	alloc  core.Allocation
 	spread workload.TaskSpread
 	nodes  []string
 	placed bool
 
-	// estimation state (§3): the scheduler's view, never the ground truth
-	profiled bool
-	lossFit  *lossfit.Fitter
-	speedEst *speedfit.Estimator
+	// engine-guarded physics/estimation fields
+	totalEpochs float64 // ground-truth epochs to convergence (physics)
+	progress    float64 // epochs completed
+	doneAt      float64 // simulated completion time
+	profiled    bool
+	lossFit     *lossfit.Fitter
+	speedEst    *speedfit.Estimator
 	// lossObs retains the observations fed to lossFit so snapshots can
 	// rebuild the fitter exactly; capped at maxLossObs.
-	lossObs []lossfit.Point
-
+	lossObs    []lossfit.Point
 	straggling bool
+
+	// status is the atomically swapped read-mostly view (api.go).
+	status atomic.Pointer[statusSnap]
 }
 
 const maxLossObs = 512
+
+// arrival is one queued Submit→engine handoff: the metrics recorder is not
+// synchronized, so submissions enqueue here and the engine (or a /metrics
+// scrape, which holds the engine mutex anyway) drains into the recorder.
+type arrival struct {
+	id int
+	t  float64
+}
 
 // Daemon owns the job registry, the cluster state and the scheduling loop.
 // All methods are safe for concurrent use.
@@ -210,21 +239,37 @@ type Daemon struct {
 	tracer *obs.Tracer
 	audit  *obs.AuditLog
 
-	mu        sync.Mutex
-	jobs      map[int]*job
-	order     []int // submission order, for deterministic scheduling
-	nextID    int
-	now       float64 // simulated time
-	rounds    int
-	live      int // non-terminal jobs, for admission control
-	rejected  int
-	cancelled int
-	rec       *metrics.Recorder
-	rng       *rand.Rand
-	startWall time.Time
-	// lastIncr is the incremental-session counter snapshot after the previous
-	// round, used to derive per-round tier deltas for the event stream.
+	// reg is the sharded job registry; see registry.go and the field
+	// ownership protocol on job.
+	reg registry
+
+	// Serving-path state: everything the HTTP handlers touch on their hot
+	// paths is atomic or shard-guarded — never behind the engine mutex.
+	nextID      atomic.Int64 // last assigned job ID
+	live        atomic.Int64 // non-terminal jobs, for admission control
+	rejected    atomic.Int64
+	cancelledN  atomic.Int64
+	simNow      atomic.Uint64 // Float64bits of the simulated clock
+	roundsN     atomic.Int64
+	overruns    atomic.Int64 // Run ticks whose Step outlasted cfg.Tick
+	clusterSnap atomic.Pointer[clusterSnapshot]
+	apiHist     obs.AtomicHistogram // API latency, written lock-free
+
+	arrivalMu sync.Mutex
+	arrivalQ  []arrival
+
+	// mu is the engine mutex: it serializes scheduling rounds, snapshot and
+	// restore, and guards the fields below plus every job's engine-guarded
+	// fields. No HTTP read path takes it; /metrics takes it only around the
+	// unsynchronized recorder.
+	mu       sync.Mutex
+	now      float64 // canonical simulated clock, mirrored into simNow
+	rounds   int     // mirrored into roundsN
+	rec      *metrics.Recorder
+	rng      *rand.Rand
 	lastIncr core.IncrStats
+
+	startWall time.Time
 }
 
 // New builds a daemon over the given cluster. It does not start the
@@ -238,12 +283,11 @@ func New(cfg Config) (*Daemon, error) {
 		cfg:       cfg,
 		policy:    sim.OptimusPolicy().Session(),
 		bus:       newEventBus(cfg.EventBuffer),
-		jobs:      make(map[int]*job),
-		nextID:    1,
 		rec:       metrics.NewRecorder(),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		startWall: time.Now(),
 	}
+	d.reg.init()
 	if cfg.Cells > 1 {
 		d.cells = cells.New(cells.Options{Cells: cfg.Cells, Recorder: d.rec})
 		d.policy = sim.Policy{
@@ -260,40 +304,47 @@ func New(cfg Config) (*Daemon, error) {
 	if d.policy.Instrument != nil {
 		d.policy.Instrument(d.tracer, d.audit)
 	}
+	d.mu.Lock()
+	d.publishClusterLocked()
+	d.mu.Unlock()
 	return d, nil
 }
 
-// Now returns the daemon's simulated clock.
+// Now returns the daemon's simulated clock. Lock-free.
 func (d *Daemon) Now() float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.now
+	return math.Float64frombits(d.simNow.Load())
 }
 
-// Rounds returns the number of scheduling rounds executed.
+// Rounds returns the number of scheduling rounds executed. Lock-free.
 func (d *Daemon) Rounds() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.rounds
+	return int(d.roundsN.Load())
+}
+
+// advanceClockLocked moves the canonical simulated clock and its lock-free
+// mirror. Callers hold d.mu.
+func (d *Daemon) advanceClockLocked(t float64) {
+	d.now = t
+	d.simNow.Store(math.Float64bits(t))
 }
 
 // Submit admits one job into the registry. It returns the assigned ID, or
-// an admission error (ErrFull, or validation failure).
+// an admission error (ErrFull, or validation failure). The whole path is
+// lock-free against the scheduler: admission is an atomic counter, the
+// registry insert takes only the job's shard lock.
 func (d *Daemon) Submit(req SubmitRequest) (int, error) {
 	spec, err := req.spec()
 	if err != nil {
 		return 0, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.live >= d.cfg.MaxJobs {
-		d.rejected++
+	if d.live.Add(1) > int64(d.cfg.MaxJobs) {
+		d.live.Add(-1)
+		d.rejected.Add(1)
 		return 0, ErrFull
 	}
-	id := d.nextID
-	d.nextID++
+	id := int(d.nextID.Add(1))
+	now := d.Now()
 	spec.ID = id
-	spec.Arrival = d.now
+	spec.Arrival = now
 	j := &job{
 		spec:          spec,
 		submittedWall: time.Now(),
@@ -303,40 +354,74 @@ func (d *Daemon) Submit(req SubmitRequest) (int, error) {
 		speedEst: speedfit.NewEstimator(spec.Mode,
 			float64(spec.Model.GlobalBatch)),
 	}
-	d.jobs[id] = j
-	d.order = append(d.order, id)
-	d.live++
-	d.rec.Arrive(id, d.now)
+	j.status.Store(newStatusSnap(d.buildStatus(j)))
+	// Publish before the registry insert: the job cannot be cancelled until
+	// it is findable, so its "submitted" event is always first in the stream.
 	d.publish(Event{Type: EventSubmitted, Job: id,
 		Detail: fmt.Sprintf("%s %s th=%g", spec.Model.Name, spec.Mode, spec.Threshold)})
+	d.reg.put(id, j)
+	d.queueArrival(id, now)
 	return id, nil
+}
+
+// queueArrival records one submission for the engine to drain into the
+// unsynchronized metrics recorder.
+func (d *Daemon) queueArrival(id int, t float64) {
+	d.arrivalMu.Lock()
+	d.arrivalQ = append(d.arrivalQ, arrival{id: id, t: t})
+	d.arrivalMu.Unlock()
+}
+
+// drainArrivalsLocked moves queued submissions into the metrics recorder.
+// Callers hold d.mu.
+func (d *Daemon) drainArrivalsLocked() {
+	d.arrivalMu.Lock()
+	q := d.arrivalQ
+	d.arrivalQ = nil
+	d.arrivalMu.Unlock()
+	for _, a := range q {
+		d.rec.Arrive(a.id, a.t)
+	}
 }
 
 // Cancel transitions a job to StateCancelled. Its resources are released at
 // the next scheduling round (the cluster is rebuilt from live placements
-// every round). Terminal jobs cannot be cancelled.
+// every round). Terminal jobs cannot be cancelled. Only the job's shard lock
+// is taken: a cancel never waits for a scheduling round.
 func (d *Daemon) Cancel(id int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	j, ok := d.jobs[id]
-	if !ok {
+	j := d.reg.get(id)
+	if j == nil {
 		return ErrNotFound
 	}
+	sh := d.reg.shard(id)
+	sh.mu.Lock()
 	if j.state.terminal() {
+		sh.mu.Unlock()
 		return ErrTerminal
 	}
 	j.state = StateCancelled
 	j.placed = false
 	j.alloc = core.Allocation{}
 	j.nodes = nil
-	d.live--
-	d.cancelled++
+	// Derive the new status from the previous snapshot rather than
+	// recomputing: the estimation fields belong to the engine and may be
+	// mid-mutation. The snapshot is immutable, so a copy-and-patch is safe.
+	st := j.status.Load().st
+	st.State = StateCancelled
+	st.Alloc = core.Allocation{}
+	st.Nodes = nil
+	j.status.Store(newStatusSnap(st))
 	d.publish(Event{Type: EventCancelled, Job: id})
+	sh.mu.Unlock()
+	d.live.Add(-1)
+	d.cancelledN.Add(1)
 	return nil
 }
 
 // Run drives the scheduling loop until ctx is cancelled: one Step every
-// cfg.Tick of wall time.
+// cfg.Tick of wall time. Rounds that outlast the tick are counted as
+// interval overruns (exported via /metrics and /v1/cluster) — the daemon's
+// core SLO signal under load.
 func (d *Daemon) Run(ctx context.Context) {
 	t := time.NewTicker(d.cfg.Tick)
 	defer t.Stop()
@@ -345,15 +430,21 @@ func (d *Daemon) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
+			start := time.Now()
 			d.Step()
+			if time.Since(start) > d.cfg.Tick {
+				d.overruns.Add(1)
+			}
 		}
 	}
 }
 
-// publish stamps and emits one event. Callers must hold d.mu (the sequence
-// of events must match the sequence of state changes).
+// publish stamps and emits one event. Unlike the pre-sharding daemon this
+// needs no global lock: the bus assigns sequence numbers internally, and
+// callers that need event order to match state-change order for a job
+// publish while holding that job's shard lock.
 func (d *Daemon) publish(ev Event) {
 	ev.Wall = time.Now()
-	ev.SimTime = d.now
+	ev.SimTime = d.Now()
 	d.bus.publish(ev)
 }

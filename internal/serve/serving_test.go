@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optimus/internal/cluster"
+	"optimus/internal/workload"
+)
+
+// TestClusterEncodeLargeConcurrent is the copy-then-encode regression test:
+// GET /v1/cluster over a 10k-node cluster must serve (and JSON-encode) a
+// consistent snapshot while submits and scheduling rounds race it. Before
+// the snapshot rewrite this held the daemon mutex across marshaling 10k
+// node maps; under -race this test pins the new lock-free path.
+func TestClusterEncodeLargeConcurrent(t *testing.T) {
+	d, err := New(Config{
+		Cluster: cluster.Uniform(10000,
+			cluster.Resources{cluster.CPU: 16, cluster.Memory: 80, cluster.Bandwidth: 1}),
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	// Two full scheduling rounds race the encodes: each republishes the
+	// 10k-node cluster snapshot mid-read. (An unbounded loop would place
+	// thousands of tasks over 10k nodes per round and dominate test time.)
+	var wgStep sync.WaitGroup
+	wgStep.Add(1)
+	go func() {
+		defer wgStep.Done()
+		d.Step()
+		d.Step()
+	}()
+
+	// ds2 has the zoo's smallest worker cap (GlobalBatch 64): if every
+	// submit lands before the first round, a round deploys ≤8×65 tasks.
+	// A 512-cap model here can make a single round place ~4600 tasks over
+	// 10k nodes, which runs for minutes under the race detector.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := `{"model":"ds2","mode":"async","downscale":0.2}`
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+				strings.NewReader(body))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				resp, err := http.Get(srv.URL + "/v1/cluster")
+				if err != nil {
+					t.Errorf("cluster: %v", err)
+					return
+				}
+				var st ClusterStatus
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					t.Errorf("decode cluster: %v", err)
+				}
+				resp.Body.Close()
+				if len(st.Nodes) != 10000 {
+					t.Errorf("cluster snapshot has %d nodes, want 10000", len(st.Nodes))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wgStep.Wait()
+}
+
+// TestSSESlowSubscriber: a stalled subscriber must not delay publish or
+// starve healthy subscribers; its overflow is dropped oldest-first and
+// counted, and a Last-Event-ID reconnect recovers the dropped span from the
+// ring.
+func TestSSESlowSubscriber(t *testing.T) {
+	bus := newEventBus(4096)
+
+	// The stalled subscriber never drains its channel.
+	stalledID, stalledCh, _ := bus.subscribe(0)
+	defer bus.unsubscribe(stalledID)
+	// The healthy subscriber drains concurrently; it may still drop a few if
+	// the race scheduler starves its goroutine, so completeness is asserted
+	// as received + its own dropped count.
+	healthyID, healthyCh, _ := bus.subscribe(0)
+	defer bus.unsubscribe(healthyID)
+	bus.subsMu.RLock()
+	stalledSub, healthySub := bus.subs[stalledID], bus.subs[healthyID]
+	bus.subsMu.RUnlock()
+	var received atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range healthyCh {
+			received.Add(1)
+		}
+	}()
+
+	const total = subQueueLen * 4
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		bus.publish(Event{Type: EventSubmitted, Job: i + 1})
+	}
+	elapsed := time.Since(start)
+	// Publish must never block on the stalled queue: with drop-oldest this
+	// loop is pure channel ops; a generous bound still catches a blocking
+	// regression (which would hang forever, not just run slow).
+	if elapsed > 10*time.Second {
+		t.Fatalf("publishing %d events took %s; publish is blocking on the stalled subscriber", total, elapsed)
+	}
+
+	bus.unsubscribe(healthyID)
+	<-done
+	if got := received.Load() + healthySub.dropped.Load(); got != total {
+		t.Fatalf("healthy subscriber accounts for %d of %d events", got, total)
+	}
+
+	// Drop-oldest accounting: the stalled queue holds the NEWEST subQueueLen
+	// events; everything older was evicted and counted, per subscriber and
+	// in the bus total.
+	wantDropped := int64(total - subQueueLen)
+	if got := stalledSub.dropped.Load(); got != wantDropped {
+		t.Fatalf("stalled subscriber dropped %d events, want %d", got, wantDropped)
+	}
+	if got := bus.droppedTotal(); got != wantDropped+healthySub.dropped.Load() {
+		t.Fatalf("bus dropped %d events, want %d", got, wantDropped+healthySub.dropped.Load())
+	}
+	// The queue's contents are exactly the newest events, in order.
+	wantSeq := int64(total - subQueueLen + 1)
+	for i := 0; i < subQueueLen; i++ {
+		ev := <-stalledCh
+		if ev.Seq != wantSeq {
+			t.Fatalf("stalled queue event %d has seq %d, want %d (drop-oldest violated)", i, ev.Seq, wantSeq)
+		}
+		wantSeq++
+	}
+
+	// Last-Event-ID-style resume after the drops: subscribing after the last
+	// sequence the stalled consumer actually saw replays the rest exactly.
+	resumeAfter := int64(total - subQueueLen)
+	_, _, replay := bus.subscribe(resumeAfter)
+	if len(replay) != subQueueLen {
+		t.Fatalf("resume replayed %d events, want %d", len(replay), subQueueLen)
+	}
+	for i, ev := range replay {
+		if want := resumeAfter + int64(i) + 1; ev.Seq != want {
+			t.Fatalf("resume replay[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+// TestSSESlowSubscriberHTTP drives the same property through the HTTP
+// handler: a stalled SSE connection must not stall the scheduling loop or a
+// healthy subscriber, and the daemon's dropped-event counter must surface
+// on /metrics.
+func TestSSESlowSubscriberHTTP(t *testing.T) {
+	d, err := New(Config{Cluster: cluster.Testbed(), Seed: 5, EventBuffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	// Stalled subscriber: connects, never reads.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/events", nil)
+	stalled, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Body.Close()
+
+	// Generate far more events than the stalled subscriber's queue + the
+	// kernel socket buffers could absorb, via direct bus publishes.
+	const total = 20000
+	doneTick := make(chan struct{})
+	go func() {
+		defer close(doneTick)
+		for i := 0; i < total; i++ {
+			d.publish(Event{Type: EventSubmitted, Job: i + 1})
+		}
+	}()
+	select {
+	case <-doneTick:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publishing stalled behind a slow SSE subscriber")
+	}
+
+	// A fresh subscriber must still connect and see new events promptly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	req2, _ := http.NewRequestWithContext(ctx2, http.MethodGet,
+		fmt.Sprintf("%s/v1/events?since=%d", srv.URL, total), nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	go d.publish(Event{Type: EventSubmitted, Job: total + 1})
+	sc := bufio.NewScanner(resp2.Body)
+	sawLive := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "id: ") {
+			sawLive = true
+			break
+		}
+	}
+	if !sawLive {
+		t.Fatal("healthy subscriber saw no live events while another subscriber was stalled")
+	}
+}
+
+// TestSnapshotUnderConcurrentLoad is the sharded-registry equivalence test:
+// a graceful-shutdown snapshot taken while submits, cancels and scheduling
+// rounds are all in flight must restore into a daemon whose fitted-model
+// state round-trips byte-identically.
+func TestSnapshotUnderConcurrentLoad(t *testing.T) {
+	d, err := New(Config{Cluster: cluster.Testbed(), Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up some fitted state.
+	for i := 0; i < 6; i++ {
+		mode := "async"
+		if i%2 == 1 {
+			mode = "sync"
+		}
+		req, err := DecodeSubmit([]byte(fmt.Sprintf(
+			`{"model":"resnext-110","mode":%q,"threshold":0.05,"downscale":0.05}`, mode)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Submit(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		d.Step()
+	}
+
+	// Concurrent churn while the snapshot is written.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Step()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, _ := DecodeSubmit([]byte(
+				`{"model":"resnet-50","mode":"async","threshold":0.05,"downscale":0.05}`))
+			if id, err := d.Submit(req); err == nil && rng.Intn(3) == 0 {
+				_ = d.Cancel(id)
+			}
+		}
+	}()
+
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	d2, err := New(Config{Cluster: cluster.Testbed(), Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip: re-snapshotting the restored daemon must preserve every
+	// job's fitted-model state byte-for-byte (progress, loss observations,
+	// speed samples), modulo the documented Running→Waiting deployment reset.
+	var buf2 bytes.Buffer
+	if err := d2.WriteSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var s1, s2 Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf2.Bytes(), &s2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Jobs) != len(s2.Jobs) {
+		t.Fatalf("restored snapshot has %d jobs, original %d", len(s2.Jobs), len(s1.Jobs))
+	}
+	if s1.SimTime != s2.SimTime || s1.Rounds != s2.Rounds || s1.NextID != s2.NextID {
+		t.Fatalf("header drift: %v/%v/%v vs %v/%v/%v",
+			s1.SimTime, s1.Rounds, s1.NextID, s2.SimTime, s2.Rounds, s2.NextID)
+	}
+	for i := range s1.Jobs {
+		a, b := s1.Jobs[i], s2.Jobs[i]
+		if a.State == StateRunning { // documented restore transform
+			a.State = StateWaiting
+			a.Alloc = s2.Jobs[i].Alloc
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("job %d state not byte-identical after restore:\n  before: %s\n  after:  %s",
+				a.ID, ja, jb)
+		}
+	}
+	// And the serving path agrees with the engine state.
+	for _, js := range s1.Jobs {
+		st, err := d2.Status(js.ID)
+		if err != nil {
+			t.Fatalf("status %d after restore: %v", js.ID, err)
+		}
+		if st.ProgressEpochs != js.Progress {
+			t.Fatalf("job %d progress %g after restore, want %g", js.ID, st.ProgressEpochs, js.Progress)
+		}
+	}
+}
+
+// TestOpenLoop1000Clients is the make-race acceptance load: ≥1000 concurrent
+// open-loop clients (each firing its operations at intended times, never
+// gated on responses) against the sharded daemon with the scheduler loop
+// running. Mirrors `optimusd-load -duration -mix` in-process so the race
+// detector sees every interleaving.
+func TestOpenLoop1000Clients(t *testing.T) {
+	const nClients = 1000
+	d, err := New(Config{Cluster: cluster.Testbed(), Seed: 23, MaxJobs: 4 * nClients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wgStep sync.WaitGroup
+	wgStep.Add(1)
+	go func() {
+		defer wgStep.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Step()
+			}
+		}
+	}()
+
+	// Seed the keyspace.
+	seedReq, _ := DecodeSubmit([]byte(`{"model":"resnext-110","mode":"async","downscale":0.2}`))
+	if _, err := d.Submit(seedReq); err != nil {
+		t.Fatal(err)
+	}
+
+	var maxID atomic.Int64
+	maxID.Store(1)
+	var errs atomic.Int64
+	client := &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: &http.Transport{MaxIdleConnsPerHost: 128},
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < nClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			kd, _ := workload.NewKeyDist("zipfian", 0)
+			const opsPerClient = 3
+			for i := 0; i < opsPerClient; i++ {
+				// Open-loop pacing: fire at the intended time whether or not
+				// the previous response came back.
+				intended := start.Add(time.Duration(rng.Int63n(int64(500 * time.Millisecond))))
+				if s := time.Until(intended); s > 0 {
+					time.Sleep(s)
+				}
+				switch r := rng.Float64(); {
+				case r < 0.10: // submit
+					resp, err := client.Post(srv.URL+"/v1/jobs", "application/json",
+						strings.NewReader(`{"model":"resnet-50","mode":"async","downscale":0.2}`))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					var created struct {
+						ID int64 `json:"id"`
+					}
+					if resp.StatusCode == http.StatusCreated &&
+						json.NewDecoder(resp.Body).Decode(&created) == nil {
+						for {
+							cur := maxID.Load()
+							if created.ID <= cur || maxID.CompareAndSwap(cur, created.ID) {
+								break
+							}
+						}
+					} else if resp.StatusCode != http.StatusTooManyRequests {
+						errs.Add(1)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				case r < 0.95: // status via zipfian key
+					id := int64(kd.Draw(rng, int(maxID.Load()))) + 1
+					resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", srv.URL, id))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					// 404 is legal: IDs are assigned before the registry
+					// insert, so a racing reader can probe an ID a hair
+					// before its submit's insert lands.
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+						errs.Add(1)
+					}
+				default: // delete
+					id := int64(kd.Draw(rng, int(maxID.Load()))) + 1
+					req, _ := http.NewRequest(http.MethodDelete,
+						fmt.Sprintf("%s/v1/jobs/%d", srv.URL, id), nil)
+					resp, err := client.Do(req)
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict &&
+						resp.StatusCode != http.StatusNotFound {
+						errs.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	wgStep.Wait()
+
+	if n := errs.Load(); n > 0 {
+		t.Fatalf("%d operations failed under 1000-client open-loop load", n)
+	}
+	if d.Cluster().Jobs != d.reg.len() {
+		t.Fatalf("cluster snapshot jobs %d != registry %d", d.Cluster().Jobs, d.reg.len())
+	}
+}

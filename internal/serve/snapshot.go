@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"optimus/internal/core"
@@ -53,7 +54,10 @@ type JobSnapshot struct {
 	SpeedObs      []speedfit.Sample `json:"speedObs,omitempty"`
 }
 
-// WriteSnapshot serializes the daemon's state as indented JSON.
+// WriteSnapshot serializes the daemon's state as indented JSON. The engine
+// mutex plus a brief all-shard write lock give a consistent cut across every
+// job (a submit or cancel is either wholly before or wholly after the
+// snapshot); JSON encoding happens after all shard locks are released.
 func (d *Daemon) WriteSnapshot(w io.Writer) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -62,35 +66,39 @@ func (d *Daemon) WriteSnapshot(w io.Writer) error {
 		SavedWall: time.Now(),
 		SimTime:   d.now,
 		Rounds:    d.rounds,
-		NextID:    d.nextID,
-		Rejected:  d.rejected,
-		Cancelled: d.cancelled,
+		NextID:    int(d.nextID.Load()) + 1,
+		Rejected:  int(d.rejected.Load()),
+		Cancelled: int(d.cancelledN.Load()),
 	}
-	for _, id := range d.order {
-		j := d.jobs[id]
-		js := JobSnapshot{
-			ID:            id,
-			Model:         j.spec.Model.Name,
-			Mode:          j.spec.Mode.String(),
-			Threshold:     j.spec.Threshold,
-			Downscale:     j.spec.Downscale,
-			ArrivalSim:    j.spec.Arrival,
-			SubmittedWall: j.submittedWall,
-			State:         j.state,
-			Progress:      j.progress,
-			DoneAtSim:     j.doneAt,
-			Alloc:         j.alloc,
-			Profiled:      j.profiled,
-			Straggling:    j.straggling,
+	d.reg.lockAll()
+	for i := range d.reg.shards {
+		for id, j := range d.reg.shards[i].jobs {
+			js := JobSnapshot{
+				ID:            id,
+				Model:         j.spec.Model.Name,
+				Mode:          j.spec.Mode.String(),
+				Threshold:     j.spec.Threshold,
+				Downscale:     j.spec.Downscale,
+				ArrivalSim:    j.spec.Arrival,
+				SubmittedWall: j.submittedWall,
+				State:         j.state,
+				Progress:      j.progress,
+				DoneAtSim:     j.doneAt,
+				Alloc:         j.alloc,
+				Profiled:      j.profiled,
+				Straggling:    j.straggling,
+			}
+			for _, p := range j.lossObs {
+				js.LossObs = append(js.LossObs, [2]float64{p.K, p.Loss})
+			}
+			if j.profiled {
+				js.SpeedObs = j.speedEst.Samples()
+			}
+			snap.Jobs = append(snap.Jobs, js)
 		}
-		for _, p := range j.lossObs {
-			js.LossObs = append(js.LossObs, [2]float64{p.K, p.Loss})
-		}
-		if j.profiled {
-			js.SpeedObs = j.speedEst.Samples()
-		}
-		snap.Jobs = append(snap.Jobs, js)
 	}
+	d.reg.unlockAll()
+	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].ID < snap.Jobs[b].ID })
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snap)
@@ -109,32 +117,39 @@ func (d *Daemon) Restore(r io.Reader) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.jobs) != 0 || d.rounds != 0 {
+	if d.reg.len() != 0 || d.rounds != 0 {
 		return fmt.Errorf("serve: cannot restore over live state")
 	}
+	var live int64
 	for _, js := range snap.Jobs {
 		j, err := restoreJob(js)
 		if err != nil {
 			return err
 		}
-		d.jobs[js.ID] = j
-		d.order = append(d.order, js.ID)
+		// Publish the status snapshot before the registry insert so the job
+		// is never findable without one.
+		j.status.Store(newStatusSnap(d.buildStatus(j)))
+		d.reg.put(js.ID, j)
 		d.rec.Arrive(js.ID, js.ArrivalSim)
 		if !j.state.terminal() {
-			d.live++
+			live++
 		}
 		if j.state == StateDone {
 			d.rec.Complete(js.ID, js.DoneAtSim)
 		}
 	}
-	d.now = snap.SimTime
+	d.live.Store(live)
+	d.advanceClockLocked(snap.SimTime)
 	d.rounds = snap.Rounds
-	d.nextID = snap.NextID
-	d.rejected = snap.Rejected
-	d.cancelled = snap.Cancelled
-	if d.nextID <= 0 {
-		d.nextID = 1
+	d.roundsN.Store(int64(snap.Rounds))
+	last := int64(snap.NextID) - 1
+	if last < 0 {
+		last = 0
 	}
+	d.nextID.Store(last)
+	d.rejected.Store(int64(snap.Rejected))
+	d.cancelledN.Store(int64(snap.Cancelled))
+	d.publishClusterLocked()
 	return nil
 }
 

@@ -32,15 +32,13 @@ func (d *Daemon) Explain(id int) (ExplainResponse, error) {
 	if d.audit == nil {
 		return ExplainResponse{}, ErrTracingDisabled
 	}
-	d.mu.Lock()
-	j, ok := d.jobs[id]
-	if !ok {
-		d.mu.Unlock()
+	j := d.reg.get(id)
+	if j == nil {
 		return ExplainResponse{}, ErrNotFound
 	}
-	resp := ExplainResponse{Job: id, State: j.state, Alloc: j.alloc}
-	d.mu.Unlock()
-	// The audit log has its own lock; read it outside d.mu.
+	st := j.status.Load().st
+	resp := ExplainResponse{Job: id, State: st.State, Alloc: st.Alloc}
+	// The audit log has its own lock; no daemon lock is held here at all.
 	resp.Grants = d.audit.Grants(id)
 	resp.Placements = d.audit.Places(id)
 	return resp, nil
@@ -86,9 +84,8 @@ func (d *Daemon) instrumented(next http.Handler) http.Handler {
 		}
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		elapsed := time.Since(start).Seconds()
-		d.mu.Lock()
-		d.rec.ObserveAPIDuration(elapsed)
-		d.mu.Unlock()
+		// Lock-free: the atomic histogram keeps the middleware off every
+		// daemon lock (the old path serialized all requests on d.mu here).
+		d.apiHist.Observe(time.Since(start).Seconds())
 	})
 }

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KeyDist picks which existing key (job ID index) an operation targets — the
+// YCSB request-distribution model, reused by the optimusd load harness to
+// decide which job a status poll or cancel hits. Draw returns an index in
+// [0, n); n is the number of keys inserted so far, so the distribution
+// adapts as the keyspace grows (YCSB's "operate on a growing table" mode).
+// Implementations keep memoized state and are not safe for concurrent use;
+// give each worker goroutine its own instance (they are cheap).
+type KeyDist interface {
+	// Draw returns a key index in [0, n). n must be >= 1.
+	Draw(r *rand.Rand, n int) int
+	Name() string
+}
+
+// NewKeyDist builds a distribution by name: "uniform", "zipfian" (theta
+// defaults to 0.99, YCSB's constant) or "latest" (zipfian skew toward the
+// most recently inserted keys).
+func NewKeyDist(name string, theta float64) (KeyDist, error) {
+	if theta == 0 {
+		theta = zipfTheta
+	}
+	switch name {
+	case "uniform":
+		return uniformDist{}, nil
+	case "zipfian":
+		return &zipfianDist{theta: theta}, nil
+	case "latest":
+		return &latestDist{zipfianDist{theta: theta}}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown key distribution %q", name)
+	}
+}
+
+// zipfTheta is YCSB's default skew constant.
+const zipfTheta = 0.99
+
+type uniformDist struct{}
+
+func (uniformDist) Draw(r *rand.Rand, n int) int { return r.Intn(n) }
+func (uniformDist) Name() string                 { return "uniform" }
+
+// zipfianDist is the Gray et al. quick zipfian generator as used by YCSB:
+// rank 0 is the hottest key. Unlike math/rand's Zipf (which requires s > 1)
+// it supports theta in (0, 1), and it extends to a growing keyspace by
+// recomputing zeta incrementally as n grows.
+type zipfianDist struct {
+	theta float64
+
+	// memoized zeta(n, theta) state, extended incrementally.
+	zetaN    int
+	zeta     float64
+	zeta2    float64 // zeta(2, theta), fixed
+	computed bool
+}
+
+func (z *zipfianDist) Name() string { return "zipfian" }
+
+func (z *zipfianDist) Draw(r *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if !z.computed {
+		z.zeta2 = 1 + math.Pow(0.5, z.theta)
+		z.computed = true
+	}
+	// Extend zeta(n) from where the last draw left it: amortized O(1) when
+	// the keyspace grows monotonically (the harness's case).
+	if n < z.zetaN {
+		z.zetaN, z.zeta = 0, 0
+	}
+	for i := z.zetaN + 1; i <= n; i++ {
+		z.zeta += 1 / math.Pow(float64(i), z.theta)
+	}
+	z.zetaN = n
+
+	alpha := 1 / (1 - z.theta)
+	eta := (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zeta)
+	u := r.Float64()
+	uz := u * z.zeta
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.zeta2 {
+		return 1
+	}
+	k := int(float64(n) * math.Pow(eta*u-eta+1, alpha))
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// latestDist maps zipfian rank 0 to the newest key: YCSB's "latest"
+// distribution, modeling pollers that hammer the jobs they just submitted.
+type latestDist struct {
+	z zipfianDist
+}
+
+func (l *latestDist) Name() string { return "latest" }
+
+func (l *latestDist) Draw(r *rand.Rand, n int) int {
+	return n - 1 - l.z.Draw(r, n)
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKeyDistBounds(t *testing.T) {
+	for _, name := range []string{"uniform", "zipfian", "latest"} {
+		d, err := NewKeyDist(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name() != name {
+			t.Fatalf("Name() = %q, want %q", d.Name(), name)
+		}
+		r := rand.New(rand.NewSource(1))
+		// Growing keyspace, exactly how the harness drives it.
+		for n := 1; n <= 2000; n++ {
+			k := d.Draw(r, n)
+			if k < 0 || k >= n {
+				t.Fatalf("%s: Draw(n=%d) = %d out of [0,%d)", name, n, k, n)
+			}
+		}
+		// Shrinking n (restart) must not panic or go out of range either.
+		for n := 2000; n >= 1; n /= 3 {
+			if k := d.Draw(r, n); k < 0 || k >= n {
+				t.Fatalf("%s: Draw(n=%d) = %d out of range after shrink", name, n, k)
+			}
+		}
+	}
+}
+
+func TestKeyDistUnknown(t *testing.T) {
+	if _, err := NewKeyDist("pareto", 0); err == nil {
+		t.Fatal("expected error for unknown distribution")
+	}
+}
+
+// TestZipfianSkew checks the defining property: with theta=0.99 the hottest
+// key absorbs a large constant share of draws regardless of keyspace size,
+// and low ranks dominate high ranks.
+func TestZipfianSkew(t *testing.T) {
+	d, _ := NewKeyDist("zipfian", 0)
+	r := rand.New(rand.NewSource(42))
+	const n, draws = 1000, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[d.Draw(r, n)]++
+	}
+	if f := float64(counts[0]) / draws; f < 0.05 {
+		t.Fatalf("hottest key got %.3f of draws, want >= 0.05", f)
+	}
+	lo, hi := 0, 0
+	for i := 0; i < 10; i++ {
+		lo += counts[i]
+	}
+	for i := n - 100; i < n; i++ {
+		hi += counts[i]
+	}
+	if lo <= hi {
+		t.Fatalf("top-10 ranks drew %d <= bottom-100 ranks %d; not skewed", lo, hi)
+	}
+	// A uniform reference must not show that skew.
+	u, _ := NewKeyDist("uniform", 0)
+	uc := make([]int, n)
+	for i := 0; i < draws; i++ {
+		uc[u.Draw(r, n)]++
+	}
+	if f := float64(uc[0]) / draws; f > 0.01 {
+		t.Fatalf("uniform hottest key got %.3f of draws, want ~1/n", f)
+	}
+}
+
+// TestLatestSkew: "latest" must favor the newest keys (high indices).
+func TestLatestSkew(t *testing.T) {
+	d, _ := NewKeyDist("latest", 0)
+	r := rand.New(rand.NewSource(7))
+	const n, draws = 1000, 100000
+	newest, oldest := 0, 0
+	for i := 0; i < draws; i++ {
+		k := d.Draw(r, n)
+		if k >= n-10 {
+			newest++
+		}
+		if k < 10 {
+			oldest++
+		}
+	}
+	if newest <= oldest*10 {
+		t.Fatalf("latest dist drew newest-10 %d vs oldest-10 %d; want strong recency bias", newest, oldest)
+	}
+}

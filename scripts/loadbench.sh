@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Serving-path load benchmark: the exhibit behind BENCH_6.json.
+#
+# Two layers, one combined go-bench stream piped through benchjson:
+#
+#   1. In-process before/after — BenchmarkServingMix* and
+#      BenchmarkServingCluster* drive identical traffic against a
+#      single-mutex facade of the old serving path and against the sharded
+#      daemon, reporting sustained ops/s and histogram p99 alongside ns/op.
+#   2. End-to-end open-loop — optimusd-load fires a YCSB-style
+#      submit/status/delete/SSE mix at a real optimusd over HTTP for
+#      -cells 1, 4 and 8, recording coordinated-omission-safe latency and
+#      the scheduler's interval-overrun rate.
+#
+# Environment knobs: OUT (default BENCH_6.json), DUR, RATE, CLIENTS, and
+# DIFF=BENCH_6.json to print advisory deltas against a committed record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-BENCH_6.json}
+DUR=${DUR:-10s}
+RATE=${RATE:-500}
+CLIENTS=${CLIENTS:-256}
+
+workdir=$(mktemp -d)
+pid=""
+trap 'kill $pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/optimusd" ./cmd/optimusd
+go build -o "$workdir/optimusd-load" ./cmd/optimusd-load
+
+{
+    go test -run '^$' -bench '^BenchmarkServing' -benchmem ./internal/serve/
+
+    for cells in 1 4 8; do
+        rm -f "$workdir/port"
+        "$workdir/optimusd" -addr 127.0.0.1:0 -portfile "$workdir/port" \
+            -cells "$cells" -nodes 32 -tick 100ms \
+            >"$workdir/d$cells.log" 2>&1 &
+        pid=$!
+        for i in $(seq 1 50); do
+            [ -s "$workdir/port" ] && break
+            sleep 0.1
+        done
+        addr=$(cat "$workdir/port")
+        "$workdir/optimusd-load" -url "http://$addr" \
+            -duration "$DUR" -rate "$RATE" -clients "$CLIENTS" \
+            -mix 'submit=5,status=90,delete=3,sse=2' -dist zipfian \
+            -max-error-rate 0 \
+            -bench "ServingOpenLoop/dist=zipfian/cells=$cells"
+        kill -TERM $pid
+        wait $pid || true
+        pid=""
+    done
+} | go run ./cmd/benchjson -o "$OUT" \
+    ${DIFF:+-diff "$DIFF" -warn-over 15 -warn-match Serving}
