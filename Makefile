@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-diff bench-all loadbench load-smoke quick full fuzz serve load smoke clean
+.PHONY: all build vet test race bench bench-diff bench-all loadbench load-smoke failover-smoke quick full fuzz serve load smoke clean
 
 all: build vet test
 
@@ -18,14 +18,14 @@ test:
 # internal/experiments runs its parallel worker pool under the detector;
 # internal/serve includes the 1000-submission daemon load test.
 race:
-	$(GO) test -race ./internal/core/ ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/ ./internal/serve/ ./internal/obs/ ./internal/cells/
+	$(GO) test -race ./internal/core/ ./internal/psys/ ./internal/kube/ ./internal/operator/ ./internal/sim/ ./internal/chaos/ ./internal/experiments/ ./internal/serve/ ./internal/obs/ ./internal/cells/ ./internal/wal/ ./internal/ha/
 
 # Micro-benchmarks of the core algorithms, recorded as the repo's perf
 # trajectory: BENCH_1.json is the first point; bump N for later snapshots
 # and compare ns/op and allocs/op against the committed history.
-BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkNNLS|BenchmarkPAA|BenchmarkPSStep|BenchmarkCells|BenchmarkIncrementalInterval)$$
-BENCH_OUT ?= BENCH_5.json
-BENCH_BASE ?= BENCH_4.json
+BENCH_MICRO = ^(BenchmarkAllocate|BenchmarkPlace|BenchmarkLossFit|BenchmarkSpeedFit|BenchmarkNNLS|BenchmarkPAA|BenchmarkPSStep|BenchmarkCells|BenchmarkIncrementalInterval|BenchmarkSubmitWAL)$$
+BENCH_OUT ?= BENCH_7.json
+BENCH_BASE ?= BENCH_6.json
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
@@ -51,6 +51,12 @@ loadbench:
 load-smoke:
 	./scripts/smoke_load.sh
 
+# HA failover smoke: leader + warm standby on one WAL dir, kill -9 the
+# leader under open-loop load, assert takeover within one lease TTL and
+# exactly-once admission across the cutover. Runs under -race. CI gate.
+failover-smoke:
+	./scripts/smoke_failover.sh
+
 # Fast smoke reproduction of every exhibit.
 quick:
 	$(GO) run ./cmd/optimus-sim -quick all
@@ -68,6 +74,7 @@ fuzz:
 	$(GO) test -fuzz FuzzChromeTrace -fuzztime 15s ./internal/obs/
 	$(GO) test -fuzz FuzzCellCommit -fuzztime 15s ./internal/cells/
 	$(GO) test -fuzz FuzzIncrementalChurn -fuzztime 15s ./internal/core/
+	$(GO) test -fuzz FuzzWALDecode -fuzztime 15s ./internal/wal/
 
 # Run the online scheduler daemon on the paper testbed (600x scaled time).
 serve:

@@ -25,8 +25,10 @@ import (
 	"optimus/internal/obs"
 	"optimus/internal/psassign"
 	"optimus/internal/psys"
+	"optimus/internal/serve"
 	"optimus/internal/sim"
 	"optimus/internal/speedfit"
+	"optimus/internal/wal"
 	"optimus/internal/workload"
 )
 
@@ -496,6 +498,44 @@ func BenchmarkCells(b *testing.B) {
 			st := ms.Stats()
 			b.ReportMetric(float64(st.Conflicts)/float64(b.N), "conflicts/op")
 			b.ReportMetric(float64(st.Retries)/float64(b.N), "retries/op")
+		})
+	}
+}
+
+// BenchmarkSubmitWAL measures the open-loop admission hot path against each
+// WAL durability level: wal=none is the pre-WAL baseline (no log attached),
+// off appends without fsync, group batches concurrent acks into shared
+// fsyncs (the optimusd default), each fsyncs per record. The gap between
+// none and group is the price of crash-consistent admission.
+func BenchmarkSubmitWAL(b *testing.B) {
+	for _, mode := range []string{"none", "off", "group", "each"} {
+		b.Run("wal="+mode, func(b *testing.B) {
+			d, err := serve.New(serve.Config{Cluster: cluster.Testbed(), MaxJobs: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode != "none" {
+				pol, err := wal.ParseFsyncPolicy(mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				l, err := wal.Open(wal.Options{Dir: b.TempDir(), Fsync: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				d.AttachWAL(l)
+			}
+			req := serve.SubmitRequest{Model: "resnext-110", Mode: "async"}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := d.Submit(req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
 		})
 	}
 }

@@ -9,6 +9,7 @@
 //	optimus-trace run     trace.csv -faults faults.txt
 //	optimus-trace spans   trace.csv -o spans.json
 //	optimus-trace explain trace.csv -job 3
+//	optimus-trace wal     ./wal-dir -o records.jsonl
 //
 // `spans` replays a trace with scheduler tracing on and emits the span tree
 // as Chrome trace-event JSON (load in Perfetto); `explain` renders one job's
@@ -54,6 +55,8 @@ func main() {
 		cmdSpans(os.Args[2:])
 	case "explain":
 		cmdExplain(os.Args[2:])
+	case "wal":
+		cmdWAL(os.Args[2:])
 	default:
 		usage()
 	}
@@ -66,7 +69,8 @@ func usage() {
   optimus-trace run    FILE [-policy optimus|drf|tetris] [-seed N] [-faults FILE] [-timeline FILE] [-jcts FILE]
   optimus-trace faults [-trace FILE] [-seed N] [-horizon S] [-mtbf S] [-kill-rate R] [-straggler-rate R] -o FILE
   optimus-trace spans   [FILE] [-policy optimus|drf|tetris] [-seed N] [-o FILE]
-  optimus-trace explain [FILE] -job N [-policy optimus|drf|tetris] [-seed N]`)
+  optimus-trace explain [FILE] -job N [-policy optimus|drf|tetris] [-seed N]
+  optimus-trace wal     DIR [-o FILE] [-raw]`)
 	os.Exit(2)
 }
 

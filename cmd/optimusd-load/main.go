@@ -24,6 +24,17 @@
 // the overall p99 exceeds -max-p99, making it a CI SLO gate. With -bench the
 // summary is also emitted as a `go test -bench`-format line so benchjson can
 // track it in BENCH_N.json.
+//
+// Failover scenario (-urls): a comma-separated target list turns the
+// open-loop run into an HA probe — every transport failure or 5xx rotates to
+// the next target (a follower answers reads immediately and writes once
+// promoted), each such failure counts as a lost request, and the report adds
+// the blackout window: the longest stretch from a failure to the next
+// success anywhere in the pool. scripts/smoke_failover.sh drives this while
+// kill -9ing the leader mid-run:
+//
+//	optimusd-load -urls http://localhost:8080,http://localhost:8081 \
+//	    -duration 10s -rate 300 -mix submit=80,status=20
 package main
 
 import (
@@ -53,6 +64,7 @@ func main() {
 	log.SetPrefix("optimusd-load: ")
 	var (
 		url     = flag.String("url", "http://localhost:8080", "optimusd base URL")
+		urls    = flag.String("urls", "", "comma-separated failover targets (open-loop only; overrides -url)")
 		n       = flag.Int("n", 1000, "closed-loop mode: total submissions")
 		c       = flag.Int("c", 64, "closed-loop mode: concurrent clients")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
@@ -73,8 +85,9 @@ func main() {
 	flag.Parse()
 	if *duration > 0 {
 		cfg := loadConfig{
-			url: *url, duration: *duration, rate: *rate, arrivals: *arrivals,
-			mix: *mix, dist: *dist, theta: *theta, clients: *clients,
+			tg: newTargets(*urls, *url), duration: *duration, rate: *rate,
+			arrivals: *arrivals,
+			mix:      *mix, dist: *dist, theta: *theta, clients: *clients,
 			seed: *seed, timeout: *timeout,
 			maxErrRate: *maxErrRate, maxP99: *maxP99, benchName: *benchName,
 		}
@@ -82,6 +95,9 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *urls != "" {
+		log.Fatal("-urls requires open-loop mode (set -duration)")
 	}
 	if err := runClosedLoop(*url, *n, *c, *timeout); err != nil {
 		log.Fatal(err)
@@ -164,8 +180,76 @@ func runClosedLoop(url string, n, conc int, timeout time.Duration) error {
 // ---------------------------------------------------------------------------
 // Open-loop mode.
 
+// targets is the (possibly single-element) pool of optimusd base URLs. Every
+// transport failure or 5xx rotates the pool to the next target and counts a
+// lost request; the blackout window is the longest failure→success gap, i.e.
+// how long the cluster as a whole refused the workload. All methods are
+// worker-concurrency safe.
+type targets struct {
+	urls       []string
+	cur        atomic.Int32
+	lost       atomic.Int64
+	switches   atomic.Int64
+	firstFail  atomic.Int64 // unix-nanos of the oldest unrecovered failure, 0 = healthy
+	blackoutNs atomic.Int64 // longest observed blackout
+}
+
+func newTargets(csv, single string) *targets {
+	t := &targets{}
+	if csv != "" {
+		for _, u := range strings.Split(csv, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				t.urls = append(t.urls, strings.TrimRight(u, "/"))
+			}
+		}
+	}
+	if len(t.urls) == 0 {
+		t.urls = []string{single}
+	}
+	return t
+}
+
+func (t *targets) url() string { return t.urls[t.cur.Load()] }
+
+// ok records a successful operation, closing any open blackout window.
+func (t *targets) ok() {
+	if f := t.firstFail.Swap(0); f != 0 {
+		w := time.Now().UnixNano() - f
+		for {
+			cur := t.blackoutNs.Load()
+			if w <= cur || t.blackoutNs.CompareAndSwap(cur, w) {
+				return
+			}
+		}
+	}
+}
+
+// fail records a lost request, opens the blackout window if the pool looked
+// healthy, and rotates to the next target.
+func (t *targets) fail() {
+	t.lost.Add(1)
+	t.firstFail.CompareAndSwap(0, time.Now().UnixNano())
+	if len(t.urls) > 1 {
+		cur := t.cur.Load()
+		if t.cur.CompareAndSwap(cur, (cur+1)%int32(len(t.urls))) {
+			t.switches.Add(1)
+		}
+	}
+}
+
+func (t *targets) blackout() time.Duration {
+	w := t.blackoutNs.Load()
+	// A window still open at read time (run ended mid-blackout) counts too.
+	if f := t.firstFail.Load(); f != 0 {
+		if open := time.Now().UnixNano() - f; open > w {
+			w = open
+		}
+	}
+	return time.Duration(w)
+}
+
 type loadConfig struct {
-	url        string
+	tg         *targets
 	duration   time.Duration
 	rate       float64
 	arrivals   string
@@ -346,13 +430,13 @@ func runOpenLoop(cfg loadConfig) error {
 	// Seed the keyspace so keyed ops always have a target, even under a
 	// status-only mix.
 	store := newIDStore(total + 1)
-	if id, outcome := doSubmit(client, cfg.url, master); outcome == outcomeOK {
+	if id, outcome, _ := doSubmit(client, cfg.tg.url(), master); outcome == outcomeOK {
 		store.add(id)
 	} else {
-		return fmt.Errorf("seeding submit failed against %s", cfg.url)
+		return fmt.Errorf("seeding submit failed against %s", cfg.tg.url())
 	}
 
-	before, err := probeCluster(client, cfg.url)
+	before, err := probeCluster(client, cfg.tg.url())
 	if err != nil {
 		return fmt.Errorf("pre-run cluster probe: %w", err)
 	}
@@ -390,7 +474,9 @@ func runOpenLoop(cfg loadConfig) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := probeCluster(client, cfg.url)
+	// Probe whichever target the pool ended on — after a failover that is
+	// the promoted follower, not the corpse.
+	after, err := probeCluster(client, cfg.tg.url())
 	if err != nil {
 		return fmt.Errorf("post-run cluster probe: %w", err)
 	}
@@ -409,14 +495,17 @@ const (
 
 var loadModels = []string{"resnext-110", "resnet-50", "seq2seq"}
 
-func doSubmit(client *http.Client, url string, rng *rand.Rand) (int64, outcome) {
+// doSubmit posts one submission. The third result reports the target looking
+// down — transport failure or 5xx (a follower answers writes with 503 until
+// promoted) — which is what rotates a failover pool.
+func doSubmit(client *http.Client, url string, rng *rand.Rand) (int64, outcome, bool) {
 	body := fmt.Sprintf(
 		`{"model":%q,"mode":"async","threshold":0.05,"downscale":0.2}`,
 		loadModels[rng.Intn(len(loadModels))])
 	resp, err := client.Post(url+"/v1/jobs", "application/json",
 		strings.NewReader(body))
 	if err != nil {
-		return 0, outcomeErr
+		return 0, outcomeErr, true
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
@@ -425,16 +514,16 @@ func doSubmit(client *http.Client, url string, rng *rand.Rand) (int64, outcome) 
 			ID int64 `json:"id"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&created) != nil || created.ID == 0 {
-			return 0, outcomeErr
+			return 0, outcomeErr, false
 		}
 		io.Copy(io.Discard, resp.Body)
-		return created.ID, outcomeOK
+		return created.ID, outcomeOK, false
 	case http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		return 0, outcomeThrottled
+		return 0, outcomeThrottled, false
 	default:
 		io.Copy(io.Discard, resp.Body)
-		return 0, outcomeErr
+		return 0, outcomeErr, resp.StatusCode >= 500
 	}
 }
 
@@ -442,28 +531,35 @@ func runOp(o op, cfg loadConfig, client, sseClient *http.Client,
 	rng *rand.Rand, kd workload.KeyDist, store *idStore,
 	h, overall *obs.AtomicHistogram, cnt *counters) {
 	res := outcomeErr
+	url := cfg.tg.url()
+	srvDown := false
 	switch o.kind {
 	case opSubmit:
 		var id int64
-		if id, res = doSubmit(client, cfg.url, rng); res == outcomeOK {
+		if id, res, srvDown = doSubmit(client, url, rng); res == outcomeOK {
 			store.add(id)
 		}
 	case opStatus:
 		id := store.at(kd.Draw(rng, store.size()))
-		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", cfg.url, id))
-		if err == nil {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", url, id))
+		if err != nil {
+			srvDown = true
+		} else {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				res = outcomeOK
 			}
+			srvDown = resp.StatusCode >= 500
 		}
 	case opDelete:
 		id := store.at(kd.Draw(rng, store.size()))
 		req, _ := http.NewRequest(http.MethodDelete,
-			fmt.Sprintf("%s/v1/jobs/%d", cfg.url, id), nil)
+			fmt.Sprintf("%s/v1/jobs/%d", url, id), nil)
 		resp, err := client.Do(req)
-		if err == nil {
+		if err != nil {
+			srvDown = true
+		} else {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			switch resp.StatusCode {
@@ -472,15 +568,18 @@ func runOp(o op, cfg loadConfig, client, sseClient *http.Client,
 			case http.StatusConflict: // already done/cancelled: expected
 				res = outcomeConflict
 			}
+			srvDown = resp.StatusCode >= 500
 		}
 	case opSSE:
 		// Connect, read the first bytes of the stream (replay or comment),
 		// disconnect: measures subscriber-attach latency under churn.
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 		req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
-			cfg.url+"/v1/events?since=0", nil)
+			url+"/v1/events?since=0", nil)
 		resp, err := sseClient.Do(req)
-		if err == nil {
+		if err != nil {
+			srvDown = true
+		} else {
 			buf := make([]byte, 512)
 			if _, rerr := resp.Body.Read(buf); rerr == nil || rerr == io.EOF {
 				res = outcomeOK
@@ -488,6 +587,11 @@ func runOp(o op, cfg loadConfig, client, sseClient *http.Client,
 			resp.Body.Close()
 		}
 		cancel()
+	}
+	if srvDown {
+		cfg.tg.fail()
+	} else {
+		cfg.tg.ok()
 	}
 	// Coordinated-omission-safe: latency runs from the intended start, so
 	// queue wait behind a stalled daemon is charged to the daemon.
@@ -550,6 +654,12 @@ func report(cfg loadConfig, weights [numOps]float64, elapsed time.Duration,
 		overrunRate = float64(dOver) / float64(dRounds)
 	}
 	fmt.Printf("intervals: %d rounds, %d overruns (rate %.3f)\n", dRounds, dOver, overrunRate)
+
+	if len(cfg.tg.urls) > 1 {
+		fmt.Printf("failover: %d targets, %d switches, %d lost requests, blackout window %s, ended on %s\n",
+			len(cfg.tg.urls), cfg.tg.switches.Load(), cfg.tg.lost.Load(),
+			cfg.tg.blackout().Round(time.Millisecond), cfg.tg.url())
+	}
 
 	if cfg.benchName != "" && all.Count() > 0 {
 		// go-bench format so benchjson (and its -diff warnings) can track the

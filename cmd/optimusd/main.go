@@ -8,8 +8,25 @@
 //	optimusd -addr :8080                         # paper testbed cluster
 //	optimusd -nodes 20 -interval 600 -tick 1s    # 20 uniform nodes, 600x time
 //	optimusd -snapshot state.json -restore       # resume a previous run
+//	optimusd -wal-dir ./wal -fsync group         # durable write-ahead log
+//	optimusd -wal-dir ./wal -follow              # warm-standby follower
 //	optimusd -trace=false                        # disable decision tracing
 //	optimusd -pprof-addr localhost:6060          # expose net/http/pprof
+//
+// Durability (-wal-dir): every acked submission, cancellation and scheduling
+// round is framed into a segmented write-ahead log before it takes effect;
+// after a crash (kill -9 included) the daemon replays the log and resumes
+// with byte-identical job state. -fsync picks the durability/latency trade:
+// "each" (fsync per record), "group" (concurrent acks share one fsync — the
+// default) or "off" (benchmarks only).
+//
+// High availability (-follow): a second optimusd pointed at the same
+// -wal-dir runs as a warm standby — it tails the leader's log into a live
+// engine, serves all read endpoints (writes get 503 + the leader hint), and
+// when the leader's lease (a file next to the log) expires it takes over
+// within one -lease-ttl: drains the tail, repairs any torn record, bumps the
+// lease term, and starts scheduling. Admission is exactly-once across the
+// cutover because the log is the admission ledger.
 //
 // Tracing (-trace, on by default) records per-round scheduler spans and the
 // per-job decision audit, served at GET /v1/trace (Chrome trace-event JSON)
@@ -17,9 +34,10 @@
 // starts a second listener serving only the pprof handlers, so profiles
 // never share a port with the public API.
 //
-// A graceful shutdown (SIGINT/SIGTERM) drains in-flight requests and, when
-// -snapshot is set, writes the full job state so a later -restore resumes
-// every job with its fitted model state and progress intact.
+// A graceful shutdown (SIGINT/SIGTERM) drains in-flight requests, writes a
+// WAL checkpoint when -wal-dir is set, and, when -snapshot is set, writes
+// the full job state so a later -restore resumes every job with its fitted
+// model state and progress intact.
 package main
 
 import (
@@ -33,11 +51,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"optimus/internal/cluster"
+	"optimus/internal/ha"
 	"optimus/internal/serve"
+	"optimus/internal/wal"
 )
 
 func main() {
@@ -53,7 +74,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "PRNG seed for observation noise and stragglers")
 		maxJobs  = flag.Int("max-jobs", 4096, "admission-control cap on live jobs")
 		snapshot = flag.String("snapshot", "", "write a JSON state snapshot here on shutdown")
-		restore  = flag.Bool("restore", false, "resume from the -snapshot file at startup")
+		restore  = flag.Bool("restore", false, "resume from the -snapshot file at startup (missing/empty file starts fresh)")
+
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory; enables crash-consistent durability")
+		fsyncMode  = flag.String("fsync", "group", "WAL fsync policy: each, group or off")
+		follow     = flag.Bool("follow", false, "run as a warm-standby follower tailing -wal-dir; takes over when the leader's lease expires")
+		leaseTTL   = flag.Duration("lease-ttl", 5*time.Second, "leader lease validity window")
+		haID       = flag.String("ha-id", "", "identity in the leader lease (default host:pid)")
+		ckptRounds = flag.Int("wal-checkpoint-rounds", 0, "rounds between WAL snapshot checkpoints (0 uses the serve default, negative disables)")
 
 		stragglerProb = flag.Float64("straggler-prob", 0, "per-job per-round straggler probability (§5.2)")
 		speedNoise    = flag.Float64("speed-noise", 0.03, "relative speed observation noise")
@@ -65,22 +93,34 @@ func main() {
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+	fsync, err := wal.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := *haID
+	if id == "" {
+		host, _ := os.Hostname()
+		id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
 	opts := options{
 		addr: *addr, portfile: *portfile, snapshot: *snapshot, restore: *restore,
 		pprofAddr: *pprofAddr,
 		nodes:     *nodes,
+		walDir:    *walDir, fsync: fsync, follow: *follow,
+		leaseTTL: *leaseTTL, haID: id,
 		cfg: serve.Config{
-			Interval:      *interval,
-			Tick:          *tick,
-			Seed:          *seed,
-			Cells:         *cellsN,
-			MaxJobs:       *maxJobs,
-			StragglerProb: *stragglerProb,
-			SpeedNoise:    *speedNoise,
-			LossNoise:     *lossNoise,
-			ScalingBase:   *scalingBase,
-			Trace:         *traceOn,
-			TraceBuffer:   *traceBuffer,
+			Interval:            *interval,
+			Tick:                *tick,
+			Seed:                *seed,
+			Cells:               *cellsN,
+			MaxJobs:             *maxJobs,
+			StragglerProb:       *stragglerProb,
+			SpeedNoise:          *speedNoise,
+			LossNoise:           *lossNoise,
+			ScalingBase:         *scalingBase,
+			Trace:               *traceOn,
+			TraceBuffer:         *traceBuffer,
+			WALCheckpointRounds: *ckptRounds,
 		},
 	}
 	if err := run(opts); err != nil {
@@ -89,13 +129,19 @@ func main() {
 }
 
 // options is everything main parses from flags: the daemon Config plus the
-// process-level concerns (listeners, snapshot files) that wrap it.
+// process-level concerns (listeners, snapshot files, the WAL/HA role) that
+// wrap it.
 type options struct {
 	addr, portfile string
 	snapshot       string
 	restore        bool
 	pprofAddr      string
 	nodes          int
+	walDir         string
+	fsync          wal.FsyncPolicy
+	follow         bool
+	leaseTTL       time.Duration
+	haID           string
 	cfg            serve.Config
 }
 
@@ -116,22 +162,56 @@ func run(opts options) error {
 		return err
 	}
 
-	snapshot := opts.snapshot
-	if opts.restore {
-		if snapshot == "" {
-			return errors.New("-restore requires -snapshot")
+	var lease *ha.Lease
+	if opts.walDir != "" {
+		if err := os.MkdirAll(opts.walDir, 0o755); err != nil {
+			return fmt.Errorf("wal dir: %w", err)
 		}
-		f, err := os.Open(snapshot)
-		if err != nil {
-			return fmt.Errorf("opening snapshot: %w", err)
+		lease = &ha.Lease{
+			Path: filepath.Join(opts.walDir, "LEASE"),
+			ID:   opts.haID, TTL: opts.leaseTTL,
 		}
-		err = d.Restore(f)
-		f.Close()
+	}
+	if opts.follow && lease == nil {
+		return errors.New("-follow requires -wal-dir")
+	}
+
+	// Leader (or plain single-node) startup: claim the lease first, then
+	// rebuild state — WAL history when present, else the -restore snapshot.
+	var term uint64 = 1
+	var wlog *wal.Log
+	if !opts.follow {
+		if lease != nil {
+			st, ok, err := lease.TryAcquire()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("leader lease held by %q (term %d) until %s; start with -follow to run as a warm standby",
+					st.Holder, st.Term, st.Expires.Format(time.RFC3339))
+			}
+			term = st.Term
+			defer lease.Release()
+		}
+		restored, err := recoverState(opts, d)
 		if err != nil {
 			return err
 		}
-		log.Printf("restored state from %s (sim time %.0fs, %d rounds)",
-			snapshot, d.Now(), d.Rounds())
+		if opts.walDir != "" {
+			wlog, err = wal.Open(wal.Options{Dir: opts.walDir, Fsync: opts.fsync})
+			if err != nil {
+				return err
+			}
+			defer wlog.Close()
+			d.AttachWAL(wlog)
+			if restored {
+				// Anchor the snapshot-restored state so the log is
+				// self-contained from record one.
+				if err := d.WALCheckpoint(); err != nil {
+					return fmt.Errorf("anchoring restored state: %w", err)
+				}
+			}
+		}
 	}
 
 	ln, err := net.Listen("tcp", opts.addr)
@@ -144,8 +224,14 @@ func run(opts options) error {
 			return fmt.Errorf("writing portfile: %w", err)
 		}
 	}
-	log.Printf("listening on %s (%d nodes, %d cells, interval %gs, tick %s)",
-		ln.Addr(), c.Len(), max(opts.cfg.Cells, 1), opts.cfg.Interval, opts.cfg.Tick)
+	role := "leader"
+	if opts.follow {
+		role = "follower"
+	} else if opts.walDir == "" {
+		role = "standalone"
+	}
+	log.Printf("listening on %s (%s, %d nodes, %d cells, interval %gs, tick %s)",
+		ln.Addr(), role, c.Len(), max(opts.cfg.Cells, 1), opts.cfg.Interval, opts.cfg.Tick)
 
 	if opts.pprofAddr != "" {
 		pln, err := net.Listen("tcp", opts.pprofAddr)
@@ -174,6 +260,48 @@ func run(opts options) error {
 		syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// The HTTP surface is up in both roles: a follower serves every read
+	// endpoint (writes get 503 ErrNotLeader) while it tails the log.
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if opts.follow {
+		newTerm, promoted, err := followLoop(ctx, d, opts, lease)
+		if err != nil {
+			shutdownHTTP(srv)
+			return err
+		}
+		if !promoted { // clean shutdown while still following
+			shutdownHTTP(srv)
+			return nil
+		}
+		term = newTerm
+		// Take over: open-for-write repairs the dead leader's torn tail,
+		// then the promotion is announced in the log itself.
+		wlog, err = wal.Open(wal.Options{Dir: opts.walDir, Fsync: opts.fsync})
+		if err != nil {
+			shutdownHTTP(srv)
+			return fmt.Errorf("takeover: %w", err)
+		}
+		defer wlog.Close()
+		defer lease.Release()
+		d.AttachWAL(wlog)
+		d.SetReadOnly(false)
+		log.Printf("promoted to leader at term %d (sim time %.0fs, %d rounds)",
+			term, d.Now(), d.Rounds())
+	}
+
+	if wlog != nil {
+		if err := d.WALAppendMembership(opts.haID, term, "leader"); err != nil {
+			shutdownHTTP(srv)
+			return err
+		}
+		d.SetHAStatus(serve.HAStatus{Role: "leader", ID: opts.haID, Term: term,
+			LeaseHolder: opts.haID})
+		go renewLoop(ctx, lease)
+	}
+
 	// Scheduler event loop.
 	loopDone := make(chan struct{})
 	go func() {
@@ -181,25 +309,22 @@ func run(opts options) error {
 		d.Run(ctx)
 	}()
 
-	srv := &http.Server{Handler: d.Handler()}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
 	}
 	log.Print("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
-	}
+	shutdownHTTP(srv)
 	<-loopDone
 
-	if snapshot != "" {
-		f, err := os.Create(snapshot)
+	if wlog != nil {
+		if err := d.WALCheckpoint(); err != nil {
+			log.Printf("wal checkpoint: %v", err)
+		}
+	}
+	if opts.snapshot != "" {
+		f, err := os.Create(opts.snapshot)
 		if err != nil {
 			return fmt.Errorf("creating snapshot: %w", err)
 		}
@@ -211,7 +336,150 @@ func run(opts options) error {
 			return err
 		}
 		log.Printf("state saved to %s (sim time %.0fs, %d rounds)",
-			snapshot, d.Now(), d.Rounds())
+			opts.snapshot, d.Now(), d.Rounds())
 	}
 	return nil
+}
+
+func shutdownHTTP(srv *http.Server) {
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+}
+
+// recoverState rebuilds the daemon at leader startup: WAL replay when the
+// log has history, else the -restore snapshot (which then gets anchored as
+// the log's first checkpoint). Mixing both is refused — the log already
+// supersedes any older snapshot. Returns whether a snapshot was restored.
+func recoverState(opts options, d *serve.Daemon) (bool, error) {
+	var replayed serve.WALReplayStats
+	if opts.walDir != "" {
+		var err error
+		replayed, err = d.ReplayWAL(opts.walDir)
+		if err != nil {
+			return false, fmt.Errorf("wal replay: %w", err)
+		}
+		if replayed.Records > 0 {
+			log.Printf("replayed %d wal records (last seq %d, checkpoint %d, torn tail: %v): sim time %.0fs, %d rounds",
+				replayed.Records, replayed.AppliedSeq, replayed.Checkpoint,
+				replayed.Torn, d.Now(), d.Rounds())
+		}
+		if replayed.Duplicates > 0 {
+			return false, fmt.Errorf("wal replay: %d duplicate admissions — log corrupt", replayed.Duplicates)
+		}
+	}
+	if !opts.restore {
+		return false, nil
+	}
+	if opts.snapshot == "" {
+		return false, errors.New("-restore requires -snapshot")
+	}
+	if replayed.Records > 0 {
+		return false, errors.New("-restore refused: -wal-dir already has history (the log supersedes the snapshot; drop one)")
+	}
+	f, err := os.Open(opts.snapshot)
+	if errors.Is(err, os.ErrNotExist) {
+		log.Printf("warning: -restore: snapshot %s does not exist; starting fresh", opts.snapshot)
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("opening snapshot: %w", err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
+		log.Printf("warning: -restore: snapshot %s is empty; starting fresh", opts.snapshot)
+		return false, nil
+	}
+	if err := d.Restore(f); err != nil {
+		return false, err
+	}
+	log.Printf("restored state from %s (sim time %.0fs, %d rounds)",
+		opts.snapshot, d.Now(), d.Rounds())
+	return true, nil
+}
+
+// followLoop tails the leader's log into the warm standby until the leader
+// lease expires (→ returns the new term and true) or ctx is cancelled
+// (→ false). The poll period is a fraction of the lease TTL so takeover
+// lands well within one TTL of the leader dying.
+func followLoop(ctx context.Context, d *serve.Daemon, opts options, lease *ha.Lease) (uint64, bool, error) {
+	applier := d.NewWALApplier()
+	tailer := &ha.Tailer{Dir: opts.walDir}
+	d.SetReadOnly(true)
+	d.SetHAStatus(serve.HAStatus{Role: "follower", ID: opts.haID})
+	poll := opts.leaseTTL / 5
+	if poll < 20*time.Millisecond {
+		poll = 20 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	var lag uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return 0, false, nil
+		case <-t.C:
+		}
+		n, torn, err := tailer.Poll(applier.Apply)
+		if err != nil {
+			return 0, false, fmt.Errorf("follow: %w", err)
+		}
+		// A torn tail mid-follow is the leader mid-write: the records behind
+		// the tear count as lag until a later poll reads them whole.
+		if torn {
+			lag++
+		} else {
+			lag = 0
+		}
+		st, err := lease.Read()
+		if err != nil {
+			return 0, false, err
+		}
+		if n > 0 || st.Term > 0 {
+			d.SetHAStatus(serve.HAStatus{Role: "follower", ID: opts.haID,
+				Term: st.Term, LeaseHolder: st.Holder,
+				AppliedSeq: applier.AppliedSeq(), LagRecords: lag})
+		}
+		if st.Held(time.Now()) {
+			continue
+		}
+		got, ok, err := lease.TryAcquire()
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			continue // another standby won; keep following
+		}
+		// Drain whatever the dead leader managed to write, then promote.
+		if _, _, err := tailer.Poll(applier.Apply); err != nil {
+			return 0, false, fmt.Errorf("takeover drain: %w", err)
+		}
+		applier.Finish()
+		if dups := applier.Duplicates(); dups > 0 {
+			return 0, false, fmt.Errorf("takeover: %d duplicate admissions in log", dups)
+		}
+		log.Printf("leader lease (holder %q) expired: taking over at term %d after %d applied records",
+			st.Holder, got.Term, applier.Records())
+		return got.Term, true, nil
+	}
+}
+
+// renewLoop keeps the leader lease alive and fail-stops the process the
+// moment renewal discovers another holder: a deposed leader must never ack
+// another write, or the new leader's history would fork.
+func renewLoop(ctx context.Context, lease *ha.Lease) {
+	t := time.NewTicker(lease.TTL / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := lease.Renew(); err != nil {
+				log.Fatalf("leader lease lost (%v): fail-stop", err)
+			}
+		}
+	}
 }

@@ -41,6 +41,10 @@ const (
 	// RecoveryDelay adds Duration seconds to job Job's next fault recovery
 	// (slow checkpoint storage, image pulls, ...).
 	RecoveryDelay
+	// LeaderKill SIGKILLs the scheduler leader process at Time, exercising
+	// the internal/ha failover path (WAL-tailing follower takes over within
+	// one lease TTL). Consumed by the failover harness, not the simulator.
+	LeaderKill
 
 	numKinds
 )
@@ -60,6 +64,8 @@ func (k Kind) String() string {
 		return "ckpt-fail"
 	case RecoveryDelay:
 		return "recovery-delay"
+	case LeaderKill:
+		return "leader-kill"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -145,6 +151,8 @@ func (f Fault) Validate() error {
 			return err
 		}
 		return needsDuration()
+	case LeaderKill:
+		return nil // only Time matters; negative time caught above
 	default:
 		return fmt.Errorf("chaos: unknown kind %d", int(f.Kind))
 	}

@@ -38,6 +38,11 @@ type GenConfig struct {
 	NetSlowCount    int
 	NetSlowDur      float64
 	NetSlowSeverity float64
+
+	// --- control plane ---
+	// LeaderKills scheduler-leader SIGKILLs, uniform over the horizon, for
+	// the internal/ha failover harness.
+	LeaderKills int
 }
 
 // Generate draws a schedule from the configured random processes. The result
@@ -106,6 +111,13 @@ func Generate(cfg GenConfig) Schedule {
 		s.Faults = append(s.Faults, Fault{
 			Kind: NetworkSlow, Time: r.Float64() * cfg.Horizon,
 			Duration: cfg.NetSlowDur, Severity: cfg.NetSlowSeverity,
+		})
+	}
+
+	// Control-plane leader kills.
+	for i := 0; i < cfg.LeaderKills; i++ {
+		s.Faults = append(s.Faults, Fault{
+			Kind: LeaderKill, Time: r.Float64() * cfg.Horizon,
 		})
 	}
 

@@ -1,0 +1,36 @@
+// Package ha is the warm-standby high-availability layer for optimusd: a
+// file-based leader lease plus a WAL tailer, the two primitives cmd/optimusd
+// composes into leader/follower roles.
+//
+// The design (DESIGN.md §17) follows the classic log-shipping shape rather
+// than a consensus protocol: the leader serializes every state change into
+// its write-ahead log (internal/wal) before acking, and the standby tails
+// that log into a warm replica of the scheduling engine. Leadership is a
+// lease file next to the log: a JSON {holder, term, expires} document
+// rewritten atomically (temp file + rename) and re-read after every write.
+// On a local filesystem rename is atomic and last-writer-wins; the read-back
+// catches the common interleave, which is the right durability/complexity
+// trade for the single-host, multi-process deployments this repo's harness
+// drives. A distributed deployment would swap the Lease for etcd/ZooKeeper
+// and ship segments instead of sharing a directory — the Tailer and the
+// serve.WALApplier are unchanged by that substitution.
+//
+// Failover timeline: the leader renews its lease every TTL/3 and fail-stops
+// (exits) if a renewal discovers another holder. A follower polls both the
+// log (applying new records) and the lease; when the lease expires it drains
+// the final records, acquires the lease under a new term, repairs the dead
+// leader's torn tail (wal.Open truncates it), appends a membership record,
+// and starts scheduling. Exactly-once admission across the cutover falls out
+// of the log itself: an admission exists iff its submit record does, and the
+// replay applier counts duplicate IDs (zero in any healthy history).
+package ha
+
+import "errors"
+
+// ErrLost reports a lease operation discovering a different current holder.
+var ErrLost = errors.New("ha: lease lost to another holder")
+
+// ErrGap reports that the log was compacted past the tailer's cursor (the
+// follower lagged across a checkpoint); the follower must rebuild from the
+// latest checkpoint instead of continuing incrementally.
+var ErrGap = errors.New("ha: log compacted past tail cursor")

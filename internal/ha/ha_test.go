@@ -1,0 +1,294 @@
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"optimus/internal/chaos"
+	"optimus/internal/cluster"
+	"optimus/internal/serve"
+	"optimus/internal/wal"
+)
+
+// fakeClock is a settable time source shared by contending leases.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLeaseAcquireContention(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	path := filepath.Join(t.TempDir(), "LEASE")
+	a := &Lease{Path: path, ID: "a", TTL: 10 * time.Second, Clock: clk.now}
+	b := &Lease{Path: path, ID: "b", TTL: 10 * time.Second, Clock: clk.now}
+
+	st, ok, err := a.TryAcquire()
+	if err != nil || !ok || st.Term != 1 {
+		t.Fatalf("a acquire: %+v ok=%v err=%v", st, ok, err)
+	}
+	if _, ok, _ := b.TryAcquire(); ok {
+		t.Fatal("b acquired a held lease")
+	}
+	// Renewals extend within the same term.
+	clk.advance(5 * time.Second)
+	if st, err := a.Renew(); err != nil || st.Term != 1 {
+		t.Fatalf("a renew: %+v err=%v", st, err)
+	}
+	// Expiry: b takes over with a bumped term; a's next renewal fail-stops.
+	clk.advance(11 * time.Second)
+	st, ok, err = b.TryAcquire()
+	if err != nil || !ok || st.Term != 2 {
+		t.Fatalf("b takeover: %+v ok=%v err=%v", st, ok, err)
+	}
+	if _, err := a.Renew(); !errors.Is(err, ErrLost) {
+		t.Fatalf("a renew after takeover: %v, want ErrLost", err)
+	}
+	// Re-acquiring our own lease keeps the term.
+	if st, ok, _ := b.TryAcquire(); !ok || st.Term != 2 {
+		t.Fatalf("b reacquire: %+v ok=%v", st, ok)
+	}
+	// Release lets the next contender in without waiting out the TTL.
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok, _ := a.TryAcquire(); !ok || st.Term != 3 {
+		t.Fatalf("a after release: %+v ok=%v", st, ok)
+	}
+}
+
+func TestLeaseMissingFileUnclaimed(t *testing.T) {
+	l := &Lease{Path: filepath.Join(t.TempDir(), "LEASE"), ID: "x", TTL: time.Second}
+	st, err := l.Read()
+	if err != nil || st.Held(time.Now()) {
+		t.Fatalf("missing lease: %+v err=%v", st, err)
+	}
+	if _, ok, err := l.TryAcquire(); err != nil || !ok {
+		t.Fatalf("acquire unclaimed: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTailerFollowsAndToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(wal.TypeObserve, []byte(`{"id":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tl := &Tailer{Dir: dir}
+	n, torn, err := tl.Poll(func(wal.Record) error { return nil })
+	if err != nil || torn || n != 5 || tl.After != 5 {
+		t.Fatalf("poll: n=%d torn=%v after=%d err=%v", n, torn, tl.After, err)
+	}
+	// Nothing new: an empty poll.
+	if n, _, err := tl.Poll(func(wal.Record) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("idle poll: n=%d err=%v", n, err)
+	}
+	// More records appear; only the new ones are delivered.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(wal.TypeObserve, []byte(`{"id":2}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if n, _, err := tl.Poll(func(r wal.Record) error { seqs = append(seqs, r.Seq); return nil }); err != nil || n != 3 {
+		t.Fatalf("tail poll: n=%d err=%v", n, err)
+	}
+	if fmt.Sprint(seqs) != "[6 7 8]" {
+		t.Fatalf("tail sequences %v", seqs)
+	}
+}
+
+// newDaemon builds a serve daemon on the shared testbed cluster.
+func newDaemon(t *testing.T, seed int64) *serve.Daemon {
+	t.Helper()
+	d, err := serve.New(serve.Config{Cluster: cluster.Testbed(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFailover is the in-process end-to-end: a leader daemon logs a live
+// workload to a shared WAL dir while a warm-standby follower tails it; at a
+// chaos-scheduled moment the leader dies (log closed mid-history, lease
+// left to expire), the follower takes over within one TTL, repairs the log,
+// and keeps serving — with exactly-once admission across the cutover.
+func TestFailover(t *testing.T) {
+	// The leader-kill moment comes from a seeded chaos schedule, making the
+	// whole failover replayable.
+	sched := chaos.Generate(chaos.GenConfig{Seed: 11, Horizon: 10, LeaderKills: 1})
+	var killAfterRound int
+	for _, f := range sched.Faults {
+		if f.Kind == chaos.LeaderKill {
+			killAfterRound = 1 + int(f.Time) // rounds 1..10
+		}
+	}
+	if killAfterRound == 0 {
+		t.Fatal("chaos schedule produced no leader kill")
+	}
+
+	dir := t.TempDir()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	ttl := 10 * time.Second
+	leasePath := filepath.Join(dir, "LEASE")
+
+	// Leader: lease, WAL, live workload.
+	leaderLease := &Lease{Path: leasePath, ID: "leader", TTL: ttl, Clock: clk.now}
+	if _, ok, err := leaderLease.TryAcquire(); err != nil || !ok {
+		t.Fatalf("leader acquire: ok=%v err=%v", ok, err)
+	}
+	leader := newDaemon(t, 1)
+	llog, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.AttachWAL(llog)
+	if err := leader.WALAppendMembership("leader", 1, "leader"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Follower: warm standby applying the same log.
+	follower := newDaemon(t, 1)
+	follower.SetReadOnly(true)
+	applier := follower.NewWALApplier()
+	tailer := &Tailer{Dir: dir}
+	poll := func() {
+		if _, _, err := tailer.Poll(applier.Apply); err != nil {
+			t.Fatalf("follower poll: %v", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	models := []string{"resnext-110", "seq2seq", "dssm"}
+	var acked []int
+	for round := 1; round <= killAfterRound; round++ {
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			id, err := leader.Submit(serve.SubmitRequest{
+				Model: models[rng.Intn(len(models))], Mode: "async"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked = append(acked, id)
+		}
+		leader.Step()
+		clk.advance(time.Second)
+		if _, err := leaderLease.Renew(); err != nil {
+			t.Fatal(err)
+		}
+		poll() // follower keeps pace while the leader lives
+		// The follower must reject writes while following.
+		if _, err := follower.Submit(serve.SubmitRequest{Model: "dssm", Mode: "async"}); !errors.Is(err, serve.ErrNotLeader) {
+			t.Fatalf("follower accepted a write: %v", err)
+		}
+	}
+
+	// SIGKILL equivalent: the leader vanishes without a graceful snapshot.
+	// (Closing the log stands in for the process dying; a mid-write tear is
+	// exercised separately in serve's torn-tail suite.)
+	if err := llog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	leaderDead := clk.now()
+
+	// Follower notices the lease expiring, drains the tail, takes over.
+	followerLease := &Lease{Path: leasePath, ID: "follower", TTL: ttl, Clock: clk.now}
+	for {
+		st, err := followerLease.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Held(clk.now()) {
+			break
+		}
+		clk.advance(time.Second)
+	}
+	if waited := clk.now().Sub(leaderDead); waited > ttl {
+		t.Fatalf("takeover waited %v, beyond one lease TTL %v", waited, ttl)
+	}
+	st, ok, err := followerLease.TryAcquire()
+	if err != nil || !ok {
+		t.Fatalf("follower acquire: ok=%v err=%v", ok, err)
+	}
+	poll() // final drain
+	applier.Finish()
+	if applier.Duplicates() != 0 {
+		t.Fatalf("replication saw %d duplicate admissions", applier.Duplicates())
+	}
+	flog, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncOff}) // repairs any torn tail
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.AttachWAL(flog)
+	if err := follower.WALAppendMembership("follower", st.Term, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	follower.SetReadOnly(false)
+	follower.SetHAStatus(serve.HAStatus{Role: "leader", ID: "follower", Term: st.Term})
+
+	// Promoted state must match the dead leader's logged state exactly.
+	if follower.Rounds() != killAfterRound {
+		t.Fatalf("follower replayed %d rounds, leader committed %d",
+			follower.Rounds(), killAfterRound)
+	}
+	for _, id := range acked {
+		if _, err := follower.Status(id); err != nil {
+			t.Fatalf("acked job %d missing after takeover: %v", id, err)
+		}
+	}
+
+	// The new leader schedules and admits; IDs continue without reuse.
+	newID, err := follower.Submit(serve.SubmitRequest{Model: "dssm", Mode: "async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range acked {
+		if id == newID {
+			t.Fatalf("job ID %d reused across failover", id)
+		}
+	}
+	follower.Step()
+	if err := flog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full history (leader's reign + takeover + new leader's reign)
+	// replays with exactly-once admission.
+	audit := newDaemon(t, 1)
+	stats, err := audit.ReplayWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Duplicates != 0 {
+		t.Fatalf("post-failover history has %d duplicate admissions", stats.Duplicates)
+	}
+	if _, err := audit.Status(newID); err != nil {
+		t.Fatalf("new leader's admission missing from history: %v", err)
+	}
+}

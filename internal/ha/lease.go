@@ -1,0 +1,152 @@
+package ha
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// LeaseState is the on-disk lease document.
+type LeaseState struct {
+	Holder  string    `json:"holder"`
+	Term    uint64    `json:"term"`
+	Expires time.Time `json:"expires"`
+}
+
+// Held reports whether the lease is currently claimed at time now.
+func (s LeaseState) Held(now time.Time) bool {
+	return s.Holder != "" && now.Before(s.Expires)
+}
+
+// Lease is one contender's handle on a lease file. Methods are not safe for
+// concurrent use within a process; cross-process safety is the point.
+type Lease struct {
+	Path string        // lease file path (conventionally <wal-dir>/LEASE)
+	ID   string        // this contender's identity
+	TTL  time.Duration // lease validity window
+
+	// Clock overrides time.Now in tests.
+	Clock func() time.Time
+}
+
+func (l *Lease) now() time.Time {
+	if l.Clock != nil {
+		return l.Clock()
+	}
+	return time.Now()
+}
+
+// Read returns the current lease document. A missing file is an unclaimed
+// lease, not an error.
+func (l *Lease) Read() (LeaseState, error) {
+	b, err := os.ReadFile(l.Path)
+	if os.IsNotExist(err) {
+		return LeaseState{}, nil
+	}
+	if err != nil {
+		return LeaseState{}, fmt.Errorf("ha: reading lease: %w", err)
+	}
+	var st LeaseState
+	if err := json.Unmarshal(b, &st); err != nil {
+		// A torn lease write is treated as unclaimed: the writer crashed
+		// mid-rename-prep and never held the term it was claiming.
+		return LeaseState{}, nil
+	}
+	return st, nil
+}
+
+// write replaces the lease document atomically (temp file + rename, fsync
+// before the rename so the claim survives a crash).
+func (l *Lease) write(st LeaseState) error {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(l.Path)
+	tmp, err := os.CreateTemp(dir, ".lease-*")
+	if err != nil {
+		return fmt.Errorf("ha: writing lease: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(name)
+		return fmt.Errorf("ha: writing lease: %w", err)
+	}
+	if err := os.Rename(name, l.Path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("ha: writing lease: %w", err)
+	}
+	return nil
+}
+
+// TryAcquire claims the lease if it is unclaimed, expired, or already ours.
+// A fresh claim bumps the term; re-acquiring our own lease keeps it. It
+// returns the resulting state and whether we hold it.
+func (l *Lease) TryAcquire() (LeaseState, bool, error) {
+	cur, err := l.Read()
+	if err != nil {
+		return LeaseState{}, false, err
+	}
+	now := l.now()
+	if cur.Held(now) && cur.Holder != l.ID {
+		return cur, false, nil
+	}
+	st := LeaseState{Holder: l.ID, Term: cur.Term, Expires: now.Add(l.TTL)}
+	if cur.Holder != l.ID {
+		st.Term++
+	}
+	if err := l.write(st); err != nil {
+		return LeaseState{}, false, err
+	}
+	// Read back: rename is last-writer-wins, so a racing claimant may have
+	// overwritten ours between the rename and here. Whoever the file names
+	// is the holder.
+	got, err := l.Read()
+	if err != nil {
+		return LeaseState{}, false, err
+	}
+	return got, got.Holder == l.ID, nil
+}
+
+// Renew extends our held lease. It fails with ErrLost if the file no longer
+// names us — the caller must stop acting as leader immediately (fail-stop).
+func (l *Lease) Renew() (LeaseState, error) {
+	cur, err := l.Read()
+	if err != nil {
+		return LeaseState{}, err
+	}
+	if cur.Holder != l.ID {
+		return cur, ErrLost
+	}
+	st := LeaseState{Holder: l.ID, Term: cur.Term, Expires: l.now().Add(l.TTL)}
+	if err := l.write(st); err != nil {
+		return LeaseState{}, err
+	}
+	got, err := l.Read()
+	if err != nil {
+		return LeaseState{}, err
+	}
+	if got.Holder != l.ID {
+		return got, ErrLost
+	}
+	return got, nil
+}
+
+// Release drops the lease if we hold it, letting the next contender claim
+// the term immediately instead of waiting out the TTL.
+func (l *Lease) Release() error {
+	cur, err := l.Read()
+	if err != nil || cur.Holder != l.ID {
+		return err
+	}
+	cur.Expires = l.now()
+	return l.write(cur)
+}

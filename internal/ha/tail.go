@@ -1,0 +1,46 @@
+package ha
+
+import (
+	"optimus/internal/wal"
+)
+
+// Tailer is a cursor over a (possibly still growing) WAL directory: each
+// Poll applies every record after the cursor and advances it. A torn tail is
+// not an error while tailing — it is the leader mid-write (or mid-crash);
+// the next poll retries from the same cursor. The tailer never repairs the
+// log: only the writer (wal.Open) truncates.
+type Tailer struct {
+	Dir   string
+	After uint64 // last applied sequence; zero = from the beginning
+}
+
+// Poll scans records after the cursor through fn, advancing the cursor past
+// each record fn accepts. It returns how many records were applied and
+// whether the scan ended at a torn tail. fn errors abort the poll with the
+// cursor still pointing at the failed record.
+func (t *Tailer) Poll(fn func(wal.Record) error) (int, bool, error) {
+	applied := 0
+	first := true
+	res, err := wal.ScanFrom(t.Dir, t.After, func(r wal.Record) error {
+		if first {
+			first = false
+			// The log may have been checkpoint-compacted past our cursor:
+			// the first surviving record would then not be our successor.
+			// (A checkpoint record itself is fine — it summarizes exactly
+			// the history we already applied.)
+			if t.After > 0 && r.Seq != t.After+1 {
+				return ErrGap
+			}
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+		t.After = r.Seq
+		applied++
+		return nil
+	})
+	if err != nil {
+		return applied, false, err
+	}
+	return applied, res.Torn, nil
+}

@@ -274,7 +274,10 @@ type ClusterStatus struct {
 	// incremental / full intervals, dirty-set sizes, tasks migrated); present
 	// only when the daemon runs a delta-driven policy.
 	Scheduler *core.IncrStats `json:"scheduler,omitempty"`
-	Nodes     []NodeStatus    `json:"nodes"`
+	// HA is the control-plane role block, present only under internal/ha
+	// leadership (-wal-dir with -follow or a held lease).
+	HA    *HAStatus    `json:"ha,omitempty"`
+	Nodes []NodeStatus `json:"nodes"`
 }
 
 // clusterSnapshot is the RCU-style read-mostly cluster view: built by the
@@ -326,6 +329,7 @@ func (d *Daemon) publishClusterLocked() {
 		is := d.policy.Incr.Stats()
 		st.Scheduler = &is
 	}
+	st.HA = d.haStat.Load()
 	var used, capacity cluster.Resources
 	for _, n := range d.cfg.Cluster.Nodes() {
 		st.Nodes = append(st.Nodes, NodeStatus{
@@ -394,6 +398,10 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
+	if errors.Is(err, ErrNotLeader) {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -427,6 +435,8 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrTerminal):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrNotLeader):
+		writeError(w, http.StatusServiceUnavailable, err)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 	default:
@@ -477,6 +487,42 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, s := range []JobState{StatePending, StateWaiting, StateRunning, StateDone, StateCancelled} {
 		_ = metrics.WriteGauge(w, "optimusd_jobs_"+string(s),
 			"Jobs currently in state "+string(s)+".", float64(byState[s]))
+	}
+	if l := d.wlog.Load(); l != nil {
+		ws := l.Stats()
+		_ = metrics.WriteCounter(w, "optimus_wal_appends_total",
+			"Records appended to the write-ahead log this process.", float64(ws.Appends))
+		_ = metrics.WriteCounter(w, "optimus_wal_fsyncs_total",
+			"Fsync syscalls issued by the write-ahead log.", float64(ws.Fsyncs))
+		_ = metrics.WriteCounter(w, "optimus_wal_bytes_total",
+			"Bytes appended to the write-ahead log this process.", float64(ws.Bytes))
+		_ = metrics.WriteCounter(w, "optimus_wal_checkpoints_total",
+			"Snapshot checkpoint/compaction cycles this process.", float64(ws.Checkpoints))
+		_ = metrics.WriteCounter(w, "optimus_wal_append_errors_total",
+			"Failed write-ahead log appends.", float64(d.walErrs.Load()))
+		_ = metrics.WriteCounter(w, "optimus_wal_replayed_records_total",
+			"Records applied from the log at startup or while following.",
+			float64(d.walReplayed.Load()))
+		_ = metrics.WriteGauge(w, "optimus_wal_segments",
+			"Live segment files in the write-ahead log directory.", float64(ws.Segments))
+		_ = metrics.WriteGauge(w, "optimus_wal_last_seq",
+			"Last assigned write-ahead log sequence number.", float64(ws.LastSeq))
+		_ = metrics.WriteGauge(w, "optimus_wal_durable_seq",
+			"Last write-ahead log sequence known to be on stable storage.",
+			float64(ws.DurableSeq))
+	}
+	if ha := d.haStat.Load(); ha != nil {
+		leader := 0.0
+		if ha.Role == "leader" {
+			leader = 1
+		}
+		_ = metrics.WriteGauge(w, "optimus_ha_leader",
+			"1 when this daemon holds the leader lease, 0 when following.", leader)
+		_ = metrics.WriteGauge(w, "optimus_ha_term",
+			"Current lease term observed by this daemon.", float64(ha.Term))
+		_ = metrics.WriteGauge(w, "optimus_ha_follower_lag_records",
+			"Records the follower is behind the leader's log (0 on the leader).",
+			float64(ha.LagRecords))
 	}
 	if snap := d.clusterSnap.Load(); snap.status.Cells != nil {
 		// One sample per cell; the Exporter deduplicates family preambles.

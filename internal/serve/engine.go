@@ -9,6 +9,7 @@ import (
 	"optimus/internal/lossfit"
 	"optimus/internal/metrics"
 	"optimus/internal/sim"
+	"optimus/internal/wal"
 	"optimus/internal/workload"
 )
 
@@ -53,6 +54,7 @@ func (d *Daemon) stepLocked() {
 		d.advanceClockLocked(d.now + d.cfg.Interval)
 		d.rounds++
 		d.roundsN.Store(int64(d.rounds))
+		d.walRoundLocked()
 		d.publishClusterLocked()
 		return
 	}
@@ -69,9 +71,13 @@ func (d *Daemon) stepLocked() {
 	fitSpan := d.tracer.Begin("fit")
 	for _, j := range active {
 		if !j.profiled {
-			sim.PreRunProfile(j.speedEst, j.spec, d.cfg.PreRunSamples,
+			samples := sim.PreRunProfile(j.speedEst, j.spec, d.cfg.PreRunSamples,
 				d.cfg.SpeedNoise, d.rng)
 			j.profiled = true
+			if d.walOn() {
+				d.walAppend(wal.TypeProfile,
+					walProfile{ID: j.spec.ID, Samples: samples})
+			}
 		}
 	}
 	infos := make([]*core.JobInfo, len(active))
@@ -192,10 +198,14 @@ func (d *Daemon) stepLocked() {
 			if j.placed {
 				d.publish(Event{Type: EventUnplaced, Job: id})
 			}
+			moved := j.placed || j.state != StateWaiting
 			j.placed = false
 			j.alloc = core.Allocation{}
 			j.nodes = nil
 			j.state = StateWaiting
+			if moved && d.walOn() {
+				d.walAppend(wal.TypeDeploy, walDeploy{ID: id, State: StateWaiting})
+			}
 			sh.mu.Unlock()
 			continue
 		}
@@ -222,6 +232,10 @@ func (d *Daemon) stepLocked() {
 				Detail: fmt.Sprintf("%dps/%dw -> %dps/%dw",
 					old.PS, old.Workers, newAlloc.PS, newAlloc.Workers)})
 		}
+		if (fresh || changed) && d.walOn() {
+			d.walAppend(wal.TypeDeploy, walDeploy{ID: id, State: StateRunning,
+				PS: newAlloc.PS, W: newAlloc.Workers, Nodes: pl.NodeIDs})
+		}
 		sh.mu.Unlock()
 		if fresh || changed {
 			pause := d.cfg.ScalingBase + d.cfg.ScalingPerTask*float64(newAlloc.Tasks())
@@ -242,12 +256,18 @@ func (d *Daemon) stepLocked() {
 			d.rec.AddRestarts(1)
 			d.publish(Event{Type: EventRecovered, Job: id,
 				Detail: "straggler replaced"})
+			if d.walOn() {
+				d.walAppend(wal.TypeFault, walFault{ID: id})
+			}
 		}
 		if d.cfg.StragglerProb > 0 && d.rng.Float64() < d.cfg.StragglerProb {
 			j.straggling = true
 			d.rec.AddFault()
 			d.publish(Event{Type: EventFault, Job: id,
 				Detail: fmt.Sprintf("straggler x%.2f", d.cfg.StragglerSlowdown)})
+			if d.walOn() {
+				d.walAppend(wal.TypeFault, walFault{ID: id, Straggling: true})
+			}
 		}
 	}
 
@@ -293,6 +313,9 @@ func (d *Daemon) stepLocked() {
 			j.nodes = nil
 			d.publish(Event{Type: EventCompleted, Job: id,
 				Detail: fmt.Sprintf("jct=%.0fs", done-j.spec.Arrival)})
+			if d.walOn() {
+				d.walAppend(wal.TypeComplete, walComplete{ID: id, DoneAt: done})
+			}
 			sh.mu.Unlock()
 			d.live.Add(-1)
 			d.rec.Complete(id, done)
@@ -332,6 +355,9 @@ func (d *Daemon) stepLocked() {
 	}
 	d.tracer.End(ivSpan)
 	d.advanceClockLocked(intervalEnd)
+	// Commit the interval: one durable round record whose group flush also
+	// hardens every buffered engine record above.
+	d.walRoundLocked()
 	d.publishClusterLocked()
 }
 
@@ -366,10 +392,14 @@ func roundTierDetail(prev, cur core.IncrStats) string {
 // retaining the loss points for snapshot/restore. alloc is the caller's
 // shard-lock-consistent copy of the job's deployment.
 func (d *Daemon) observe(j *job, alloc core.Allocation, stepsPerSec float64) {
+	// The WAL record carries exactly the accepted raw measurements, so
+	// replaying it performs the same Observe/Add calls byte-identically.
+	var rec walObserve
 	if stepsPerSec > 0 {
 		obs := stepsPerSec * (1 + d.cfg.SpeedNoise*d.rng.NormFloat64())
 		if obs > 0 {
 			_ = j.speedEst.Observe(alloc.PS, alloc.Workers, obs)
+			rec.PS, rec.W, rec.Speed = alloc.PS, alloc.Workers, obs
 		}
 	}
 	if j.progress > 0 {
@@ -379,6 +409,11 @@ func (d *Daemon) observe(j *job, alloc core.Allocation, stepsPerSec float64) {
 			if len(j.lossObs) > maxLossObs {
 				j.lossObs = j.lossObs[len(j.lossObs)-maxLossObs:]
 			}
+			rec.K, rec.Loss = j.progress, loss
 		}
+	}
+	if d.walOn() {
+		rec.ID, rec.Progress = j.spec.ID, j.progress
+		d.walAppend(wal.TypeObserve, rec)
 	}
 }

@@ -54,6 +54,7 @@ import (
 	"optimus/internal/obs"
 	"optimus/internal/sim"
 	"optimus/internal/speedfit"
+	"optimus/internal/wal"
 	"optimus/internal/workload"
 )
 
@@ -103,6 +104,13 @@ type Config struct {
 	// late subscriber can replay. Default 4096.
 	EventBuffer int
 
+	// WALCheckpointRounds is how many scheduling rounds pass between
+	// snapshot checkpoints on an attached WAL (wal.go): each checkpoint
+	// anchors replay and retires every earlier segment. Default 512;
+	// negative disables periodic checkpoints (graceful shutdown still
+	// writes one). Ignored without AttachWAL.
+	WALCheckpointRounds int
+
 	// Trace enables the internal/obs observability layer: per-round span
 	// trees (exported as Chrome trace-event JSON at GET /v1/trace) and the
 	// per-grant/per-placement decision audit log behind
@@ -144,6 +152,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
+	}
+	if c.WALCheckpointRounds == 0 {
+		c.WALCheckpointRounds = 512
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 4096
@@ -255,6 +266,14 @@ type Daemon struct {
 	clusterSnap atomic.Pointer[clusterSnapshot]
 	apiHist     obs.AtomicHistogram // API latency, written lock-free
 
+	// Durability / HA seam (wal.go): the attached log, follower mode, the
+	// published HA role, and the WAL health counters.
+	wlog        atomic.Pointer[wal.Log]
+	readOnly    atomic.Bool
+	haStat      atomic.Pointer[HAStatus]
+	walErrs     atomic.Int64
+	walReplayed atomic.Int64
+
 	arrivalMu sync.Mutex
 	arrivalQ  []arrival
 
@@ -336,6 +355,9 @@ func (d *Daemon) Submit(req SubmitRequest) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if d.readOnly.Load() {
+		return 0, ErrNotLeader
+	}
 	if d.live.Add(1) > int64(d.cfg.MaxJobs) {
 		d.live.Add(-1)
 		d.rejected.Add(1)
@@ -355,6 +377,18 @@ func (d *Daemon) Submit(req SubmitRequest) (int, error) {
 			float64(spec.Model.GlobalBatch)),
 	}
 	j.status.Store(newStatusSnap(d.buildStatus(j)))
+	// Write-ahead: the admission is durable before the job is findable, so
+	// every acked submission survives a crash and no engine record for the
+	// job can precede its submit record. A failed append burns the assigned
+	// ID (replay's nextID skips it — the submission was never acked).
+	if err := d.walAppendDurable(wal.TypeSubmit, walSubmit{
+		ID: id, Model: spec.Model.Name, Mode: spec.Mode.String(),
+		Threshold: spec.Threshold, Downscale: spec.Downscale,
+		Arrival: now, Wall: j.submittedWall,
+	}); err != nil {
+		d.live.Add(-1)
+		return 0, fmt.Errorf("serve: wal append: %w", err)
+	}
 	// Publish before the registry insert: the job cannot be cancelled until
 	// it is findable, so its "submitted" event is always first in the stream.
 	d.publish(Event{Type: EventSubmitted, Job: id,
@@ -389,6 +423,9 @@ func (d *Daemon) drainArrivalsLocked() {
 // every round). Terminal jobs cannot be cancelled. Only the job's shard lock
 // is taken: a cancel never waits for a scheduling round.
 func (d *Daemon) Cancel(id int) error {
+	if d.readOnly.Load() {
+		return ErrNotLeader
+	}
 	j := d.reg.get(id)
 	if j == nil {
 		return ErrNotFound
@@ -415,6 +452,12 @@ func (d *Daemon) Cancel(id int) error {
 	sh.mu.Unlock()
 	d.live.Add(-1)
 	d.cancelledN.Add(1)
+	// Durable after the shard-locked mutation: the engine re-checks terminal
+	// state under the shard lock before every mutation, so no state-changing
+	// record for this job can land after this one.
+	if err := d.walAppendDurable(wal.TypeCancel, walCancel{ID: id}); err != nil {
+		return fmt.Errorf("serve: wal append: %w", err)
+	}
 	return nil
 }
 

@@ -14,7 +14,9 @@ import (
 )
 
 // SnapshotVersion is the format version of the daemon's state snapshot.
-const SnapshotVersion = 1
+// Version 2 added SpeedAcc (exact estimator accumulators); version-1
+// snapshots (averaged SpeedObs) still restore.
+const SnapshotVersion = 2
 
 // Snapshot is the daemon's durable state: everything needed to resume every
 // job with its progress, fitted model state and last allocation intact. The
@@ -32,10 +34,12 @@ type Snapshot struct {
 	Jobs      []JobSnapshot `json:"jobs"`
 }
 
-// JobSnapshot is one job's durable state. The estimators are persisted as
-// their raw observations (loss points and averaged speed samples) and
-// replayed into fresh fitters on restore, so the fitted models after
-// restore are identical to the fitted models before shutdown.
+// JobSnapshot is one job's durable state. The loss fitter is persisted as
+// its raw observations and replayed into a fresh fitter on restore; the
+// speed estimator is persisted as its exact per-configuration accumulators
+// (p, w, sum, weight), so the estimator after restore is byte-identical to
+// the estimator before shutdown — including how future observations will be
+// averaged in. SpeedObs is the version-1 averaged form, still read.
 type JobSnapshot struct {
 	ID            int               `json:"id"`
 	Model         string            `json:"model"`
@@ -52,6 +56,7 @@ type JobSnapshot struct {
 	Straggling    bool              `json:"straggling,omitempty"`
 	LossObs       [][2]float64      `json:"lossObs,omitempty"`
 	SpeedObs      []speedfit.Sample `json:"speedObs,omitempty"`
+	SpeedAcc      [][4]float64      `json:"speedAcc,omitempty"`
 }
 
 // WriteSnapshot serializes the daemon's state as indented JSON. The engine
@@ -60,7 +65,16 @@ type JobSnapshot struct {
 // snapshot); JSON encoding happens after all shard locks are released.
 func (d *Daemon) WriteSnapshot(w io.Writer) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	snap := d.snapshotLocked()
+	d.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// snapshotLocked builds the snapshot value. Callers hold d.mu; the WAL
+// checkpoint path (wal.go) shares it with WriteSnapshot.
+func (d *Daemon) snapshotLocked() Snapshot {
 	snap := Snapshot{
 		Version:   SnapshotVersion,
 		SavedWall: time.Now(),
@@ -92,16 +106,14 @@ func (d *Daemon) WriteSnapshot(w io.Writer) error {
 				js.LossObs = append(js.LossObs, [2]float64{p.K, p.Loss})
 			}
 			if j.profiled {
-				js.SpeedObs = j.speedEst.Samples()
+				js.SpeedAcc = j.speedEst.Accum()
 			}
 			snap.Jobs = append(snap.Jobs, js)
 		}
 	}
 	d.reg.unlockAll()
 	sort.Slice(snap.Jobs, func(a, b int) bool { return snap.Jobs[a].ID < snap.Jobs[b].ID })
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
+	return snap
 }
 
 // Restore loads a snapshot into a freshly constructed daemon. It must be
@@ -112,11 +124,17 @@ func (d *Daemon) Restore(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("serve: reading snapshot: %w", err)
 	}
-	if snap.Version != SnapshotVersion {
-		return fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, SnapshotVersion)
-	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.restoreSnapLocked(snap)
+}
+
+// restoreSnapLocked loads a decoded snapshot. Callers hold d.mu; the WAL
+// replay applier (wal.go) shares it with Restore for checkpoint records.
+func (d *Daemon) restoreSnapLocked(snap Snapshot) error {
+	if snap.Version != 1 && snap.Version != SnapshotVersion {
+		return fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
 	if d.reg.len() != 0 || d.rounds != 0 {
 		return fmt.Errorf("serve: cannot restore over live state")
 	}
@@ -204,8 +222,12 @@ func restoreJob(js JobSnapshot) (*job, error) {
 			j.lossObs = append(j.lossObs, lossfit.Point{K: p[0], Loss: p[1]})
 		}
 	}
-	for _, s := range js.SpeedObs {
-		_ = j.speedEst.Observe(s.P, s.W, s.Speed)
+	if len(js.SpeedAcc) > 0 {
+		j.speedEst.SetAccum(js.SpeedAcc)
+	} else {
+		for _, s := range js.SpeedObs {
+			_ = j.speedEst.Observe(s.P, s.W, s.Speed)
+		}
 	}
 	return j, nil
 }

@@ -1,0 +1,599 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"optimus/internal/core"
+	"optimus/internal/lossfit"
+	"optimus/internal/speedfit"
+	"optimus/internal/wal"
+	"optimus/internal/workload"
+)
+
+// This file is the daemon's durability and replication seam (DESIGN.md §17):
+// the typed WAL record payloads, the append hooks the serving/engine paths
+// call, and the replay applier that rebuilds a daemon from a log.
+//
+// The replay contract is byte-identical state: every mutation of durable job
+// state flows through exactly one record type carrying the *observed* values
+// (noisy speed/loss measurements, not their post-hoc averages), so replaying
+// the log performs the same Observe/Add calls the live engine performed and
+// a post-replay WriteSnapshot equals a graceful-shutdown snapshot, modulo
+// the savedWall timestamp. Two counters are deliberately outside the
+// contract: admission rejections (telemetry, never acked as state) and IDs
+// burned by a failed WAL append (the submission was never acked).
+//
+// Record ordering relies on the same seams as the serving path itself:
+//   - a job's submit record is appended durably before the registry insert,
+//     so no engine record for the job can precede it;
+//   - deploy/complete records are appended inside the job's shard-lock
+//     critical section, in mutation order;
+//   - a cancel record is appended after its shard-locked mutation; engine
+//     sections re-check terminal state under the shard lock before mutating,
+//     so no state-changing record for the job can follow its cancel.
+
+// ErrNotLeader rejects writes on a daemon serving as a read-only HA
+// follower; clients should retry against the current leader.
+var ErrNotLeader = errors.New("serve: not the leader (read-only follower)")
+
+// WAL record payloads. Field names are compact on purpose: observe records
+// dominate log volume (one per placed job per round).
+
+type walSubmit struct {
+	ID        int       `json:"id"`
+	Model     string    `json:"model"`
+	Mode      string    `json:"mode"`
+	Threshold float64   `json:"th"`
+	Downscale float64   `json:"ds,omitempty"`
+	Arrival   float64   `json:"at"`
+	Wall      time.Time `json:"wall"`
+}
+
+type walCancel struct {
+	ID int `json:"id"`
+}
+
+type walProfile struct {
+	ID      int               `json:"id"`
+	Samples []speedfit.Sample `json:"samples"`
+}
+
+// walObserve carries one interval's accepted measurements for one job.
+// A zero Speed or Loss means that half was rejected (or not measured) and
+// must not be replayed into the estimators.
+type walObserve struct {
+	ID       int     `json:"id"`
+	Progress float64 `json:"prog"`
+	PS       int     `json:"ps,omitempty"`
+	W        int     `json:"w,omitempty"`
+	Speed    float64 `json:"speed,omitempty"`
+	K        float64 `json:"k,omitempty"`
+	Loss     float64 `json:"loss,omitempty"`
+}
+
+type walDeploy struct {
+	ID    int      `json:"id"`
+	State JobState `json:"state"`
+	PS    int      `json:"ps,omitempty"`
+	W     int      `json:"w,omitempty"`
+	Nodes []string `json:"nodes,omitempty"`
+}
+
+type walComplete struct {
+	ID     int     `json:"id"`
+	DoneAt float64 `json:"done"`
+}
+
+type walFault struct {
+	ID         int  `json:"id"`
+	Straggling bool `json:"straggling"`
+}
+
+type walRound struct {
+	Round   int     `json:"round"`
+	SimTime float64 `json:"t"`
+}
+
+type walMembership struct {
+	Holder string `json:"holder"`
+	Term   uint64 `json:"term"`
+	Role   string `json:"role"`
+}
+
+// AttachWAL connects an open log to the daemon: every subsequent
+// state-changing operation appends a record before (submissions) or as
+// (engine mutations) it takes effect. Attach before serving traffic.
+func (d *Daemon) AttachWAL(l *wal.Log) { d.wlog.Store(l) }
+
+// WALStats returns the attached log's counters, or false when none.
+func (d *Daemon) WALStats() (wal.Stats, bool) {
+	l := d.wlog.Load()
+	if l == nil {
+		return wal.Stats{}, false
+	}
+	return l.Stats(), true
+}
+
+// walOn reports whether a log is attached; hot paths check it before
+// building a payload so the WAL-less daemon pays nothing.
+func (d *Daemon) walOn() bool { return d.wlog.Load() != nil }
+
+// walAppend buffers one record (durable at the next group flush — the round
+// commit at the latest). Engine-path errors are counted, not propagated: the
+// log's sticky error will surface on the next durable ack append.
+func (d *Daemon) walAppend(t wal.Type, v any) {
+	l := d.wlog.Load()
+	if l == nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		_, err = l.Append(t, b)
+	}
+	if err != nil {
+		d.walErrs.Add(1)
+	}
+}
+
+// walAppendDurable appends one record and waits for durability per the
+// log's fsync policy. Ack paths (Submit, Cancel, round commits) use it.
+func (d *Daemon) walAppendDurable(t wal.Type, v any) error {
+	l := d.wlog.Load()
+	if l == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		_, err = l.AppendSync(t, b)
+	}
+	if err != nil {
+		d.walErrs.Add(1)
+	}
+	return err
+}
+
+// WALAppendMembership durably records a control-plane role change (leader
+// start, follower takeover) with its lease term.
+func (d *Daemon) WALAppendMembership(holder string, term uint64, role string) error {
+	return d.walAppendDurable(wal.TypeMembership,
+		walMembership{Holder: holder, Term: term, Role: role})
+}
+
+// walRoundLocked commits one scheduling interval: a durable round record
+// (the group flush that also hardens the interval's buffered engine
+// records), then a snapshot checkpoint every WALCheckpointRounds rounds.
+// Callers hold d.mu with the round's mutations already applied.
+func (d *Daemon) walRoundLocked() {
+	l := d.wlog.Load()
+	if l == nil {
+		return
+	}
+	if err := d.walAppendDurable(wal.TypeRound,
+		walRound{Round: d.rounds, SimTime: d.now}); err != nil {
+		return
+	}
+	if n := d.cfg.WALCheckpointRounds; n > 0 && d.rounds%n == 0 {
+		d.walCheckpointLocked(l)
+	}
+}
+
+// walCheckpointLocked writes the full snapshot as a checkpoint record,
+// retiring every earlier segment. Callers hold d.mu.
+func (d *Daemon) walCheckpointLocked(l *wal.Log) {
+	b, err := json.Marshal(d.snapshotLocked())
+	if err == nil {
+		_, err = l.Checkpoint(b)
+	}
+	if err != nil {
+		d.walErrs.Add(1)
+	}
+}
+
+// WALCheckpoint writes a snapshot checkpoint on demand (graceful shutdown,
+// follower takeover). No-op without an attached log.
+func (d *Daemon) WALCheckpoint() error {
+	l := d.wlog.Load()
+	if l == nil {
+		return nil
+	}
+	d.mu.Lock()
+	snap := d.snapshotLocked()
+	d.mu.Unlock()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	_, err = l.Checkpoint(b)
+	return err
+}
+
+// SetReadOnly flips the daemon's follower mode: when set, Submit and Cancel
+// fail with ErrNotLeader (HTTP 503) while every read path keeps serving.
+func (d *Daemon) SetReadOnly(v bool) { d.readOnly.Store(v) }
+
+// ReadOnly reports follower mode.
+func (d *Daemon) ReadOnly() bool { return d.readOnly.Load() }
+
+// HAStatus is the control-plane block of GET /v1/cluster when the daemon
+// runs under internal/ha leadership.
+type HAStatus struct {
+	Role        string `json:"role"` // "leader" or "follower"
+	ID          string `json:"id,omitempty"`
+	Term        uint64 `json:"term,omitempty"`
+	LeaseHolder string `json:"leaseHolder,omitempty"`
+	// AppliedSeq is the last WAL sequence applied locally; LagRecords is the
+	// follower's distance behind the leader's last scanned record.
+	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
+	LagRecords uint64 `json:"lagRecords,omitempty"`
+}
+
+// SetHAStatus publishes the daemon's HA role into /v1/cluster and /metrics.
+func (d *Daemon) SetHAStatus(st HAStatus) {
+	d.haStat.Store(&st)
+	d.mu.Lock()
+	d.publishClusterLocked()
+	d.mu.Unlock()
+}
+
+// HAState returns the last published HA status, or nil when not under HA.
+func (d *Daemon) HAState() *HAStatus { return d.haStat.Load() }
+
+// WALApplier replays records into a daemon: a fresh one at startup
+// (ReplayWAL) or a warm standby continuously (the internal/ha follower).
+// Apply and Finish are not safe for concurrent use with each other, but are
+// safe against the daemon's read paths — mutations happen under the engine
+// mutex and the owning shard locks, exactly like a scheduling round.
+type WALApplier struct {
+	d          *Daemon
+	applied    uint64 // last applied sequence
+	records    uint64
+	duplicates uint64 // submit records for already-present IDs
+	dirty      map[int]*job
+	started    bool // a non-checkpoint record has been applied
+}
+
+// NewWALApplier builds an applier over d.
+func (d *Daemon) NewWALApplier() *WALApplier {
+	return &WALApplier{d: d, dirty: make(map[int]*job)}
+}
+
+// AppliedSeq is the sequence of the last applied record.
+func (a *WALApplier) AppliedSeq() uint64 { return a.applied }
+
+// Duplicates counts submit records whose job ID already existed — the
+// exactly-once violation detector across HA cutovers. Zero in a healthy log.
+func (a *WALApplier) Duplicates() uint64 { return a.duplicates }
+
+// Records counts records applied (checkpoints included).
+func (a *WALApplier) Records() uint64 { return a.records }
+
+// Apply replays one record. Records are applied in sequence order; the
+// caller (Scan/ScanFrom or a tailer) guarantees contiguity.
+func (a *WALApplier) Apply(rec wal.Record) error {
+	d := a.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := a.applyLocked(rec); err != nil {
+		return fmt.Errorf("wal replay: record %d (%s): %w", rec.Seq, rec.Type, err)
+	}
+	a.applied = rec.Seq
+	a.records++
+	d.walReplayed.Add(1)
+	return nil
+}
+
+func (a *WALApplier) applyLocked(rec wal.Record) error {
+	d := a.d
+	switch rec.Type {
+	case wal.TypeCheckpoint:
+		// A checkpoint is a summary of everything before it. On a fresh
+		// daemon (replay starting at the checkpoint) restore it; on a warm
+		// one (a tailing follower that already applied that history) it is
+		// a no-op.
+		if a.started || d.reg.len() != 0 || d.rounds != 0 {
+			return nil
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(rec.Payload, &snap); err != nil {
+			return err
+		}
+		return d.restoreSnapLocked(snap)
+	case wal.TypeSubmit:
+		var p walSubmit
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		if d.reg.get(p.ID) != nil {
+			a.duplicates++
+			return nil
+		}
+		model := workload.ZooByName(p.Model)
+		if model == nil {
+			return fmt.Errorf("unknown model %q", p.Model)
+		}
+		var mode speedfit.Mode
+		switch p.Mode {
+		case "async":
+			mode = speedfit.Async
+		case "sync":
+			mode = speedfit.Sync
+		default:
+			return fmt.Errorf("bad mode %q", p.Mode)
+		}
+		spec := workload.JobSpec{
+			ID: p.ID, Model: model, Mode: mode,
+			Threshold: p.Threshold, Arrival: p.Arrival, Downscale: p.Downscale,
+		}
+		if spec.Downscale == 0 {
+			spec.Downscale = 1
+		}
+		j := &job{
+			spec:          spec,
+			submittedWall: p.Wall,
+			state:         StatePending,
+			totalEpochs:   spec.TotalEpochs(),
+			lossFit:       lossfit.NewFitter(),
+			speedEst: speedfit.NewEstimator(mode,
+				float64(model.GlobalBatch)),
+		}
+		j.status.Store(newStatusSnap(d.buildStatus(j)))
+		d.reg.put(p.ID, j)
+		if int64(p.ID) > d.nextID.Load() {
+			d.nextID.Store(int64(p.ID))
+		}
+		d.live.Add(1)
+		d.rec.Arrive(p.ID, p.Arrival)
+		a.dirty[p.ID] = j
+	case wal.TypeCancel:
+		var p walCancel
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		j := d.reg.get(p.ID)
+		if j == nil {
+			return fmt.Errorf("cancel of unknown job %d", p.ID)
+		}
+		if !j.state.terminal() {
+			d.live.Add(-1)
+		}
+		j.state = StateCancelled
+		j.placed = false
+		j.alloc = core.Allocation{}
+		j.spread = workload.TaskSpread{}
+		j.nodes = nil
+		d.cancelledN.Add(1)
+		a.dirty[p.ID] = j
+	case wal.TypeProfile:
+		var p walProfile
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		j := d.reg.get(p.ID)
+		if j == nil {
+			return fmt.Errorf("profile of unknown job %d", p.ID)
+		}
+		for _, s := range p.Samples {
+			_ = j.speedEst.Observe(s.P, s.W, s.Speed)
+		}
+		j.profiled = true
+		a.dirty[p.ID] = j
+	case wal.TypeObserve:
+		var p walObserve
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		j := d.reg.get(p.ID)
+		if j == nil {
+			return fmt.Errorf("observation of unknown job %d", p.ID)
+		}
+		// Observations may legitimately land on a job cancelled in the same
+		// round (the physics pass raced the cancel, exactly as live): apply
+		// the estimator updates, leave the state alone.
+		j.progress = p.Progress
+		if p.Speed > 0 {
+			_ = j.speedEst.Observe(p.PS, p.W, p.Speed)
+		}
+		if p.Loss > 0 && j.lossFit.Add(p.K, p.Loss) == nil {
+			j.lossObs = append(j.lossObs, lossfit.Point{K: p.K, Loss: p.Loss})
+			if len(j.lossObs) > maxLossObs {
+				j.lossObs = j.lossObs[len(j.lossObs)-maxLossObs:]
+			}
+		}
+		a.dirty[p.ID] = j
+	case wal.TypeDeploy:
+		var p walDeploy
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		j := d.reg.get(p.ID)
+		if j == nil {
+			return fmt.Errorf("deployment of unknown job %d", p.ID)
+		}
+		if j.state.terminal() {
+			return nil
+		}
+		j.state = p.State
+		if p.PS > 0 && p.W > 0 {
+			j.alloc = core.Allocation{PS: p.PS, Workers: p.W}
+			j.nodes = p.Nodes
+			j.placed = true
+		} else {
+			j.alloc = core.Allocation{}
+			j.spread = workload.TaskSpread{}
+			j.nodes = nil
+			j.placed = false
+		}
+		a.dirty[p.ID] = j
+	case wal.TypeComplete:
+		var p walComplete
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		j := d.reg.get(p.ID)
+		if j == nil {
+			return fmt.Errorf("completion of unknown job %d", p.ID)
+		}
+		if !j.state.terminal() {
+			d.live.Add(-1)
+		}
+		j.state = StateDone
+		j.progress = j.totalEpochs
+		j.doneAt = p.DoneAt
+		j.placed = false
+		j.alloc = core.Allocation{}
+		j.spread = workload.TaskSpread{}
+		j.nodes = nil
+		d.rec.Complete(p.ID, p.DoneAt)
+		a.dirty[p.ID] = j
+	case wal.TypeFault:
+		var p walFault
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		j := d.reg.get(p.ID)
+		if j == nil {
+			return fmt.Errorf("fault on unknown job %d", p.ID)
+		}
+		j.straggling = p.Straggling
+		a.dirty[p.ID] = j
+	case wal.TypeRound:
+		var p walRound
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return err
+		}
+		a.started = true
+		d.rounds = p.Round
+		d.roundsN.Store(int64(p.Round))
+		d.advanceClockLocked(p.SimTime)
+		// Interval boundary: republish the round's touched jobs and the
+		// cluster view, so a tailing follower serves fresh reads.
+		for id, j := range a.dirty {
+			sh := d.reg.shard(id)
+			sh.mu.Lock()
+			j.status.Store(newStatusSnap(d.buildStatus(j)))
+			sh.mu.Unlock()
+		}
+		clear(a.dirty)
+		d.publishClusterLocked()
+	case wal.TypeMembership:
+		a.started = true // role changes don't touch job state
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+// Finish normalizes the applied state for serving, mirroring snapshot
+// restore: replayed running jobs have no real deployment, so they restart
+// as waiting and the first round after takeover re-places them (§5.4). It
+// also republishes every job's status and the cluster snapshot.
+func (a *WALApplier) Finish() {
+	d := a.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var live int64
+	d.reg.lockAll()
+	for i := range d.reg.shards {
+		for _, j := range d.reg.shards[i].jobs {
+			if j.state == StateRunning {
+				j.state = StateWaiting
+				j.alloc = core.Allocation{}
+				j.spread = workload.TaskSpread{}
+				j.nodes = nil
+				j.placed = false
+			}
+			if !j.state.terminal() {
+				live++
+			}
+			j.status.Store(newStatusSnap(d.buildStatus(j)))
+		}
+	}
+	d.reg.unlockAll()
+	d.live.Store(live)
+	clear(a.dirty)
+	d.publishClusterLocked()
+}
+
+// WALReplayStats summarizes one ReplayWAL.
+type WALReplayStats struct {
+	Records    int    // records applied
+	AppliedSeq uint64 // last applied sequence
+	Checkpoint uint64 // sequence of the anchoring checkpoint (0 = genesis)
+	Duplicates uint64 // exactly-once violations detected (should be 0)
+	Torn       bool   // the log ended in a torn tail (crash evidence)
+}
+
+// ReplayWAL rebuilds a freshly constructed daemon from the log in dir:
+// restore the latest checkpoint, then re-apply every record after it. The
+// daemon must not have served yet. A torn tail is not an error — it is the
+// expected shape of a crash — and is reported in the stats; opening the
+// directory for writing afterwards (wal.Open) truncates it.
+func (d *Daemon) ReplayWAL(dir string) (WALReplayStats, error) {
+	ckpt, err := wal.LastCheckpoint(dir)
+	if err != nil {
+		return WALReplayStats{}, err
+	}
+	var after uint64
+	if ckpt > 0 {
+		after = ckpt - 1
+	}
+	a := d.NewWALApplier()
+	res, err := wal.ScanFrom(dir, after, a.Apply)
+	if err != nil {
+		return WALReplayStats{}, err
+	}
+	a.Finish()
+	return WALReplayStats{
+		Records:    res.Records,
+		AppliedSeq: a.applied,
+		Checkpoint: ckpt,
+		Duplicates: a.duplicates,
+		Torn:       res.Torn,
+	}, nil
+}
+
+// WALDecodePayload renders one record payload for optimus-trace. It lives
+// here (not in the trace tool) so the payload schemas stay private.
+func WALDecodePayload(rec wal.Record) (any, error) {
+	var v any
+	switch rec.Type {
+	case wal.TypeSubmit:
+		v = &walSubmit{}
+	case wal.TypeCancel:
+		v = &walCancel{}
+	case wal.TypeProfile:
+		v = &walProfile{}
+	case wal.TypeObserve:
+		v = &walObserve{}
+	case wal.TypeDeploy:
+		v = &walDeploy{}
+	case wal.TypeComplete:
+		v = &walComplete{}
+	case wal.TypeFault:
+		v = &walFault{}
+	case wal.TypeRound:
+		v = &walRound{}
+	case wal.TypeMembership:
+		v = &walMembership{}
+	case wal.TypeCheckpoint:
+		v = &Snapshot{}
+	default:
+		return nil, fmt.Errorf("serve: unknown WAL record type %d", rec.Type)
+	}
+	dec := json.NewDecoder(bytes.NewReader(rec.Payload))
+	if err := dec.Decode(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

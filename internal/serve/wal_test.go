@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"optimus/internal/cluster"
+	"optimus/internal/wal"
+)
+
+// walTestDaemon builds a daemon with a WAL attached in dir.
+func walTestDaemon(t *testing.T, dir string, seed int64, ckptRounds int) (*Daemon, *wal.Log) {
+	t.Helper()
+	d, err := New(Config{
+		Cluster:             cluster.Testbed(),
+		Seed:                seed,
+		StragglerProb:       0.1,
+		WALCheckpointRounds: ckptRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncOff, SegmentBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AttachWAL(l)
+	return d, l
+}
+
+// driveWAL runs a randomized submit/cancel/schedule workload against d.
+func driveWAL(t *testing.T, d *Daemon, rng *rand.Rand, rounds int) {
+	t.Helper()
+	models := []string{"resnext-110", "inception-bn", "seq2seq", "dssm"}
+	modes := []string{"async", "sync"}
+	var ids []int
+	for r := 0; r < rounds; r++ {
+		for n := rng.Intn(3); n > 0; n-- {
+			id, err := d.Submit(SubmitRequest{
+				Model: models[rng.Intn(len(models))],
+				Mode:  modes[rng.Intn(len(modes))],
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) > 0 && rng.Float64() < 0.15 {
+			id := ids[rng.Intn(len(ids))]
+			if err := d.Cancel(id); err != nil && err != ErrTerminal {
+				t.Fatal(err)
+			}
+		}
+		d.Step()
+	}
+}
+
+var savedWallRe = regexp.MustCompile(`"savedWall":\s*"[^"]*",?\n?`)
+
+// snapshotBytes renders d's snapshot with the wall timestamp stripped.
+func snapshotBytes(t *testing.T, d *Daemon) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return savedWallRe.ReplaceAll(buf.Bytes(), nil)
+}
+
+func freshDaemon(t *testing.T, seed int64) *Daemon {
+	t.Helper()
+	d, err := New(Config{
+		Cluster: cluster.Testbed(),
+		Seed:    seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestWALReplayMatchesSnapshot is the crash-consistency core: across 30
+// seeds, rebuilding a daemon by replaying its WAL must yield byte-identical
+// state to restoring a graceful-shutdown snapshot. Half the seeds run with
+// aggressive checkpoint compaction so replay also exercises the
+// snapshot-anchored path (restore checkpoint, re-apply the suffix).
+func TestWALReplayMatchesSnapshot(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			ckpt := -1 // no periodic checkpoints
+			if seed%2 == 0 {
+				ckpt = 3 // compact every 3 rounds
+			}
+			dir := t.TempDir()
+			d, l := walTestDaemon(t, dir, seed, ckpt)
+			driveWAL(t, d, rand.New(rand.NewSource(seed*7)), 12)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Graceful path: snapshot → restore into a fresh daemon.
+			var snap bytes.Buffer
+			if err := d.WriteSnapshot(&snap); err != nil {
+				t.Fatal(err)
+			}
+			restored := freshDaemon(t, seed)
+			if err := restored.Restore(&snap); err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotBytes(t, restored)
+
+			// Crash path: replay the log into a fresh daemon.
+			replayed := freshDaemon(t, seed)
+			stats, err := replayed.ReplayWAL(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Duplicates != 0 {
+				t.Fatalf("replay found %d duplicate admissions", stats.Duplicates)
+			}
+			if ckpt > 0 && stats.Checkpoint == 0 {
+				t.Fatal("expected a checkpoint anchor in the compacted log")
+			}
+			got := snapshotBytes(t, replayed)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("repldiff:\n--- graceful restore ---\n%s\n--- wal replay ---\n%s",
+					firstDiff(want, got), firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff returns a window around the first differing byte for diagnostics.
+func firstDiff(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo, hi := i-120, i+200
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return string(a[lo:hi])
+}
+
+// TestWALReplayTornTail cuts the log at every byte offset in its final
+// segment (simulating a crash mid-write at any point) and checks that
+// replay never errors, is deterministic, and that the repaired log accepts
+// further appends.
+func TestWALReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, l := walTestDaemon(t, dir, 42, -1)
+	driveWAL(t, d, rand.New(rand.NewSource(99)), 6)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	whole, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every-byte cuts are quadratic in log size; stride keeps it fast while
+	// still hitting header, body and boundary offsets.
+	for cut := 0; cut < len(whole); cut += 37 {
+		cutDir := t.TempDir()
+		for _, s := range segs[:len(segs)-1] {
+			b, _ := os.ReadFile(s)
+			if err := os.WriteFile(filepath.Join(cutDir, filepath.Base(s)), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(cutDir, filepath.Base(last)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d1 := freshDaemon(t, 1)
+		s1, err := d1.ReplayWAL(cutDir)
+		if err != nil {
+			t.Fatalf("cut %d: replay: %v", cut, err)
+		}
+		d2 := freshDaemon(t, 1)
+		s2, err := d2.ReplayWAL(cutDir)
+		if err != nil {
+			t.Fatalf("cut %d: second replay: %v", cut, err)
+		}
+		if s1 != s2 {
+			t.Fatalf("cut %d: replay not deterministic: %+v vs %+v", cut, s1, s2)
+		}
+		if !bytes.Equal(snapshotBytes(t, d1), snapshotBytes(t, d2)) {
+			t.Fatalf("cut %d: replayed states differ", cut)
+		}
+		// The repaired log must accept the takeover's membership record.
+		rl, err := wal.Open(wal.Options{Dir: cutDir, Fsync: wal.FsyncOff})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		d1.AttachWAL(rl)
+		if err := d1.WALAppendMembership("standby", 2, "leader"); err != nil {
+			t.Fatalf("cut %d: post-repair append: %v", cut, err)
+		}
+		if err := rl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALReadOnlyFollower checks the follower write fence.
+func TestWALReadOnlyFollower(t *testing.T) {
+	d := freshDaemon(t, 1)
+	d.SetReadOnly(true)
+	if _, err := d.Submit(SubmitRequest{Model: "resnext-110", Mode: "async"}); err != ErrNotLeader {
+		t.Fatalf("submit on follower: %v, want ErrNotLeader", err)
+	}
+	if err := d.Cancel(1); err != ErrNotLeader {
+		t.Fatalf("cancel on follower: %v, want ErrNotLeader", err)
+	}
+	d.SetReadOnly(false)
+	if _, err := d.Submit(SubmitRequest{Model: "resnext-110", Mode: "async"}); err != nil {
+		t.Fatalf("submit after promotion: %v", err)
+	}
+}
+
+// TestWALRestartContinues replays a log, reattaches the repaired log, and
+// keeps scheduling — the single-node crash-restart lifecycle.
+func TestWALRestartContinues(t *testing.T) {
+	dir := t.TempDir()
+	d, l := walTestDaemon(t, dir, 7, -1)
+	driveWAL(t, d, rand.New(rand.NewSource(7)), 5)
+	rounds := d.Rounds()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := freshDaemon(t, 7)
+	if _, err := d2.ReplayWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Rounds() != rounds {
+		t.Fatalf("replayed rounds %d, want %d", d2.Rounds(), rounds)
+	}
+	l2, err := wal.Open(wal.Options{Dir: dir, Fsync: wal.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.AttachWAL(l2)
+	id, err := d2.Submit(SubmitRequest{Model: "dssm", Mode: "async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Step()
+	st, err := d2.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning && st.State != StateWaiting {
+		t.Fatalf("post-restart job state %q", st.State)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The continued log must itself replay cleanly.
+	d3 := freshDaemon(t, 7)
+	if stats, err := d3.ReplayWAL(dir); err != nil || stats.Duplicates != 0 {
+		t.Fatalf("replay of continued log: %+v err=%v", stats, err)
+	}
+	if _, err := d3.Status(id); err != nil {
+		t.Fatalf("job submitted after restart missing from replay: %v", err)
+	}
+}

@@ -40,9 +40,12 @@ func ApproxPlacedSpeed(c *cluster.Cluster, spec workload.JobSpec, p, w int) floa
 
 // PreRunProfile simulates the §3.2 sample runs on a small dataset: n (p, w)
 // configurations measured against the job's ground-truth physics with
-// relative observation noise, fed into the job's speed estimator.
-func PreRunProfile(est *speedfit.Estimator, spec workload.JobSpec, n int, noise float64, rng *rand.Rand) {
+// relative observation noise, fed into the job's speed estimator. It returns
+// the raw observations exactly as accepted, so a durability layer can log
+// them and replay Observe calls byte-identically (DESIGN.md §17).
+func PreRunProfile(est *speedfit.Estimator, spec workload.JobSpec, n int, noise float64, rng *rand.Rand) []speedfit.Sample {
 	plan := speedfit.SamplingPlan(n, 24)
+	out := make([]speedfit.Sample, 0, len(plan))
 	for _, c := range plan {
 		truth := spec.Model.TrueSpeed(spec.Mode, c[0], c[1])
 		if truth <= 0 {
@@ -55,7 +58,9 @@ func PreRunProfile(est *speedfit.Estimator, spec workload.JobSpec, n int, noise 
 		// Ignore the impossible: Observe only rejects invalid inputs, which
 		// cannot occur here by construction.
 		_ = est.Observe(c[0], c[1], obs)
+		out = append(out, speedfit.Sample{P: c[0], W: c[1], Speed: obs})
 	}
+	return out
 }
 
 // estimatedEpochs runs the online loss fit and converts it to a total-epoch

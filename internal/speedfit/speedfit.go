@@ -247,6 +247,41 @@ func (e *Estimator) Samples() []Sample {
 	return e.samplesInto(make([]Sample, 0, len(e.acc)))
 }
 
+// Accum exports the raw per-configuration accumulators as (p, w, sum, n)
+// rows ordered by (p, w). Unlike Samples, which collapses each configuration
+// to its mean, the rows carry the observation weights, so an estimator
+// rebuilt via SetAccum continues averaging exactly where this one left off —
+// the property a durable snapshot needs for byte-identical refits.
+func (e *Estimator) Accum() [][4]float64 {
+	out := make([][4]float64, 0, len(e.acc))
+	for key, a := range e.acc {
+		out = append(out, [4]float64{float64(key[0]), float64(key[1]), a.sum, a.n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// SetAccum replaces the estimator's state with rows from Accum. Invalid rows
+// (non-positive configuration or weight) are dropped.
+func (e *Estimator) SetAccum(rows [][4]float64) {
+	e.acc = make(map[[2]int]*accum, len(rows))
+	for _, r := range rows {
+		p, w := int(r[0]), int(r[1])
+		if p < 1 || w < 1 || r[3] <= 0 {
+			continue
+		}
+		e.acc[[2]int{p, w}] = &accum{sum: r[2], n: r[3]}
+	}
+	e.dirty = true
+	e.fitted = false
+	e.gen++
+}
+
 // samplesInto appends the averaged observations to dst (reusing its backing
 // array) and sorts them by (p, w).
 func (e *Estimator) samplesInto(dst []Sample) []Sample {

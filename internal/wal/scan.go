@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ScanResult summarizes one pass over a log directory.
+type ScanResult struct {
+	Records int    // records delivered to the callback
+	LastSeq uint64 // sequence of the last valid record seen (0 if none)
+	// Torn reports that the scan stopped at a damaged frame: a short read,
+	// an impossible length, a CRC mismatch or a sequence gap. Everything
+	// before TornOffset in TornSegment is valid; everything after is the
+	// wreckage of a crash (or, for a live tailer, a leader mid-write).
+	Torn        bool
+	TornSegment string
+	TornOffset  int64
+}
+
+// Scan replays every valid record in dir, in sequence order, through fn. A
+// torn tail is not an error — the scan stops there and reports it in the
+// result. fn returning an error aborts the scan and propagates.
+func Scan(dir string, fn func(Record) error) (ScanResult, error) {
+	return ScanFrom(dir, 0, fn)
+}
+
+// ScanFrom is Scan restricted to records with sequence > after. Whole
+// segments below the cutoff are skipped without reading their frames.
+func ScanFrom(dir string, after uint64, fn func(Record) error) (ScanResult, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	// Skip any segment whose successor starts at or below the cutoff: every
+	// record in it has sequence < successor base ≤ after+1.
+	first := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].base <= after+1 {
+			first = i + 1
+		}
+	}
+	return scanSegments(dir, segs[first:], after, fn)
+}
+
+// LastCheckpoint scans dir for the most recent TypeCheckpoint record and
+// returns its sequence (0 when the log has none). Replays should start there.
+func LastCheckpoint(dir string) (uint64, error) {
+	var seq uint64
+	_, err := Scan(dir, func(r Record) error {
+		if r.Type == TypeCheckpoint {
+			seq = r.Seq
+		}
+		return nil
+	})
+	return seq, err
+}
+
+// scanSegments drives decodeFrames over each segment in order, enforcing
+// cross-segment sequence continuity. fn may be nil (pure validation scan).
+func scanSegments(dir string, segs []segment, after uint64, fn func(Record) error) (ScanResult, error) {
+	var res ScanResult
+	var prev uint64 // last sequence seen across segments; 0 = none yet
+	for _, seg := range segs {
+		f, err := os.Open(filepath.Join(dir, seg.name))
+		if err != nil {
+			return res, fmt.Errorf("wal: %w", err)
+		}
+		tornAt, err := decodeFrames(f, &prev, after, fn, &res)
+		f.Close()
+		if err != nil {
+			return res, err
+		}
+		if tornAt >= 0 {
+			res.Torn, res.TornSegment, res.TornOffset = true, seg.name, tornAt
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// decodeFrames reads frames from r until EOF or damage. It returns the
+// offset of the first damaged byte, or -1 when the segment is clean.
+func decodeFrames(r io.Reader, prev *uint64, after uint64, fn func(Record) error, res *ScanResult) (int64, error) {
+	var off int64
+	var hdr [frameHeader]byte
+	body := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return -1, nil
+			}
+			return off, nil // torn: partial header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		if n < frameMeta || n > maxFrameBody {
+			return off, nil // torn: impossible length
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return off, nil // torn: partial body
+		}
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(hdr[4:8]) {
+			return off, nil // torn: corrupt body
+		}
+		seq := binary.BigEndian.Uint64(body[1:9])
+		if *prev != 0 && seq != *prev+1 {
+			return off, nil // torn: sequence gap
+		}
+		*prev = seq
+		res.LastSeq = seq
+		off += int64(frameHeader) + int64(n)
+		if seq <= after {
+			continue
+		}
+		if fn != nil {
+			if err := fn(Record{Seq: seq, Type: Type(body[0]), Payload: body[frameMeta:]}); err != nil {
+				return -1, err
+			}
+		}
+		res.Records++
+	}
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# HA failover smoke: a leader and a warm-standby follower share one WAL
+# directory; open-loop load runs against both URLs while the leader is
+# kill -9ed mid-run. Asserts, in order:
+#
+#   1. the follower promotes itself to leader within one lease TTL
+#      (polled from /v1/cluster's ha block),
+#   2. admission is exactly-once across the cutover — the full WAL history
+#      has no duplicate submit IDs (optimus-trace wal dump),
+#   3. no acked submission was lost — every job ID the harness stored is
+#      still served by the new leader,
+#   4. the new leader keeps admitting (post-failover submit succeeds).
+#
+# Both daemons are built with -race so the whole failover path runs under
+# the detector. Used by CI (make failover-smoke).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TTL=${TTL:-2s}
+DUR=${DUR:-8s}
+RATE=${RATE:-150}
+
+workdir=$(mktemp -d)
+lpid=""
+fpid=""
+cleanup() {
+    kill -9 $lpid $fpid 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -race -o "$workdir/optimusd" ./cmd/optimusd
+go build -o "$workdir/optimusd-load" ./cmd/optimusd-load
+go build -o "$workdir/optimus-trace" ./cmd/optimus-trace
+
+waldir="$workdir/wal"
+
+"$workdir/optimusd" -addr 127.0.0.1:0 -portfile "$workdir/lport" \
+    -wal-dir "$waldir" -fsync group -lease-ttl "$TTL" -ha-id leader \
+    -nodes 16 -tick 100ms >"$workdir/leader.log" 2>&1 &
+lpid=$!
+for i in $(seq 1 50); do [ -s "$workdir/lport" ] && break; sleep 0.1; done
+leader=$(cat "$workdir/lport")
+
+"$workdir/optimusd" -addr 127.0.0.1:0 -portfile "$workdir/fport" \
+    -wal-dir "$waldir" -follow -lease-ttl "$TTL" -ha-id follower \
+    -nodes 16 -tick 100ms >"$workdir/follower.log" 2>&1 &
+fpid=$!
+for i in $(seq 1 50); do [ -s "$workdir/fport" ] && break; sleep 0.1; done
+follower=$(cat "$workdir/fport")
+
+echo "== failover smoke: leader $leader (pid $lpid), follower $follower (pid $fpid), ttl $TTL =="
+
+# Open-loop load against the pool; submit-heavy so the cutover is exercised
+# on the write path. The harness tolerates the blackout (-max-error-rate 1)
+# — the assertions below are the gate, not its error rate.
+"$workdir/optimusd-load" -urls "http://$leader,http://$follower" \
+    -duration "$DUR" -rate "$RATE" -clients 64 \
+    -mix 'submit=60,status=40' -dist uniform \
+    -max-error-rate 1 >"$workdir/load.log" 2>&1 &
+loadpid=$!
+
+# kill -9 the leader mid-run: no snapshot, no graceful WAL close.
+sleep 3
+kill -9 $lpid
+killed_at=$(date +%s.%N)
+echo "leader killed"
+
+# 1. Follower must report itself leader once the lease runs out. The dead
+# leader's last renewal can predate the kill by almost one TTL, so
+# "takeover within one TTL of expiry" is a 2*TTL wall-clock budget from the
+# kill (polled at 100ms).
+ttl_s=${TTL%s}
+role=""
+promoted=0
+for i in $(seq 1 $((ttl_s * 20))); do
+    role=$(curl -sf "http://$follower/v1/cluster" | sed -n 's/.*"role":"\([a-z]*\)".*/\1/p' || true)
+    if [ "$role" = "leader" ]; then promoted=1; break; fi
+    sleep 0.1
+done
+if [ "$promoted" != 1 ]; then
+    echo "FAIL: follower never promoted within 2x$TTL (role=$role)"
+    tail -5 "$workdir/follower.log" "$workdir/leader.log"
+    exit 1
+fi
+took=$(awk "BEGIN{printf \"%.1f\", $(date +%s.%N) - $killed_at}")
+echo "follower promoted to leader in ${took}s (ttl $TTL)"
+
+wait $loadpid || true
+cat "$workdir/load.log"
+grep -q '^failover:' "$workdir/load.log" || { echo "FAIL: no failover report"; exit 1; }
+
+# 4. The new leader keeps admitting.
+code=$(curl -s -o "$workdir/post.json" -w '%{http_code}' -X POST \
+    -d '{"model":"resnet-50","mode":"async"}' "http://$follower/v1/jobs")
+[ "$code" = "201" ] || { echo "FAIL: post-failover submit got $code"; exit 1; }
+echo "post-failover submit OK"
+
+# 2. Exactly-once admission: no job ID appears in two submit records.
+"$workdir/optimus-trace" wal "$waldir" -o "$workdir/wal.jsonl" 2>"$workdir/walscan.log"
+cat "$workdir/walscan.log"
+dups=$(grep '"type":"submit"' "$workdir/wal.jsonl" \
+    | sed 's/.*"payload":{"id":\([0-9]*\).*/\1/' | sort -n | uniq -d | wc -l)
+[ "$dups" = "0" ] || { echo "FAIL: $dups duplicate admissions in WAL"; exit 1; }
+nsub=$(grep -c '"type":"submit"' "$workdir/wal.jsonl")
+echo "exactly-once admission: $nsub submits, 0 duplicates"
+
+# 3. No acked submission lost: every submit ID in the log is served.
+lost=0
+for id in $(grep '"type":"submit"' "$workdir/wal.jsonl" \
+    | sed 's/.*"payload":{"id":\([0-9]*\).*/\1/'); do
+    curl -sf "http://$follower/v1/jobs/$id" >/dev/null || { lost=$((lost+1)); echo "lost job $id"; }
+done
+[ "$lost" = "0" ] || { echo "FAIL: $lost acked jobs missing after failover"; exit 1; }
+echo "all $nsub acked submissions survived the failover"
+
+kill -TERM $fpid
+wait $fpid || true
+fpid=""
+grep -i 'DATA RACE' "$workdir/leader.log" "$workdir/follower.log" && { echo "FAIL: race detected"; exit 1; }
+
+echo "failover smoke OK"
