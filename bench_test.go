@@ -539,3 +539,35 @@ func BenchmarkSubmitWAL(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFlightRecorder measures the always-on black-box flight recorder
+// (DESIGN.md §18) on the daemon's scheduling round, its hottest record site:
+// identical daemons step through live jobs with the recorder enabled (the
+// default) and disabled. The ns/op delta is the recorder's whole budget,
+// capped at <2% in the design; allocs/op must be identical — the record path
+// is alloc-free, so keeping it on adds no GC pressure.
+func BenchmarkFlightRecorder(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "flight=off"
+		if on {
+			name = "flight=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, err := serve.New(serve.Config{Cluster: cluster.Testbed(), MaxJobs: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Flight().SetEnabled(on)
+			for i := 0; i < 8; i++ {
+				if _, err := d.Submit(serve.SubmitRequest{Model: "resnext-110", Mode: "async"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Step()
+			}
+		})
+	}
+}

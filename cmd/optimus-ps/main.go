@@ -12,19 +12,19 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"optimus/internal/obs"
 	"optimus/internal/psys"
 	"optimus/internal/speedfit"
 )
 
+var lg = obs.NewLogger(os.Stderr, "optimus-ps", nil)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("optimus-ps: ")
 
 	var (
 		workers   = flag.Int("workers", 3, "initial worker count")
@@ -60,18 +60,18 @@ func main() {
 	if *modeStr == "async" {
 		mode = speedfit.Async
 	} else if *modeStr != "sync" {
-		log.Fatalf("unknown mode %q", *modeStr)
+		lg.Fatalf("unknown mode %q", *modeStr)
 	}
 	tr := psys.TransportLocal
 	if *transport == "tcp" {
 		tr = psys.TransportTCP
 	} else if *transport != "local" {
-		log.Fatalf("unknown transport %q", *transport)
+		lg.Fatalf("unknown transport %q", *transport)
 	}
 
 	data, _, err := psys.SyntheticRegression(*examples, *features, 0.01, *seed)
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	cfg := psys.JobConfig{
 		Model:     psys.LinearRegression{Features: *features},
@@ -86,30 +86,30 @@ func main() {
 	}
 	if *straggle {
 		cfg.WorkerDelays = map[int]time.Duration{0: 8 * time.Millisecond}
-		log.Printf("injecting straggler: worker 0 delayed 8ms/step")
+		lg.Infof("injecting straggler: worker 0 delayed 8ms/step")
 	}
 
 	job, err := psys.StartJob(cfg)
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	defer job.Stop()
-	log.Printf("phase 1: %d workers, %d servers, %s, %s transport",
+	lg.Infof("phase 1: %d workers, %d servers, %s, %s transport",
 		job.Workers(), job.Servers(), mode, tr)
 
 	runPhase := func(j *psys.Job, n int) []psys.StepStat {
 		start := time.Now()
 		stats, err := j.RunSteps(n)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		loss, err := j.Loss()
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		elapsed := time.Since(start)
 		rate := float64(n) / elapsed.Seconds()
-		log.Printf("  %d steps in %v (%.0f steps/s/worker), full-data loss %.6f",
+		lg.Infof("  %d steps in %v (%.0f steps/s/worker), full-data loss %.6f",
 			n, elapsed.Round(time.Millisecond), rate, loss)
 		return stats
 	}
@@ -118,36 +118,36 @@ func main() {
 
 	if *straggle {
 		if s := psys.DetectStragglers(stats); len(s) > 0 {
-			log.Printf("stragglers detected: %v — replacing (§5.2)", s)
+			lg.Infof("stragglers detected: %v — replacing (§5.2)", s)
 			for _, id := range s {
 				if err := job.ReplaceWorker(id); err != nil {
-					log.Fatal(err)
+					lg.Fatalf("%v", err)
 				}
 			}
 			runPhase(job, *steps)
 		} else {
-			log.Printf("no stragglers detected")
+			lg.Infof("no stragglers detected")
 		}
 	}
 
 	if *scaleTo != "" {
 		var w, p int
 		if _, err := fmt.Sscanf(strings.ToLower(*scaleTo), "%dx%d", &w, &p); err != nil {
-			log.Fatalf("bad -scale-to %q (want WxP, e.g. 6x3)", *scaleTo)
+			lg.Fatalf("bad -scale-to %q (want WxP, e.g. 6x3)", *scaleTo)
 		}
 		ckpt := filepath.Join(os.TempDir(), fmt.Sprintf("optimus-ps-%d.ckpt", os.Getpid()))
 		defer os.Remove(ckpt)
-		log.Printf("elastic scaling to %d workers / %d servers via checkpoint %s (§5.4)", w, p, ckpt)
+		lg.Infof("elastic scaling to %d workers / %d servers via checkpoint %s (§5.4)", w, p, ckpt)
 		scaled, err := psys.Scale(job, w, p, ckpt)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer scaled.Stop()
-		log.Printf("phase 2: resumed at round %d, chunk imbalance %d examples",
+		lg.Infof("phase 2: resumed at round %d, chunk imbalance %d examples",
 			scaled.Rounds(), scaled.ChunkImbalance())
 		runPhase(scaled, *steps)
 	}
-	log.Printf("done")
+	lg.Infof("done")
 }
 
 // runDistributed runs one node of a multi-process training job.
@@ -165,19 +165,19 @@ func runDistributed(role, coordAddr, listen, modelSpec, modeStr string,
 			LR: lr, Seed: seed, Examples: examples, Noise: 0.01,
 		}, coordAddr)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer coord.Close()
-		log.Printf("coordinator on %s: expecting %d servers, %d workers",
+		lg.Infof("coordinator on %s: expecting %d servers, %d workers",
 			coord.Addr(), servers, workers)
 		// Report progress until every worker has finished its steps.
 		want := workers * steps
 		for {
 			st := coord.Status()
-			log.Printf("servers=%d workers=%d reports=%d/%d last-loss=%.6f",
+			lg.Infof("servers=%d workers=%d reports=%d/%d last-loss=%.6f",
 				st.ServersReady, st.WorkersJoined, st.Reports, want, st.LastLoss)
 			if st.Reports >= want {
-				log.Printf("all workers done")
+				lg.Infof("all workers done")
 				return
 			}
 			time.Sleep(500 * time.Millisecond)
@@ -185,23 +185,23 @@ func runDistributed(role, coordAddr, listen, modelSpec, modeStr string,
 	case "server":
 		s, err := psys.RunDistServer(coordAddr, listen)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
-		log.Printf("parameter server %d serving on %s (ctrl-c to stop)", s.Index, s.Addr())
+		lg.Infof("parameter server %d serving on %s (ctrl-c to stop)", s.Index, s.Addr())
 		select {} // serve until killed
 	case "worker":
 		w, err := psys.RunDistWorker(coordAddr)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer w.Close()
-		log.Printf("worker %d training %d steps", w.ID, steps)
+		lg.Infof("worker %d training %d steps", w.ID, steps)
 		loss, err := w.Steps(steps)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
-		log.Printf("worker %d done, final batch loss %.6f", w.ID, loss)
+		lg.Infof("worker %d done, final batch loss %.6f", w.ID, loss)
 	default:
-		log.Fatalf("unknown role %q (want coordinator|server|worker)", role)
+		lg.Fatalf("unknown role %q (want coordinator|server|worker)", role)
 	}
 }

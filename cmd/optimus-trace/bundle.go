@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"optimus/internal/serve"
+)
+
+// cmdBundle fetches a debug bundle from a live daemon (URL) or a bundle file
+// written on fail-stop/SIGQUIT, and renders the incident-relevant parts:
+// build identity, readiness verdict, SLO burn, and the flight-recorder tail.
+// -diff renders what changed between two bundles (e.g. before/after a
+// failover, or a fail-stop bundle against the promoted follower's live one).
+func cmdBundle(args []string) {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		usage()
+	}
+	src := args[0]
+	fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+	n := fs.Int("n", 20, "flight events to show from the tail")
+	diff := fs.String("diff", "", "second bundle (URL or file) to diff against")
+	out := fs.String("o", "", "also save the raw bundle JSON here")
+	if err := fs.Parse(args[1:]); err != nil {
+		lg.Fatalf("%v", err)
+	}
+	b, raw := fetchBundle(src)
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			lg.Fatalf("%v", err)
+		}
+		lg.Infof("bundle → %s (%d bytes)", *out, len(raw))
+	}
+	if *diff != "" {
+		b2, _ := fetchBundle(*diff)
+		printBundleDiff(b, b2)
+		return
+	}
+	printBundle(b, *n)
+}
+
+// fetchBundle loads a bundle from an HTTP endpoint or a file. A bare
+// host:port or a URL without a path gets /debug/bundle appended.
+func fetchBundle(src string) (serve.Bundle, []byte) {
+	var raw []byte
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		url := src
+		if !strings.Contains(strings.TrimPrefix(strings.TrimPrefix(url, "https://"), "http://"), "/") {
+			url += "/debug/bundle"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lg.Fatalf("%v", err)
+		}
+		defer resp.Body.Close()
+		raw, err = io.ReadAll(resp.Body)
+		if err != nil {
+			lg.Fatalf("%v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			lg.Fatalf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(raw)))
+		}
+	} else {
+		var err error
+		raw, err = os.ReadFile(src)
+		if err != nil {
+			lg.Fatalf("%v", err)
+		}
+	}
+	var b serve.Bundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		lg.Fatalf("%s: not a debug bundle: %v", src, err)
+	}
+	return b, raw
+}
+
+func printBundle(b serve.Bundle, tail int) {
+	fmt.Printf("bundle: %s (reason: %s)\n", b.Written.Format(time.RFC3339), b.Reason)
+	fmt.Printf("build:  optimusd %s %s rev %s\n", b.Build.Version, b.Build.GoVersion, orDash(b.Build.Revision))
+	fmt.Printf("state:  up %.0fs, %d rounds, sim time %.0fs, %d jobs (%d live)\n",
+		b.UptimeSeconds, b.Rounds, b.SimTime, b.Cluster.Jobs, b.Cluster.LiveJobs)
+	if b.HA != nil {
+		fmt.Printf("ha:     %s id=%s term=%d lag=%d\n", b.HA.Role, b.HA.ID, b.HA.Term, b.HA.LagRecords)
+	}
+	if b.WAL != nil {
+		fmt.Printf("wal:    %d appends, %d fsyncs, last seq %d (durable %d), %d segments\n",
+			b.WAL.Appends, b.WAL.Fsyncs, b.WAL.LastSeq, b.WAL.DurableSeq, b.WAL.Segments)
+	}
+	verdict := "READY"
+	if !b.Ready.Ready {
+		verdict = "NOT READY"
+	}
+	fmt.Printf("ready:  %s\n", verdict)
+	for _, name := range sortedKeys(b.Ready.Components) {
+		c := b.Ready.Components[name]
+		mark := "ok "
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Printf("        %-4s %-9s %s\n", mark, name, c.Detail)
+	}
+	fmt.Printf("slo:    overrun rate %.4f (burn %.2f), api p99 %.4fs, slow burn %.2f, error burn %.2f\n",
+		b.SLO.OverrunRate, b.SLO.OverrunBurn, b.SLO.APIP99Seconds,
+		b.SLO.APISlowBurn, b.SLO.APIErrorBurn)
+	evs := b.Flight
+	if len(evs) > tail {
+		evs = evs[len(evs)-tail:]
+	}
+	fmt.Printf("flight: %d events captured, last %d:\n", len(b.Flight), len(evs))
+	for _, ev := range evs {
+		fmt.Printf("  %s\n", ev.String())
+	}
+}
+
+// printBundleDiff renders what changed from a to b: readiness transitions,
+// counters, and the flight events b has beyond a's last sequence — the
+// narrative of whatever happened in between.
+func printBundleDiff(a, b serve.Bundle) {
+	fmt.Printf("a: %s (%s)   b: %s (%s)\n",
+		a.Written.Format(time.RFC3339), a.Reason, b.Written.Format(time.RFC3339), b.Reason)
+	fmt.Printf("rounds %d → %d, sim time %.0fs → %.0fs, ready %v → %v\n",
+		a.Rounds, b.Rounds, a.SimTime, b.SimTime, a.Ready.Ready, b.Ready.Ready)
+	for _, name := range sortedKeys(b.Ready.Components) {
+		cb := b.Ready.Components[name]
+		ca, had := a.Ready.Components[name]
+		switch {
+		case !had:
+			fmt.Printf("component %s: (new) ok=%v %s\n", name, cb.OK, cb.Detail)
+		case ca.OK != cb.OK:
+			fmt.Printf("component %s: ok=%v → ok=%v (%s)\n", name, ca.OK, cb.OK, cb.Detail)
+		}
+	}
+	var lastA uint64
+	if len(a.Flight) > 0 {
+		lastA = a.Flight[len(a.Flight)-1].Seq
+	}
+	var fresh int
+	for _, ev := range b.Flight {
+		if ev.Seq > lastA {
+			fresh++
+		}
+	}
+	fmt.Printf("flight: %d events in b after a's last seq %d:\n", fresh, lastA)
+	for _, ev := range b.Flight {
+		if ev.Seq > lastA {
+			fmt.Printf("  %s\n", ev.String())
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -26,19 +26,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"optimus/internal/chaos"
 	"optimus/internal/cluster"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 	"optimus/internal/trace"
 	"optimus/internal/workload"
 )
 
+// lg is the tool's leveled logger (CLI format: no timestamps, component
+// prefix "optimus-trace"). Every subcommand shares it.
+var lg = obs.NewLogger(os.Stderr, "optimus-trace", nil)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("optimus-trace: ")
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -57,6 +59,10 @@ func main() {
 		cmdExplain(os.Args[2:])
 	case "wal":
 		cmdWAL(os.Args[2:])
+	case "bundle":
+		cmdBundle(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println("optimus-trace", obs.Build())
 	default:
 		usage()
 	}
@@ -70,7 +76,9 @@ func usage() {
   optimus-trace faults [-trace FILE] [-seed N] [-horizon S] [-mtbf S] [-kill-rate R] [-straggler-rate R] -o FILE
   optimus-trace spans   [FILE] [-policy optimus|drf|tetris] [-seed N] [-o FILE]
   optimus-trace explain [FILE] -job N [-policy optimus|drf|tetris] [-seed N]
-  optimus-trace wal     DIR [-o FILE] [-raw]`)
+  optimus-trace wal     DIR [-o FILE] [-raw]
+  optimus-trace bundle  URL|FILE [-n N] [-diff URL|FILE] [-o FILE]
+  optimus-trace version`)
 	os.Exit(2)
 }
 
@@ -83,7 +91,7 @@ func cmdGen(args []string) {
 	arrivals := fs.String("arrivals", "uniform", "arrival process: uniform|poisson|google")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	var proc workload.ArrivalProcess
 	switch *arrivals {
@@ -94,7 +102,7 @@ func cmdGen(args []string) {
 	case "google":
 		proc = workload.GoogleTraceArrivals
 	default:
-		log.Fatalf("unknown arrival process %q", *arrivals)
+		lg.Fatalf("unknown arrival process %q", *arrivals)
 	}
 	jobs := workload.Generate(workload.GenConfig{
 		N: *n, Horizon: *horizon, Seed: *seed,
@@ -104,28 +112,28 @@ func cmdGen(args []string) {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := trace.WriteJobs(w, jobs); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	if *out != "" {
-		log.Printf("wrote %d jobs to %s", len(jobs), *out)
+		lg.Infof("wrote %d jobs to %s", len(jobs), *out)
 	}
 }
 
 func loadJobs(path string) []workload.JobSpec {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	defer f.Close()
 	jobs, err := trace.ReadJobs(f)
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	return jobs
 }
@@ -165,18 +173,18 @@ func cmdRun(args []string) {
 	timelineOut := fs.String("timeline", "", "write per-interval stats CSV here")
 	jctsOut := fs.String("jcts", "", "write per-job completion times CSV here")
 	if err := fs.Parse(args[1:]); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	var faults *chaos.Schedule
 	if *faultsFile != "" {
 		f, err := os.Open(*faultsFile)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		sched, err := chaos.ParseSchedule(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("%s: %v", *faultsFile, err)
+			lg.Fatalf("%s: %v", *faultsFile, err)
 		}
 		faults = &sched
 	}
@@ -198,7 +206,7 @@ func cmdRun(args []string) {
 		Faults:            faults,
 	})
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	fmt.Printf("%s: %s\n", policy.Name, res.Summary)
 	if len(res.Unfinished) > 0 {
@@ -207,24 +215,24 @@ func cmdRun(args []string) {
 	if *timelineOut != "" {
 		f, err := os.Create(*timelineOut)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer f.Close()
 		if err := trace.WriteTimeline(f, res.Timeline); err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
-		log.Printf("timeline → %s", *timelineOut)
+		lg.Infof("timeline → %s", *timelineOut)
 	}
 	if *jctsOut != "" {
 		f, err := os.Create(*jctsOut)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer f.Close()
 		if err := trace.WriteJCTs(f, res.JCTs); err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
-		log.Printf("jcts → %s", *jctsOut)
+		lg.Infof("jcts → %s", *jctsOut)
 	}
 }
 
@@ -245,7 +253,7 @@ func cmdFaults(args []string) {
 	netSlow := fs.Int("net-slow", 1, "fabric-wide slowdown events")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	var jobIDs []int
 	if *tracePath != "" {
@@ -267,15 +275,15 @@ func cmdFaults(args []string) {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := chaos.WriteSchedule(w, sched); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	if *out != "" {
-		log.Printf("wrote %d faults to %s", sched.Len(), *out)
+		lg.Infof("wrote %d faults to %s", sched.Len(), *out)
 	}
 }

@@ -3,7 +3,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
@@ -23,7 +22,7 @@ func policyByName(name string) sim.Policy {
 	case "tetris":
 		return sim.TetrisPolicy()
 	default:
-		log.Fatalf("unknown policy %q", name)
+		lg.Fatalf("unknown policy %q", name)
 		panic("unreachable")
 	}
 }
@@ -60,7 +59,7 @@ func tracedSim(path, policyName string, seed int64) (*obs.Tracer, *obs.AuditLog,
 		Audit:             au,
 	})
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	return tr, au, res
 }
@@ -85,7 +84,7 @@ func cmdSpans(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(rest); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	tr, _, res := tracedSim(file, *policyName, *seed)
 
@@ -93,22 +92,22 @@ func cmdSpans(args []string) {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer f.Close()
 		w = f
 	}
 	spans := tr.Spans()
 	if err := obs.WriteChromeTrace(w, spans); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
-	log.Printf("%d spans over %d intervals (%s)", len(spans), res.Intervals, res.Summary)
-	log.Printf("interval %s", res.Metrics.IntervalDuration().Summary())
-	log.Printf("refit    %s", res.Metrics.RefitDuration().Summary())
-	log.Printf("allocate %s", res.Metrics.AllocateDuration().Summary())
-	log.Printf("place    %s", res.Metrics.PlaceDuration().Summary())
+	lg.Infof("%d spans over %d intervals (%s)", len(spans), res.Intervals, res.Summary)
+	lg.Infof("interval %s", res.Metrics.IntervalDuration().Summary())
+	lg.Infof("refit    %s", res.Metrics.RefitDuration().Summary())
+	lg.Infof("allocate %s", res.Metrics.AllocateDuration().Summary())
+	lg.Infof("place    %s", res.Metrics.PlaceDuration().Summary())
 	if *out != "" {
-		log.Printf("trace → %s", *out)
+		lg.Infof("trace → %s", *out)
 	}
 }
 
@@ -122,17 +121,17 @@ func cmdExplain(args []string) {
 	policyName := fs.String("policy", "optimus", "scheduler: optimus|drf|tetris")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(rest); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	if *jobID < 0 {
-		log.Fatal("explain needs -job N")
+		lg.Fatalf("explain needs -job N")
 	}
 	_, au, res := tracedSim(file, *policyName, *seed)
 
 	grants := au.Grants(*jobID)
 	places := au.Places(*jobID)
 	if len(grants) == 0 && len(places) == 0 {
-		log.Fatalf("no decisions recorded for job %d (unknown job, or audit ring wrapped; ran %d intervals)",
+		lg.Fatalf("no decisions recorded for job %d (unknown job, or audit ring wrapped; ran %d intervals)",
 			*jobID, res.Intervals)
 	}
 	if jct, ok := res.JCTs[*jobID]; ok {

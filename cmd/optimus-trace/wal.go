@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"flag"
-	"log"
 	"os"
 
 	"optimus/internal/serve"
@@ -31,13 +30,13 @@ func cmdWAL(args []string) {
 	out := fs.String("o", "", "output file (default stdout)")
 	raw := fs.Bool("raw", false, "emit payloads as raw logged JSON instead of decoding")
 	if err := fs.Parse(args[1:]); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		defer f.Close()
 		w = f
@@ -58,17 +57,17 @@ func cmdWAL(args []string) {
 		return enc.Encode(line)
 	})
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	if err := bw.Flush(); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
-	log.Printf("%d records, last seq %d", res.Records, res.LastSeq)
+	lg.Infof("%d records, last seq %d", res.Records, res.LastSeq)
 	if res.Torn {
-		log.Printf("torn tail in %s at offset %d (next writer open will truncate it)",
+		lg.Infof("torn tail in %s at offset %d (next writer open will truncate it)",
 			res.TornSegment, res.TornOffset)
 	}
 	if ckpt, err := wal.LastCheckpoint(dir); err == nil && ckpt > 0 {
-		log.Printf("latest checkpoint anchor: seq %d", ckpt)
+		lg.Infof("latest checkpoint anchor: seq %d", ckpt)
 	}
 }

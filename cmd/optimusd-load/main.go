@@ -44,7 +44,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"math/rand"
 	"net/http"
 	"os"
@@ -59,9 +58,9 @@ import (
 	"optimus/internal/workload"
 )
 
+var lg = obs.NewLogger(os.Stderr, "optimusd-load", nil)
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("optimusd-load: ")
 	var (
 		url     = flag.String("url", "http://localhost:8080", "optimusd base URL")
 		urls    = flag.String("urls", "", "comma-separated failover targets (open-loop only; overrides -url)")
@@ -92,15 +91,15 @@ func main() {
 			maxErrRate: *maxErrRate, maxP99: *maxP99, benchName: *benchName,
 		}
 		if err := runOpenLoop(cfg); err != nil {
-			log.Fatal(err)
+			lg.Fatalf("%v", err)
 		}
 		return
 	}
 	if *urls != "" {
-		log.Fatal("-urls requires open-loop mode (set -duration)")
+		lg.Fatalf("-urls requires open-loop mode (set -duration)")
 	}
 	if err := runClosedLoop(*url, *n, *c, *timeout); err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 }
 

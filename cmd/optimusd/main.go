@@ -12,6 +12,7 @@
 //	optimusd -wal-dir ./wal -follow              # warm-standby follower
 //	optimusd -trace=false                        # disable decision tracing
 //	optimusd -pprof-addr localhost:6060          # expose net/http/pprof
+//	optimusd -version                            # print build info and exit
 //
 // Durability (-wal-dir): every acked submission, cancellation and scheduling
 // round is framed into a segmented write-ahead log before it takes effect;
@@ -34,6 +35,14 @@
 // starts a second listener serving only the pprof handlers, so profiles
 // never share a port with the public API.
 //
+// Observability: an always-on flight recorder (internal/obs) keeps the last
+// few thousand structured engine/WAL/HA events in a ring. GET /readyz is the
+// traffic gate (per-component checks, distinct from /healthz liveness) and
+// GET /debug/bundle packages the flight tail, goroutine stacks, a metrics
+// snapshot and build info into one JSON document. The same bundle is written
+// to disk next to the WAL on fail-stop (a lost leader lease) and on SIGQUIT,
+// so a dead daemon leaves its black box behind.
+//
 // A graceful shutdown (SIGINT/SIGTERM) drains in-flight requests, writes a
 // WAL checkpoint when -wal-dir is set, and, when -snapshot is set, writes
 // the full job state so a later -restore resumes every job with its fitted
@@ -45,7 +54,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -57,13 +65,12 @@ import (
 
 	"optimus/internal/cluster"
 	"optimus/internal/ha"
+	"optimus/internal/obs"
 	"optimus/internal/serve"
 	"optimus/internal/wal"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("optimusd: ")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
 		portfile = flag.String("portfile", "", "write the bound address to this file (for scripts using -addr :0)")
@@ -91,11 +98,28 @@ func main() {
 		traceOn     = flag.Bool("trace", true, "record scheduler spans and the decision audit (GET /v1/trace, /v1/jobs/{id}/explain)")
 		traceBuffer = flag.Int("trace-buffer", 0, "span ring size (0 uses the obs package default)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+		logLevel    = flag.String("log-level", "info", "stderr log level: debug, info, warn or error (the flight recorder keeps all levels)")
+		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("optimusd", obs.Build())
+		return
+	}
+	// The flight recorder outlives any single subsystem: the logger tees every
+	// line into it, the daemon/lease/tailer record their own events, and the
+	// debug bundle dumps it. One ring per process.
+	flight := obs.NewFlightRecorder(0)
+	lg := obs.NewLogger(os.Stderr, "optimusd", flight)
+	lg.SetTimestamps(true)
+	lvl, err := obs.ParseSeverity(*logLevel)
+	if err != nil {
+		lg.Fatalf("%v", err)
+	}
+	lg.SetLevel(lvl)
 	fsync, err := wal.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
-		log.Fatal(err)
+		lg.Fatalf("%v", err)
 	}
 	id := *haID
 	if id == "" {
@@ -121,10 +145,11 @@ func main() {
 			Trace:               *traceOn,
 			TraceBuffer:         *traceBuffer,
 			WALCheckpointRounds: *ckptRounds,
+			Flight:              flight,
 		},
 	}
-	if err := run(opts); err != nil {
-		log.Fatal(err)
+	if err := run(opts, lg); err != nil {
+		lg.Fatalf("%v", err)
 	}
 }
 
@@ -145,7 +170,18 @@ type options struct {
 	cfg            serve.Config
 }
 
-func run(opts options) error {
+// bundlePath names an on-disk debug bundle next to the WAL (or in the
+// working directory for a WAL-less daemon), tagged with the trigger and pid.
+func bundlePath(walDir, trigger string) string {
+	dir := walDir
+	if dir == "" {
+		dir = "."
+	}
+	return filepath.Join(dir, fmt.Sprintf("bundle-%s-%d.json", trigger, os.Getpid()))
+}
+
+func run(opts options, lg *obs.Logger) error {
+	flight := lg.Flight()
 	var c *cluster.Cluster
 	if opts.nodes > 0 {
 		c = cluster.Uniform(opts.nodes, cluster.Resources{
@@ -162,6 +198,34 @@ func run(opts options) error {
 		return err
 	}
 
+	// A fatal log call (lost lease, unrecoverable fault) writes the black box
+	// to disk before the process exits: fail-stop leaves evidence behind.
+	lg.SetOnFatal(func(reason string) {
+		d.FailStop(reason)
+		p := bundlePath(opts.walDir, "failstop")
+		if err := d.WriteBundle(p, "fail-stop: "+reason); err != nil {
+			fmt.Fprintf(os.Stderr, "optimusd: fail-stop bundle: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "optimusd: fail-stop bundle written to %s\n", p)
+		}
+	})
+
+	// SIGQUIT dumps a bundle without dying — the live-incident counterpart of
+	// the fail-stop bundle.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			p := bundlePath(opts.walDir, "sigquit")
+			if err := d.WriteBundle(p, "sigquit"); err != nil {
+				lg.Errorf("sigquit bundle: %v", err)
+			} else {
+				lg.Infof("sigquit bundle written to %s", p)
+			}
+		}
+	}()
+	defer signal.Stop(sigq)
+
 	var lease *ha.Lease
 	if opts.walDir != "" {
 		if err := os.MkdirAll(opts.walDir, 0o755); err != nil {
@@ -170,6 +234,7 @@ func run(opts options) error {
 		lease = &ha.Lease{
 			Path: filepath.Join(opts.walDir, "LEASE"),
 			ID:   opts.haID, TTL: opts.leaseTTL,
+			Flight: flight,
 		}
 	}
 	if opts.follow && lease == nil {
@@ -193,12 +258,13 @@ func run(opts options) error {
 			term = st.Term
 			defer lease.Release()
 		}
-		restored, err := recoverState(opts, d)
+		restored, err := recoverState(opts, d, lg)
 		if err != nil {
 			return err
 		}
 		if opts.walDir != "" {
-			wlog, err = wal.Open(wal.Options{Dir: opts.walDir, Fsync: opts.fsync})
+			wlog, err = wal.Open(wal.Options{Dir: opts.walDir, Fsync: opts.fsync,
+				Flight: flight})
 			if err != nil {
 				return err
 			}
@@ -230,7 +296,8 @@ func run(opts options) error {
 	} else if opts.walDir == "" {
 		role = "standalone"
 	}
-	log.Printf("listening on %s (%s, %d nodes, %d cells, interval %gs, tick %s)",
+	lg.Infof("%s", obs.Build())
+	lg.Infof("listening on %s (%s, %d nodes, %d cells, interval %gs, tick %s)",
 		ln.Addr(), role, c.Len(), max(opts.cfg.Cells, 1), opts.cfg.Interval, opts.cfg.Tick)
 
 	if opts.pprofAddr != "" {
@@ -249,11 +316,11 @@ func run(opts options) error {
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.Serve(pln, pmux); err != nil {
-				log.Printf("pprof server: %v", err)
+				lg.Errorf("pprof server: %v", err)
 			}
 		}()
 		defer pln.Close()
-		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		lg.Infof("pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -267,39 +334,40 @@ func run(opts options) error {
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	if opts.follow {
-		newTerm, promoted, err := followLoop(ctx, d, opts, lease)
+		newTerm, promoted, err := followLoop(ctx, d, opts, lease, lg)
 		if err != nil {
-			shutdownHTTP(srv)
+			shutdownHTTP(srv, lg)
 			return err
 		}
 		if !promoted { // clean shutdown while still following
-			shutdownHTTP(srv)
+			shutdownHTTP(srv, lg)
 			return nil
 		}
 		term = newTerm
 		// Take over: open-for-write repairs the dead leader's torn tail,
 		// then the promotion is announced in the log itself.
-		wlog, err = wal.Open(wal.Options{Dir: opts.walDir, Fsync: opts.fsync})
+		wlog, err = wal.Open(wal.Options{Dir: opts.walDir, Fsync: opts.fsync,
+			Flight: flight})
 		if err != nil {
-			shutdownHTTP(srv)
+			shutdownHTTP(srv, lg)
 			return fmt.Errorf("takeover: %w", err)
 		}
 		defer wlog.Close()
 		defer lease.Release()
 		d.AttachWAL(wlog)
 		d.SetReadOnly(false)
-		log.Printf("promoted to leader at term %d (sim time %.0fs, %d rounds)",
+		lg.Infof("promoted to leader at term %d (sim time %.0fs, %d rounds)",
 			term, d.Now(), d.Rounds())
 	}
 
 	if wlog != nil {
 		if err := d.WALAppendMembership(opts.haID, term, "leader"); err != nil {
-			shutdownHTTP(srv)
+			shutdownHTTP(srv, lg)
 			return err
 		}
 		d.SetHAStatus(serve.HAStatus{Role: "leader", ID: opts.haID, Term: term,
 			LeaseHolder: opts.haID})
-		go renewLoop(ctx, lease)
+		go renewLoop(ctx, lease, lg)
 	}
 
 	// Scheduler event loop.
@@ -314,13 +382,13 @@ func run(opts options) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
-	shutdownHTTP(srv)
+	lg.Infof("shutting down")
+	shutdownHTTP(srv, lg)
 	<-loopDone
 
 	if wlog != nil {
 		if err := d.WALCheckpoint(); err != nil {
-			log.Printf("wal checkpoint: %v", err)
+			lg.Errorf("wal checkpoint: %v", err)
 		}
 	}
 	if opts.snapshot != "" {
@@ -335,17 +403,17 @@ func run(opts options) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		log.Printf("state saved to %s (sim time %.0fs, %d rounds)",
+		lg.Infof("state saved to %s (sim time %.0fs, %d rounds)",
 			opts.snapshot, d.Now(), d.Rounds())
 	}
 	return nil
 }
 
-func shutdownHTTP(srv *http.Server) {
+func shutdownHTTP(srv *http.Server, lg *obs.Logger) {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		lg.Errorf("http shutdown: %v", err)
 	}
 }
 
@@ -353,7 +421,7 @@ func shutdownHTTP(srv *http.Server) {
 // log has history, else the -restore snapshot (which then gets anchored as
 // the log's first checkpoint). Mixing both is refused — the log already
 // supersedes any older snapshot. Returns whether a snapshot was restored.
-func recoverState(opts options, d *serve.Daemon) (bool, error) {
+func recoverState(opts options, d *serve.Daemon, lg *obs.Logger) (bool, error) {
 	var replayed serve.WALReplayStats
 	if opts.walDir != "" {
 		var err error
@@ -362,7 +430,7 @@ func recoverState(opts options, d *serve.Daemon) (bool, error) {
 			return false, fmt.Errorf("wal replay: %w", err)
 		}
 		if replayed.Records > 0 {
-			log.Printf("replayed %d wal records (last seq %d, checkpoint %d, torn tail: %v): sim time %.0fs, %d rounds",
+			lg.Infof("replayed %d wal records (last seq %d, checkpoint %d, torn tail: %v): sim time %.0fs, %d rounds",
 				replayed.Records, replayed.AppliedSeq, replayed.Checkpoint,
 				replayed.Torn, d.Now(), d.Rounds())
 		}
@@ -381,7 +449,7 @@ func recoverState(opts options, d *serve.Daemon) (bool, error) {
 	}
 	f, err := os.Open(opts.snapshot)
 	if errors.Is(err, os.ErrNotExist) {
-		log.Printf("warning: -restore: snapshot %s does not exist; starting fresh", opts.snapshot)
+		lg.Warnf("-restore: snapshot %s does not exist; starting fresh", opts.snapshot)
 		return false, nil
 	}
 	if err != nil {
@@ -389,13 +457,13 @@ func recoverState(opts options, d *serve.Daemon) (bool, error) {
 	}
 	defer f.Close()
 	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
-		log.Printf("warning: -restore: snapshot %s is empty; starting fresh", opts.snapshot)
+		lg.Warnf("-restore: snapshot %s is empty; starting fresh", opts.snapshot)
 		return false, nil
 	}
 	if err := d.Restore(f); err != nil {
 		return false, err
 	}
-	log.Printf("restored state from %s (sim time %.0fs, %d rounds)",
+	lg.Infof("restored state from %s (sim time %.0fs, %d rounds)",
 		opts.snapshot, d.Now(), d.Rounds())
 	return true, nil
 }
@@ -404,9 +472,9 @@ func recoverState(opts options, d *serve.Daemon) (bool, error) {
 // lease expires (→ returns the new term and true) or ctx is cancelled
 // (→ false). The poll period is a fraction of the lease TTL so takeover
 // lands well within one TTL of the leader dying.
-func followLoop(ctx context.Context, d *serve.Daemon, opts options, lease *ha.Lease) (uint64, bool, error) {
+func followLoop(ctx context.Context, d *serve.Daemon, opts options, lease *ha.Lease, lg *obs.Logger) (uint64, bool, error) {
 	applier := d.NewWALApplier()
-	tailer := &ha.Tailer{Dir: opts.walDir}
+	tailer := &ha.Tailer{Dir: opts.walDir, Flight: lg.Flight()}
 	d.SetReadOnly(true)
 	d.SetHAStatus(serve.HAStatus{Role: "follower", ID: opts.haID})
 	poll := opts.leaseTTL / 5
@@ -460,7 +528,7 @@ func followLoop(ctx context.Context, d *serve.Daemon, opts options, lease *ha.Le
 		if dups := applier.Duplicates(); dups > 0 {
 			return 0, false, fmt.Errorf("takeover: %d duplicate admissions in log", dups)
 		}
-		log.Printf("leader lease (holder %q) expired: taking over at term %d after %d applied records",
+		lg.Infof("leader lease (holder %q) expired: taking over at term %d after %d applied records",
 			st.Holder, got.Term, applier.Records())
 		return got.Term, true, nil
 	}
@@ -468,8 +536,10 @@ func followLoop(ctx context.Context, d *serve.Daemon, opts options, lease *ha.Le
 
 // renewLoop keeps the leader lease alive and fail-stops the process the
 // moment renewal discovers another holder: a deposed leader must never ack
-// another write, or the new leader's history would fork.
-func renewLoop(ctx context.Context, lease *ha.Lease) {
+// another write, or the new leader's history would fork. The fatal path runs
+// the logger's OnFatal hook, which writes the fail-stop debug bundle before
+// the process exits.
+func renewLoop(ctx context.Context, lease *ha.Lease, lg *obs.Logger) {
 	t := time.NewTicker(lease.TTL / 3)
 	defer t.Stop()
 	for {
@@ -478,7 +548,7 @@ func renewLoop(ctx context.Context, lease *ha.Lease) {
 			return
 		case <-t.C:
 			if _, err := lease.Renew(); err != nil {
-				log.Fatalf("leader lease lost (%v): fail-stop", err)
+				lg.Fatalf("leader lease lost (%v): fail-stop", err)
 			}
 		}
 	}

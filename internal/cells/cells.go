@@ -35,6 +35,9 @@ type Options struct {
 	// Sequential disables the per-cell goroutine fan-out (for debugging
 	// and allocation measurement); results are identical either way.
 	Sequential bool
+	// Flight, when set, receives black-box events for commit conflicts and
+	// rebalancer migrations (nil-receiver safe, like every obs hook).
+	Flight *obs.FlightRecorder
 }
 
 func (o *Options) fillDefaults() {
@@ -375,6 +378,8 @@ func (ms *MultiScheduler) rebalance(jobs []*core.JobInfo) {
 		if ms.opt.Recorder != nil {
 			ms.opt.Recorder.AddCellJobsMoved(len(moves))
 		}
+		ms.opt.Flight.Record("cells", obs.SevInfo, "rebalanced",
+			obs.KI("moved", int64(len(moves))), obs.KI("cells", int64(len(ms.cells))))
 	}
 }
 
@@ -617,6 +622,11 @@ func (ms *MultiScheduler) Place(reqs []core.PlacementRequest, cl *cluster.Cluste
 		rec.AddCellConflicts(conflicts)
 		rec.AddCellConflictsAvoided(avoided)
 		rec.AddCellRetries(retries)
+	}
+	if conflicts > 0 || droppedNow > 0 {
+		ms.opt.Flight.Record("cells", obs.SevWarn, "commit conflicts",
+			obs.KI("conflicts", int64(conflicts)), obs.KI("retries", int64(retries)),
+			obs.KI("dropped", int64(droppedNow)), obs.KI("commits", int64(commits)))
 	}
 
 	if ms.tracer.Enabled() {

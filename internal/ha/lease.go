@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"optimus/internal/obs"
 )
 
 // LeaseState is the on-disk lease document.
@@ -29,6 +31,10 @@ type Lease struct {
 
 	// Clock overrides time.Now in tests.
 	Clock func() time.Time
+
+	// Flight, when set, receives black-box events for acquire / lost /
+	// release transitions — the last thing a fail-stopping leader records.
+	Flight *obs.FlightRecorder
 }
 
 func (l *Lease) now() time.Time {
@@ -113,6 +119,11 @@ func (l *Lease) TryAcquire() (LeaseState, bool, error) {
 	if err != nil {
 		return LeaseState{}, false, err
 	}
+	if got.Holder == l.ID && cur.Holder != l.ID {
+		l.Flight.Record("ha", obs.SevInfo, "lease acquired",
+			obs.KS("holder", l.ID), obs.KU("term", got.Term),
+			obs.KS("previous", cur.Holder))
+	}
 	return got, got.Holder == l.ID, nil
 }
 
@@ -124,6 +135,9 @@ func (l *Lease) Renew() (LeaseState, error) {
 		return LeaseState{}, err
 	}
 	if cur.Holder != l.ID {
+		l.Flight.Record("ha", obs.SevError, "lease lost",
+			obs.KS("holder", cur.Holder), obs.KU("term", cur.Term),
+			obs.KS("id", l.ID))
 		return cur, ErrLost
 	}
 	st := LeaseState{Holder: l.ID, Term: cur.Term, Expires: l.now().Add(l.TTL)}
@@ -135,6 +149,9 @@ func (l *Lease) Renew() (LeaseState, error) {
 		return LeaseState{}, err
 	}
 	if got.Holder != l.ID {
+		l.Flight.Record("ha", obs.SevError, "lease lost",
+			obs.KS("holder", got.Holder), obs.KU("term", got.Term),
+			obs.KS("id", l.ID))
 		return got, ErrLost
 	}
 	return got, nil
@@ -148,5 +165,7 @@ func (l *Lease) Release() error {
 		return err
 	}
 	cur.Expires = l.now()
+	l.Flight.Record("ha", obs.SevInfo, "lease released",
+		obs.KS("holder", l.ID), obs.KU("term", cur.Term))
 	return l.write(cur)
 }

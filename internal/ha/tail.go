@@ -1,6 +1,7 @@
 package ha
 
 import (
+	"optimus/internal/obs"
 	"optimus/internal/wal"
 )
 
@@ -12,6 +13,10 @@ import (
 type Tailer struct {
 	Dir   string
 	After uint64 // last applied sequence; zero = from the beginning
+
+	// Flight, when set, receives a black-box event when the log has been
+	// compacted past the cursor (ErrGap) — the follower's unrecoverable case.
+	Flight *obs.FlightRecorder
 }
 
 // Poll scans records after the cursor through fn, advancing the cursor past
@@ -29,6 +34,8 @@ func (t *Tailer) Poll(fn func(wal.Record) error) (int, bool, error) {
 			// (A checkpoint record itself is fine — it summarizes exactly
 			// the history we already applied.)
 			if t.After > 0 && r.Seq != t.After+1 {
+				t.Flight.Record("ha", obs.SevError, "tail gap",
+					obs.KU("after", t.After), obs.KU("next", r.Seq))
 				return ErrGap
 			}
 		}

@@ -89,6 +89,29 @@ func WriteLabeledGauge(w io.Writer, name, help, label, value string, v float64) 
 	return err
 }
 
+// WriteInfoGauge writes one constant "info"-style gauge sample (value 1)
+// carrying an arbitrary set of label pairs, e.g. optimus_build_info. Labels
+// are emitted in the order given.
+func WriteInfoGauge(w io.Writer, name, help string, labels [][2]string) error {
+	if err := writePreamble(w, name, help, "gauge"); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name+"{"); err != nil {
+		return err
+	}
+	for i, kv := range labels {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s=%q", sep, kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "} 1\n")
+	return err
+}
+
 // WriteHistogram writes one obs.Histogram as a Prometheus histogram family:
 // cumulative _bucket{le="..."} samples for every log bucket, then _sum and
 // _count.

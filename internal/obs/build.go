@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, Go toolchain and
+// the VCS state stamped by `go build`. It is the `build` block of
+// GET /v1/cluster, the optimus_build_info metric's labels, and part of every
+// debug bundle — the first question of any incident is "what exactly is
+// running?".
+type BuildInfo struct {
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"` // module version, "(devel)" for local builds
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`  // vcs.revision
+	BuildTime string `json:"buildTime,omitempty"` // vcs.time
+	Modified  bool   `json:"modified,omitempty"`  // vcs.modified (dirty tree)
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.BuildTime = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// Build returns the binary's build info, computed once.
+func Build() BuildInfo { return buildOnce() }
+
+// String renders one -version line, e.g.
+// "optimus (devel) go1.22.1 rev 1a2b3c4d (modified)".
+func (b BuildInfo) String() string {
+	s := b.Module
+	if s == "" {
+		s = "optimus"
+	}
+	if b.Version != "" {
+		s += " " + b.Version
+	}
+	s += " " + b.GoVersion
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+	}
+	if b.Modified {
+		s += " (modified)"
+	}
+	return s
+}

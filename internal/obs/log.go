@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Logger is the daemons' leveled, component-tagged structured logger. Every
+// line goes two places: formatted text to the output writer (stderr in the
+// commands) and, when a FlightRecorder is attached, a structured event into
+// the black box — so the bundle written after a crash carries the same lines
+// the operator saw scroll by, in order, with everything around them.
+//
+// Loggers are cheap views over a shared core: Named returns a child tagged
+// with another component, sharing the output lock, level and flight recorder.
+// All methods are safe for concurrent use and nil-receiver safe (a nil logger
+// discards everything), so library code can carry an optional logger.
+type Logger struct {
+	core      *logCore
+	component string
+}
+
+type logCore struct {
+	mu     sync.Mutex
+	out    io.Writer
+	min    atomic.Int32 // minimum Severity written to out
+	stamps atomic.Bool  // prefix lines with a UTC timestamp
+	flight *FlightRecorder
+	// onFatal runs once, after the fatal line is emitted and recorded but
+	// before exit — the daemon hangs its write-a-debug-bundle hook here.
+	onFatal   atomic.Pointer[func(reason string)]
+	fatalOnce sync.Once
+	exit      func(int) // os.Exit, overridable in tests
+}
+
+// NewLogger builds a logger writing lines at or above SevInfo to out, tagged
+// with component, teeing every line (all severities) into flight when it is
+// non-nil. Timestamps are off by default (CLI style); daemons turn them on
+// with SetTimestamps.
+func NewLogger(out io.Writer, component string, flight *FlightRecorder) *Logger {
+	c := &logCore{out: out, flight: flight, exit: os.Exit}
+	c.min.Store(int32(SevInfo))
+	return &Logger{core: c, component: component}
+}
+
+// Named returns a child logger tagged with component, sharing everything
+// else. Nil-safe.
+func (l *Logger) Named(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{core: l.core, component: component}
+}
+
+// SetLevel sets the minimum severity written to the output writer. The
+// flight recorder keeps receiving every line regardless — the black box
+// wants the debug noise that stderr doesn't.
+func (l *Logger) SetLevel(min Severity) {
+	if l != nil {
+		l.core.min.Store(int32(min))
+	}
+}
+
+// SetTimestamps toggles the UTC timestamp prefix on output lines.
+func (l *Logger) SetTimestamps(v bool) {
+	if l != nil {
+		l.core.stamps.Store(v)
+	}
+}
+
+// SetOnFatal installs the hook Fatalf runs before exiting (e.g. writing a
+// fail-stop debug bundle). The hook runs at most once per process even if
+// several goroutines Fatalf concurrently.
+func (l *Logger) SetOnFatal(fn func(reason string)) {
+	if l != nil {
+		l.core.onFatal.Store(&fn)
+	}
+}
+
+// Flight returns the attached recorder (nil when none).
+func (l *Logger) Flight() *FlightRecorder {
+	if l == nil {
+		return nil
+	}
+	return l.core.flight
+}
+
+func (l *Logger) logf(sev Severity, format string, args ...any) string {
+	if l == nil {
+		return ""
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.core.flight.Record(l.component, sev, msg)
+	if int32(sev) < l.core.min.Load() {
+		return msg
+	}
+	c := l.core
+	c.mu.Lock()
+	if c.stamps.Load() {
+		fmt.Fprintf(c.out, "%s %-5s %s: %s\n",
+			time.Now().UTC().Format("2006-01-02T15:04:05.000Z"), sev, l.component, msg)
+	} else if sev == SevInfo {
+		// CLI style: info lines read like plain program output.
+		fmt.Fprintf(c.out, "%s: %s\n", l.component, msg)
+	} else {
+		fmt.Fprintf(c.out, "%s: %s: %s\n", l.component, sev, msg)
+	}
+	c.mu.Unlock()
+	return msg
+}
+
+// Debugf logs at SevDebug (stderr only when the level allows; always
+// recorded in the flight ring).
+func (l *Logger) Debugf(format string, args ...any) { l.logf(SevDebug, format, args...) }
+
+// Infof logs at SevInfo.
+func (l *Logger) Infof(format string, args ...any) { l.logf(SevInfo, format, args...) }
+
+// Warnf logs at SevWarn.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(SevWarn, format, args...) }
+
+// Errorf logs at SevError.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(SevError, format, args...) }
+
+// Fatalf logs at SevError, runs the OnFatal hook (once per process), and
+// exits with status 1. A nil logger falls back to stderr + exit so misuse
+// still fail-stops.
+func (l *Logger) Fatalf(format string, args ...any) {
+	if l == nil {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(1)
+	}
+	msg := l.logf(SevError, format, args...)
+	l.core.fatalOnce.Do(func() {
+		if fn := l.core.onFatal.Load(); fn != nil && *fn != nil {
+			(*fn)(msg)
+		}
+	})
+	l.core.exit(1)
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevelsAndComponents(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlightRecorder(32)
+	lg := NewLogger(&buf, "optimusd", f)
+
+	lg.Debugf("hidden %d", 1) // below SevInfo: stderr-silent, flight-recorded
+	lg.Infof("listening on %s", ":0")
+	lg.Named("ha").Warnf("lag %d", 3)
+	lg.Named("wal").Errorf("append: %v", "disk gone")
+
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug line leaked to output: %q", out)
+	}
+	for _, want := range []string{
+		"optimusd: listening on :0",
+		"ha: warn: lag 3",
+		"wal: error: append: disk gone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+	// Every line, including the suppressed debug one, reaches the black box.
+	evs := f.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("flight recorded %d events, want 4", len(evs))
+	}
+	if evs[0].Msg != "hidden 1" || evs[0].Sev != SevDebug || evs[0].Component != "optimusd" {
+		t.Fatalf("flight event 0 = %+v", evs[0])
+	}
+	if evs[2].Component != "ha" {
+		t.Fatalf("flight event 2 component = %q", evs[2].Component)
+	}
+
+	lg.SetLevel(SevDebug)
+	lg.Debugf("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatal("SetLevel(SevDebug) did not surface debug lines")
+	}
+
+	buf.Reset()
+	lg.SetTimestamps(true)
+	lg.Infof("stamped")
+	if line := buf.String(); !strings.Contains(line, "INFO") &&
+		!strings.Contains(line, "info") || !strings.Contains(line, "T") {
+		t.Fatalf("timestamped line = %q", line)
+	}
+}
+
+func TestLoggerFatalHook(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlightRecorder(8)
+	lg := NewLogger(&buf, "optimusd", f)
+	var hookReason string
+	var exitCode = -1
+	lg.core.exit = func(code int) { exitCode = code }
+	lg.SetOnFatal(func(reason string) { hookReason = reason })
+
+	lg.Fatalf("leader lease lost (%s): fail-stop", "held by intruder")
+
+	if exitCode != 1 {
+		t.Fatalf("exit code = %d, want 1", exitCode)
+	}
+	if want := "leader lease lost (held by intruder): fail-stop"; hookReason != want {
+		t.Fatalf("hook reason = %q, want %q", hookReason, want)
+	}
+	if !strings.Contains(buf.String(), "fail-stop") {
+		t.Fatalf("fatal line missing from output: %q", buf.String())
+	}
+	evs := f.Snapshot()
+	if len(evs) != 1 || evs[0].Sev != SevError {
+		t.Fatalf("flight events = %+v", evs)
+	}
+
+	// The hook runs once even if a second goroutine fatals after.
+	hookReason = ""
+	lg.Fatalf("second fatal")
+	if hookReason != "" {
+		t.Fatal("OnFatal hook ran twice")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var lg *Logger
+	lg.Infof("dropped")
+	lg.Named("x").Errorf("dropped")
+	lg.SetLevel(SevDebug)
+	lg.SetTimestamps(true)
+	if lg.Flight() != nil {
+		t.Fatal("nil logger has a flight recorder")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Fatal("BuildInfo.GoVersion empty")
+	}
+	if b.String() == "" {
+		t.Fatal("BuildInfo.String empty")
+	}
+}

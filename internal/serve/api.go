@@ -17,6 +17,7 @@ import (
 	"optimus/internal/cluster"
 	"optimus/internal/core"
 	"optimus/internal/metrics"
+	"optimus/internal/obs"
 	"optimus/internal/speedfit"
 	"optimus/internal/workload"
 )
@@ -276,8 +277,12 @@ type ClusterStatus struct {
 	Scheduler *core.IncrStats `json:"scheduler,omitempty"`
 	// HA is the control-plane role block, present only under internal/ha
 	// leadership (-wal-dir with -follow or a held lease).
-	HA    *HAStatus    `json:"ha,omitempty"`
-	Nodes []NodeStatus `json:"nodes"`
+	HA *HAStatus `json:"ha,omitempty"`
+	// SLO is the burn-rate block (slo.go), recomputed at each interval
+	// boundary; Build identifies the binary serving this status.
+	SLO   *SLOStatus     `json:"slo,omitempty"`
+	Build *obs.BuildInfo `json:"build,omitempty"`
+	Nodes []NodeStatus   `json:"nodes"`
 }
 
 // clusterSnapshot is the RCU-style read-mostly cluster view: built by the
@@ -330,6 +335,10 @@ func (d *Daemon) publishClusterLocked() {
 		st.Scheduler = &is
 	}
 	st.HA = d.haStat.Load()
+	slo := d.SLO()
+	st.SLO = &slo
+	build := obs.Build()
+	st.Build = &build
 	var used, capacity cluster.Resources
 	for _, n := range d.cfg.Cluster.Nodes() {
 		st.Nodes = append(st.Nodes, NodeStatus{
@@ -374,6 +383,8 @@ func (d *Daemon) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /debug/bundle", d.handleDebugBundle)
 	return d.instrumented(mux)
 }
 
@@ -446,10 +457,17 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics exports the recorder counters plus daemon-level gauges in
-// Prometheus text format. Only the unsynchronized recorder needs the engine
-// mutex; everything else reads atomics and snapshots.
+// Prometheus text format.
 func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	d.writeMetrics(w)
+}
+
+// writeMetrics renders the full exposition to any writer — the /metrics
+// handler and the debug bundle (bundle.go) share it. Only the unsynchronized
+// recorder needs the engine mutex; everything else reads atomics and
+// snapshots.
+func (d *Daemon) writeMetrics(w io.Writer) {
 	d.mu.Lock()
 	d.drainArrivalsLocked()
 	err := d.rec.WritePrometheus(w)
@@ -537,6 +555,49 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				"Nodes in each cell's stripe.", "cell", id, float64(cs.Nodes))
 		}
 	}
+
+	// Readiness plane (health.go): the aggregate verdict plus one labeled
+	// sample per component check.
+	ready := d.Readiness()
+	up := 0.0
+	if ready.Ready {
+		up = 1
+	}
+	_ = metrics.WriteGauge(w, "optimus_ready",
+		"1 when every readiness check passes, 0 otherwise.", up)
+	ex := metrics.NewExporter(w)
+	for name, c := range ready.Components {
+		v := 0.0
+		if c.OK {
+			v = 1
+		}
+		_ = metrics.WriteLabeledGauge(ex, "optimus_component_up",
+			"Per-component readiness check results.", "component", name, v)
+	}
+
+	// SLO burn rates (slo.go).
+	slo := d.SLO()
+	_ = metrics.WriteGauge(w, "optimus_slo_overrun_rate",
+		"Fraction of scheduling rounds that outlasted the tick.", slo.OverrunRate)
+	_ = metrics.WriteGauge(w, "optimus_slo_overrun_burn",
+		"Interval-overrun budget burn rate (1 = burning exactly at target).", slo.OverrunBurn)
+	_ = metrics.WriteGauge(w, "optimus_slo_api_p99_seconds",
+		"API request latency p99.", slo.APIP99Seconds)
+	_ = metrics.WriteGauge(w, "optimus_slo_api_slow_rate",
+		"Fraction of API requests over the latency target.", slo.APISlowRate)
+	_ = metrics.WriteGauge(w, "optimus_slo_api_slow_burn",
+		"API latency budget burn rate.", slo.APISlowBurn)
+	_ = metrics.WriteGauge(w, "optimus_slo_api_error_rate",
+		"Fraction of API requests answered with a 5xx status.", slo.APIErrorRate)
+	_ = metrics.WriteGauge(w, "optimus_slo_api_error_burn",
+		"API error budget burn rate.", slo.APIErrorBurn)
+
+	bi := obs.Build()
+	_ = metrics.WriteInfoGauge(w, "optimus_build_info",
+		"Build identity of the running binary.", [][2]string{
+			{"version", bi.Version}, {"goversion", bi.GoVersion},
+			{"revision", bi.Revision}, {"modified", fmt.Sprint(bi.Modified)},
+		})
 }
 
 // jsonBufPool recycles encode buffers so responses are marshaled outside

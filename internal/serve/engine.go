@@ -8,6 +8,7 @@ import (
 	"optimus/internal/core"
 	"optimus/internal/lossfit"
 	"optimus/internal/metrics"
+	"optimus/internal/obs"
 	"optimus/internal/sim"
 	"optimus/internal/wal"
 	"optimus/internal/workload"
@@ -54,6 +55,9 @@ func (d *Daemon) stepLocked() {
 		d.advanceClockLocked(d.now + d.cfg.Interval)
 		d.rounds++
 		d.roundsN.Store(int64(d.rounds))
+		d.lastRoundWall.Store(time.Now().UnixNano())
+		d.flight.Record("engine", obs.SevDebug, "round",
+			obs.KI("round", int64(d.rounds)), obs.KI("jobs", 0))
 		d.walRoundLocked()
 		d.publishClusterLocked()
 		return
@@ -355,6 +359,10 @@ func (d *Daemon) stepLocked() {
 	}
 	d.tracer.End(ivSpan)
 	d.advanceClockLocked(intervalEnd)
+	d.lastRoundWall.Store(time.Now().UnixNano())
+	d.flight.Record("engine", obs.SevDebug, "round",
+		obs.KI("round", int64(d.rounds)), obs.KI("jobs", int64(len(active))),
+		obs.KI("elapsedUs", time.Since(ivStart).Microseconds()))
 	// Commit the interval: one durable round record whose group flush also
 	// hardens every buffered engine record above.
 	d.walRoundLocked()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"optimus/internal/core"
+	"optimus/internal/obs"
 )
 
 // EventType enumerates the scheduler decisions streamed on /v1/events.
@@ -68,7 +69,7 @@ type subscriber struct {
 // oldest queued event is evicted (counted in dropped) to make room. The
 // handler detects the resulting gap by sequence number and backfills from
 // the ring.
-func (s *subscriber) push(ev Event, busDropped *atomic.Int64) {
+func (s *subscriber) push(ev Event, b *eventBus) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || ev.Seq <= s.after {
@@ -83,7 +84,12 @@ func (s *subscriber) push(ev Event, busDropped *atomic.Int64) {
 		select {
 		case <-s.ch:
 			s.dropped.Add(1)
-			busDropped.Add(1)
+			// Throttled black-box evidence: one event per 1024 drops keeps a
+			// melting-down subscriber from flooding the flight ring.
+			if n := b.dropped.Add(1); n&1023 == 1 {
+				b.flight.Record("sse", obs.SevWarn, "subscriber dropping events",
+					obs.KI("droppedTotal", n), obs.KI("seq", ev.Seq))
+			}
 		default:
 			// A concurrent reader drained the queue between our two selects;
 			// retry the send.
@@ -108,12 +114,15 @@ type eventBus struct {
 	nextSub int
 
 	dropped atomic.Int64 // total events evicted across all subscriber queues
+
+	flight *obs.FlightRecorder // black-box evidence for drop storms
 }
 
-func newEventBus(size int) *eventBus {
+func newEventBus(size int, flight *obs.FlightRecorder) *eventBus {
 	return &eventBus{
-		ring: make([]atomic.Pointer[Event], size),
-		subs: make(map[int]*subscriber),
+		ring:   make([]atomic.Pointer[Event], size),
+		subs:   make(map[int]*subscriber),
+		flight: flight,
 	}
 }
 
@@ -131,7 +140,7 @@ func (b *eventBus) publish(ev Event) {
 
 	b.subsMu.RLock()
 	for _, s := range b.subs {
-		s.push(ev, &b.dropped)
+		s.push(ev, b)
 	}
 	b.subsMu.RUnlock()
 }

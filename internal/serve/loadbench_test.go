@@ -240,7 +240,7 @@ func BenchmarkServingClusterSharded(b *testing.B) {
 // broker handled by evicting the slow consumer inside the publish lock, and
 // the new broker handles with drop-oldest queues.
 func BenchmarkServingSSEPublish(b *testing.B) {
-	bus := newEventBus(4096)
+	bus := newEventBus(4096, nil)
 	// Stalled subscriber: never drained.
 	id0, _, _ := bus.subscribe(0)
 	defer bus.unsubscribe(id0)

@@ -120,6 +120,35 @@ type Config struct {
 	// TraceBuffer / AuditBuffer size the span and audit-event rings.
 	// Defaults obs.DefaultSpanBuffer / obs.DefaultAuditBuffer.
 	TraceBuffer, AuditBuffer int
+
+	// Flight is the always-on black-box flight recorder fed by the engine
+	// loop, WAL, HA and SSE drop paths, dumped by GET /debug/bundle. Unlike
+	// Trace it is on by default (the record path is lock-light and
+	// allocation-free): when nil, New creates one of FlightBuffer capacity.
+	// Pass a shared recorder so daemon-external components (the lease
+	// renewer, the follower tailer) land in the same ring.
+	Flight *obs.FlightRecorder
+	// FlightBuffer sizes the ring New creates when Flight is nil. Default
+	// obs.DefaultFlightBuffer.
+	FlightBuffer int
+
+	// EngineStaleAfter bounds the engine readiness check in GET /readyz: a
+	// leader whose last scheduling round is older than this is not ready.
+	// Default 10×Tick.
+	EngineStaleAfter time.Duration
+	// MaxFollowerLag bounds the follower readiness check: a follower more
+	// than this many WAL records behind the leader is not ready. Default 64.
+	MaxFollowerLag uint64
+
+	// SLO targets behind the optimus_slo_* burn-rate gauges and the "slo"
+	// block of GET /v1/cluster. SLOOverrunTarget is the tolerated fraction
+	// of scheduling rounds that outlast the tick (default 0.01);
+	// SLOAPILatencyTarget is the per-request latency objective (default
+	// 100ms); SLOAPIErrorBudget is the tolerated fraction of requests that
+	// are slow or 5xx (default 0.01).
+	SLOOverrunTarget    float64
+	SLOAPILatencyTarget time.Duration
+	SLOAPIErrorBudget   float64
 }
 
 func (c *Config) fillDefaults() {
@@ -164,6 +193,24 @@ func (c *Config) fillDefaults() {
 	}
 	if c.AuditBuffer <= 0 {
 		c.AuditBuffer = obs.DefaultAuditBuffer
+	}
+	if c.FlightBuffer <= 0 {
+		c.FlightBuffer = obs.DefaultFlightBuffer
+	}
+	if c.EngineStaleAfter <= 0 {
+		c.EngineStaleAfter = 10 * c.Tick
+	}
+	if c.MaxFollowerLag == 0 {
+		c.MaxFollowerLag = 64
+	}
+	if c.SLOOverrunTarget <= 0 {
+		c.SLOOverrunTarget = 0.01
+	}
+	if c.SLOAPILatencyTarget <= 0 {
+		c.SLOAPILatencyTarget = 100 * time.Millisecond
+	}
+	if c.SLOAPIErrorBudget <= 0 {
+		c.SLOAPIErrorBudget = 0.01
 	}
 }
 
@@ -249,6 +296,8 @@ type Daemon struct {
 	// nil-receiver-safe, so the disabled daemon skips the whole layer.
 	tracer *obs.Tracer
 	audit  *obs.AuditLog
+	// flight is the always-on black-box recorder (health.go, bundle.go).
+	flight *obs.FlightRecorder
 
 	// reg is the sharded job registry; see registry.go and the field
 	// ownership protocol on job.
@@ -265,6 +314,13 @@ type Daemon struct {
 	overruns    atomic.Int64 // Run ticks whose Step outlasted cfg.Tick
 	clusterSnap atomic.Pointer[clusterSnapshot]
 	apiHist     obs.AtomicHistogram // API latency, written lock-free
+	apiSlow     atomic.Int64        // API requests over SLOAPILatencyTarget
+	apiErrs     atomic.Int64        // API responses with a 5xx status
+
+	// Readiness state (health.go): wall nanos of the last completed round,
+	// and the fail-stop reason once the daemon has permanently stood down.
+	lastRoundWall atomic.Int64
+	failStop      atomic.Pointer[string]
 
 	// Durability / HA seam (wal.go): the attached log, follower mode, the
 	// published HA role, and the WAL health counters.
@@ -298,17 +354,25 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Cluster == nil || cfg.Cluster.Len() == 0 {
 		return nil, fmt.Errorf("serve: config needs a non-empty cluster")
 	}
+	flight := cfg.Flight
+	if flight == nil {
+		flight = obs.NewFlightRecorder(cfg.FlightBuffer)
+	}
 	d := &Daemon{
 		cfg:       cfg,
 		policy:    sim.OptimusPolicy().Session(),
-		bus:       newEventBus(cfg.EventBuffer),
+		bus:       newEventBus(cfg.EventBuffer, flight),
+		flight:    flight,
 		rec:       metrics.NewRecorder(),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		startWall: time.Now(),
 	}
+	// Engine freshness is measured from construction until the first round.
+	d.lastRoundWall.Store(d.startWall.UnixNano())
 	d.reg.init()
 	if cfg.Cells > 1 {
-		d.cells = cells.New(cells.Options{Cells: cfg.Cells, Recorder: d.rec})
+		d.cells = cells.New(cells.Options{Cells: cfg.Cells, Recorder: d.rec,
+			Flight: flight})
 		d.policy = sim.Policy{
 			Name:       fmt.Sprintf("cells-%d", cfg.Cells),
 			Allocate:   d.cells.Allocate,
@@ -338,6 +402,10 @@ func (d *Daemon) Now() float64 {
 func (d *Daemon) Rounds() int {
 	return int(d.roundsN.Load())
 }
+
+// Flight returns the daemon's black-box recorder, for sharing with
+// components outside the daemon (lease renewer, follower tailer, logger).
+func (d *Daemon) Flight() *obs.FlightRecorder { return d.flight }
 
 // advanceClockLocked moves the canonical simulated clock and its lock-free
 // mirror. Callers hold d.mu.
@@ -475,8 +543,12 @@ func (d *Daemon) Run(ctx context.Context) {
 		case <-t.C:
 			start := time.Now()
 			d.Step()
-			if time.Since(start) > d.cfg.Tick {
+			if elapsed := time.Since(start); elapsed > d.cfg.Tick {
 				d.overruns.Add(1)
+				d.flight.Record("engine", obs.SevWarn, "interval overrun",
+					obs.KI("elapsedMs", elapsed.Milliseconds()),
+					obs.KI("tickMs", d.cfg.Tick.Milliseconds()),
+					obs.KI("round", int64(d.roundsN.Load())))
 			}
 		}
 	}

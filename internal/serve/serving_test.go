@@ -98,7 +98,7 @@ func TestClusterEncodeLargeConcurrent(t *testing.T) {
 // counted, and a Last-Event-ID reconnect recovers the dropped span from the
 // ring.
 func TestSSESlowSubscriber(t *testing.T) {
-	bus := newEventBus(4096)
+	bus := newEventBus(4096, nil)
 
 	// The stalled subscriber never drains its channel.
 	stalledID, stalledCh, _ := bus.subscribe(0)

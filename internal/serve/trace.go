@@ -72,10 +72,23 @@ func (d *Daemon) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// statusCapture records the response status for SLO error accounting. Only
+// non-streaming handlers are wrapped, so losing the Flusher upgrade is fine.
+type statusCapture struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusCapture) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
 // instrumented wraps the API mux with latency observation into the
-// optimus_api_request_duration_seconds histogram. The SSE stream is exempt:
-// its requests intentionally last for the subscriber's lifetime and would
-// only pollute the latency distribution.
+// optimus_api_request_duration_seconds histogram plus the SLO slow/error
+// counters (slo.go). The SSE stream is exempt: its requests intentionally
+// last for the subscriber's lifetime and would only pollute the latency
+// distribution.
 func (d *Daemon) instrumented(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/v1/events" {
@@ -83,9 +96,17 @@ func (d *Daemon) instrumented(next http.Handler) http.Handler {
 			return
 		}
 		start := time.Now()
-		next.ServeHTTP(w, r)
+		sc := &statusCapture{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sc, r)
 		// Lock-free: the atomic histogram keeps the middleware off every
 		// daemon lock (the old path serialized all requests on d.mu here).
-		d.apiHist.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		d.apiHist.Observe(elapsed.Seconds())
+		if elapsed > d.cfg.SLOAPILatencyTarget {
+			d.apiSlow.Add(1)
+		}
+		if sc.status >= 500 {
+			d.apiErrs.Add(1)
+		}
 	})
 }

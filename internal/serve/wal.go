@@ -9,6 +9,7 @@ import (
 
 	"optimus/internal/core"
 	"optimus/internal/lossfit"
+	"optimus/internal/obs"
 	"optimus/internal/speedfit"
 	"optimus/internal/wal"
 	"optimus/internal/workload"
@@ -136,6 +137,8 @@ func (d *Daemon) walAppend(t wal.Type, v any) {
 	}
 	if err != nil {
 		d.walErrs.Add(1)
+		d.flight.Record("wal", obs.SevError, "append failed",
+			obs.KS("type", t.String()), obs.KS("err", err.Error()))
 	}
 }
 
@@ -152,6 +155,8 @@ func (d *Daemon) walAppendDurable(t wal.Type, v any) error {
 	}
 	if err != nil {
 		d.walErrs.Add(1)
+		d.flight.Record("wal", obs.SevError, "durable append failed",
+			obs.KS("type", t.String()), obs.KS("err", err.Error()))
 	}
 	return err
 }

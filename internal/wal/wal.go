@@ -37,6 +37,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"optimus/internal/obs"
 )
 
 // Type tags one record's payload schema. The concrete payloads live with the
@@ -152,6 +154,10 @@ type Options struct {
 	Dir          string
 	Fsync        FsyncPolicy
 	SegmentBytes int64 // roll threshold; default 4 MiB
+	// Flight, when set, receives black-box events for torn-tail repairs,
+	// segment rolls, checkpoints and I/O errors (nil is fine: every use is
+	// nil-receiver safe).
+	Flight *obs.FlightRecorder
 }
 
 const (
@@ -227,6 +233,9 @@ func Open(opts Options) (*Log, error) {
 	if res.Torn {
 		// Crash repair: cut the torn segment back to its last valid frame and
 		// drop every later segment (unreachable past the sequence gap).
+		opts.Flight.Record("wal", obs.SevWarn, "torn tail truncated",
+			obs.KS("segment", res.TornSegment), obs.KI("offset", res.TornOffset),
+			obs.KU("lastSeq", res.LastSeq))
 		if err := os.Truncate(filepath.Join(opts.Dir, res.TornSegment), res.TornOffset); err != nil {
 			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 		}
@@ -290,8 +299,15 @@ func (l *Log) newSegmentLocked(base uint64) error {
 	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(base)),
 		os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		// Sticky: a log that cannot open its next segment cannot honor any
+		// later durability promise either — fail-stop the whole log so the
+		// readiness plane reports it down instead of limping.
+		l.err = fmt.Errorf("wal: %w", err)
+		l.opts.Flight.Record("wal", obs.SevError, "segment create failed",
+			obs.KU("base", base), obs.KS("err", err.Error()))
+		return l.err
 	}
+	l.opts.Flight.Record("wal", obs.SevDebug, "segment roll", obs.KU("base", base))
 	l.f, l.curBase, l.curSize = f, base, 0
 	return nil
 }
@@ -303,6 +319,8 @@ func (l *Log) flushLocked() error {
 	}
 	if _, err := l.f.Write(l.buf); err != nil {
 		l.err = err
+		l.opts.Flight.Record("wal", obs.SevError, "segment write failed",
+			obs.KU("base", l.curBase), obs.KS("err", err.Error()))
 		return err
 	}
 	l.buf = l.buf[:0]
@@ -373,6 +391,8 @@ func (l *Log) syncToLocked(s uint64) error {
 		l.syncing = false
 		if err != nil {
 			l.err = err
+			l.opts.Flight.Record("wal", obs.SevError, "fsync failed",
+				obs.KU("target", target), obs.KS("err", err.Error()))
 		} else if target > l.synced {
 			l.synced = target
 		}
@@ -425,6 +445,8 @@ func (l *Log) Sync() error {
 	}
 	if err := l.f.Sync(); err != nil {
 		l.err = err
+		l.opts.Flight.Record("wal", obs.SevError, "fsync failed",
+			obs.KU("target", l.seq), obs.KS("err", err.Error()))
 		return err
 	}
 	l.fsyncs.Add(1)
@@ -479,6 +501,8 @@ func (l *Log) Checkpoint(snapshot []byte) (uint64, error) {
 		}
 	}
 	l.checkpoints.Add(1)
+	l.opts.Flight.Record("wal", obs.SevInfo, "checkpoint",
+		obs.KU("seq", s), obs.KI("bytes", int64(len(snapshot))))
 	return s, nil
 }
 
@@ -488,6 +512,18 @@ func (l *Log) LastSeq() uint64 {
 	defer l.mu.Unlock()
 	return l.seq
 }
+
+// Err returns the log's sticky I/O error, if any: once set, every later
+// append fails with it. The daemon's readiness plane polls this to report
+// the WAL component down.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Dir returns the log's directory (where fail-stop debug bundles land).
+func (l *Log) Dir() string { return l.opts.Dir }
 
 // Stats returns the log's counters.
 func (l *Log) Stats() Stats {

@@ -9,7 +9,11 @@
 #      has no duplicate submit IDs (optimus-trace wal dump),
 #   3. no acked submission was lost — every job ID the harness stored is
 #      still served by the new leader,
-#   4. the new leader keeps admitting (post-failover submit succeeds).
+#   4. the new leader keeps admitting (post-failover submit succeeds),
+#   5. the promoted follower's /debug/bundle is valid JSON whose flight
+#      recorder narrates the takeover,
+#   6. (fail-stop phase) a live leader whose lease is stolen fail-stops
+#      and leaves a bundle-failstop-<pid>.json on disk that explains why.
 #
 # Both daemons are built with -race so the whole failover path runs under
 # the detector. Used by CI (make failover-smoke).
@@ -32,6 +36,7 @@ trap cleanup EXIT
 go build -race -o "$workdir/optimusd" ./cmd/optimusd
 go build -o "$workdir/optimusd-load" ./cmd/optimusd-load
 go build -o "$workdir/optimus-trace" ./cmd/optimus-trace
+go build -o "$workdir/jsonok" ./cmd/jsonok
 
 waldir="$workdir/wal"
 
@@ -50,6 +55,19 @@ for i in $(seq 1 50); do [ -s "$workdir/fport" ] && break; sleep 0.1; done
 follower=$(cat "$workdir/fport")
 
 echo "== failover smoke: leader $leader (pid $lpid), follower $follower (pid $fpid), ttl $TTL =="
+
+# Readiness before any load: the leader must be fully up, and the follower
+# must be ready-for-takeover (replay lag within bound) — distinct checks.
+for url in "$leader" "$follower"; do
+    ok=0
+    for i in $(seq 1 50); do
+        code=$(curl -s -o "$workdir/ready.json" -w '%{http_code}' "http://$url/readyz")
+        [ "$code" = 200 ] && { ok=1; break; }
+        sleep 0.1
+    done
+    [ "$ok" = 1 ] || { echo "FAIL: $url never ready:"; cat "$workdir/ready.json"; exit 1; }
+done
+echo "leader and follower both ready"
 
 # Open-loop load against the pool; submit-heavy so the cutover is exercised
 # on the write path. The harness tolerates the blackout (-max-error-rate 1)
@@ -114,9 +132,54 @@ done
 [ "$lost" = "0" ] || { echo "FAIL: $lost acked jobs missing after failover"; exit 1; }
 echo "all $nsub acked submissions survived the failover"
 
+# 5. The promoted follower's debug bundle narrates the takeover.
+curl -s "http://$follower/debug/bundle" >"$workdir/bundle.json"
+"$workdir/jsonok" <"$workdir/bundle.json" ||
+    { echo "FAIL: /debug/bundle is not valid JSON:"; head -c 400 "$workdir/bundle.json"; exit 1; }
+grep -q '"msg":"lease acquired"' "$workdir/bundle.json" ||
+    { echo "FAIL: bundle flight tail missing lease acquisition"; exit 1; }
+grep -q '"role":"leader"' "$workdir/bundle.json" ||
+    { echo "FAIL: bundle HA block does not show leadership"; exit 1; }
+echo "promoted follower's bundle narrates the takeover"
+
 kill -TERM $fpid
 wait $fpid || true
 fpid=""
 grep -i 'DATA RACE' "$workdir/leader.log" "$workdir/follower.log" && { echo "FAIL: race detected"; exit 1; }
+
+# 6. Fail-stop phase: a standalone leader whose lease is stolen must
+# fail-stop (not split-brain) and leave a bundle explaining why. Forge an
+# intruder lease document with a higher term; the next renewal (TTL/3)
+# sees a foreign holder, Fatalf fires, and the fail-stop hook writes
+# bundle-failstop-<pid>.json next to the WAL before the process dies.
+waldir2="$workdir/wal2"
+"$workdir/optimusd" -addr 127.0.0.1:0 -portfile "$workdir/l2port" \
+    -wal-dir "$waldir2" -fsync group -lease-ttl 1s -ha-id doomed \
+    -nodes 16 -tick 100ms >"$workdir/doomed.log" 2>&1 &
+l2pid=$!
+for i in $(seq 1 50); do [ -s "$workdir/l2port" ] && break; sleep 0.1; done
+expires=$(date -u -d '+60 seconds' +%Y-%m-%dT%H:%M:%SZ)
+printf '{"holder":"intruder","term":99,"expires":"%s"}' "$expires" \
+    >"$waldir2/LEASE.forged"
+mv "$waldir2/LEASE.forged" "$waldir2/LEASE"
+echo "lease forged; waiting for the doomed leader (pid $l2pid) to fail-stop"
+dead=0
+for i in $(seq 1 50); do
+    kill -0 $l2pid 2>/dev/null || { dead=1; break; }
+    sleep 0.1
+done
+[ "$dead" = 1 ] || { echo "FAIL: leader survived a stolen lease (split-brain)"; kill -9 $l2pid; exit 1; }
+wait $l2pid 2>/dev/null && { echo "FAIL: fail-stop exited 0"; exit 1; }
+fsbundle="$waldir2/bundle-failstop-$l2pid.json"
+[ -s "$fsbundle" ] || { echo "FAIL: no fail-stop bundle at $fsbundle"; ls "$waldir2"; exit 1; }
+"$workdir/jsonok" <"$fsbundle" ||
+    { echo "FAIL: fail-stop bundle is not valid JSON:"; head -c 400 "$fsbundle"; exit 1; }
+# The on-disk bundle is indented JSON ("key": "value"), unlike the compact
+# HTTP encoding — allow the space in the greps.
+grep -q '"msg": *"lease lost"' "$fsbundle" ||
+    { echo "FAIL: fail-stop bundle's flight tail missing the lease loss"; exit 1; }
+grep -q '"reason": *"fail-stop: leader lease lost' "$fsbundle" ||
+    { echo "FAIL: fail-stop bundle missing the fail-stop reason"; exit 1; }
+echo "fail-stop bundle $(basename "$fsbundle") explains the lease loss"
 
 echo "failover smoke OK"

@@ -23,6 +23,21 @@ done
 addr=$(cat "$workdir/port")
 echo "daemon on $addr"
 
+# Readiness gate: no traffic until /readyz reports every component up.
+ready=0
+for i in $(seq 1 50); do
+    code=$(curl -s -o "$workdir/ready.json" -w '%{http_code}' "http://$addr/readyz")
+    [ "$code" = 200 ] && { ready=1; break; }
+    sleep 0.1
+done
+[ "$ready" = 1 ] || { echo "daemon never became ready:"; cat "$workdir/ready.json"; exit 1; }
+"$workdir/jsonok" <"$workdir/ready.json" ||
+    { echo "/readyz is not valid JSON:"; cat "$workdir/ready.json"; exit 1; }
+grep -q '"engine"' "$workdir/ready.json" ||
+    { echo "/readyz missing engine component:"; cat "$workdir/ready.json"; exit 1; }
+curl -s "http://$addr/metrics" | grep -q '^optimus_ready 1' ||
+    { echo "metrics missing optimus_ready gauge"; exit 1; }
+
 code=$(curl -s -o "$workdir/submit.json" -w '%{http_code}' \
     -X POST "http://$addr/v1/jobs" \
     -d '{"model":"resnet-50","mode":"async","threshold":0.01}')
@@ -59,6 +74,25 @@ curl -s "http://$addr/v1/jobs/1/explain" >"$workdir/explain.json"
     { echo "/v1/jobs/1/explain is not valid JSON:"; cat "$workdir/explain.json"; exit 1; }
 grep -q '"kind":"seed"' "$workdir/explain.json" ||
     { echo "explain has no seed grant:"; cat "$workdir/explain.json"; exit 1; }
+
+# Debug bundle: one JSON document with build info, readiness, SLO burn,
+# the flight-recorder tail and goroutine stacks.
+curl -s "http://$addr/debug/bundle" >"$workdir/bundle.json"
+"$workdir/jsonok" <"$workdir/bundle.json" ||
+    { echo "/debug/bundle is not valid JSON:"; head -c 400 "$workdir/bundle.json"; exit 1; }
+for field in '"build"' '"ready"' '"slo"' '"flight"' '"goroutines"'; do
+    grep -q "$field" "$workdir/bundle.json" ||
+        { echo "bundle missing $field:"; head -c 400 "$workdir/bundle.json"; exit 1; }
+done
+grep -q '"msg":"round"' "$workdir/bundle.json" ||
+    { echo "bundle flight tail has no engine rounds"; exit 1; }
+# Build identity is served everywhere it should be.
+curl -s "http://$addr/v1/cluster" | grep -q '"build"' ||
+    { echo "/v1/cluster missing build block"; exit 1; }
+curl -s "http://$addr/metrics" | grep -q '^optimus_build_info{' ||
+    { echo "metrics missing optimus_build_info"; exit 1; }
+"$workdir/optimusd" -version | grep -q '^optimusd ' ||
+    { echo "-version printed nothing"; exit 1; }
 
 "$workdir/optimusd-load" -url "http://$addr" -n 200 -c 32
 
